@@ -1,0 +1,36 @@
+"""Shared inputs for the benchmark harness.
+
+Each benchmark regenerates one paper table/figure (printing the rows it
+reports) and times the regeneration with pytest-benchmark.  Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.context import default_trace
+from repro.core import pai_default_hardware, testbed_v100_hardware
+
+
+@pytest.fixture(scope="session")
+def jobs():
+    """The calibrated synthetic trace used by the Sec. III benches."""
+    return default_trace(8000)
+
+
+@pytest.fixture(scope="session")
+def hardware():
+    return pai_default_hardware()
+
+
+@pytest.fixture(scope="session")
+def testbed():
+    return testbed_v100_hardware()
+
+
+def report(result) -> None:
+    """Print a regenerated table/figure (visible with ``-s``)."""
+    print()
+    print(result.render())

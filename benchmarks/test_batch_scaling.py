@@ -1,0 +1,16 @@
+"""Extension study: batch-size scaling of the case-study models."""
+
+from conftest import report
+
+from repro.analysis.batch_scaling import run
+
+
+def test_batch_scaling(benchmark):
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(result)
+    resnet = [r for r in result.rows if r["model"] == "ResNet50"]
+    multi = [r for r in result.rows if r["model"] == "Multi-Interests"]
+    # Dense models amortize the fixed sync volume...
+    assert resnet[-1]["comm_share"] < resnet[0]["comm_share"] / 3
+    # ...embedding-dominated models cannot (traffic scales with batch).
+    assert multi[-1]["comm_share"] > multi[0]["comm_share"] * 0.8

@@ -1,0 +1,11 @@
+"""The synthetic-trace calibration report (all Sec. III statistics)."""
+
+from conftest import report
+
+from repro.analysis.calibration_report import run
+
+
+def test_calibration(benchmark, jobs):
+    result = benchmark(run, jobs)
+    report(result)
+    assert all(row["ok"] for row in result.rows)

@@ -1,0 +1,20 @@
+"""Calibration robustness: the targets must hold beyond one lucky seed."""
+
+from repro.trace import evaluate_targets, generate_trace
+
+
+def test_calibration_across_seeds(benchmark):
+    def pass_counts():
+        counts = []
+        for seed in (20190501, 7, 99):
+            jobs = generate_trace(num_jobs=6000, seed=seed)
+            checks = evaluate_targets(jobs)
+            counts.append(sum(1 for c in checks if c["ok"]))
+        return counts
+
+    counts = benchmark.pedantic(pass_counts, rounds=1, iterations=1)
+    print(f"\ncalibration targets passing per seed: {counts} / 20")
+    # The default seed passes everything; other seeds may drop at most a
+    # couple of noisy tail statistics at this trace size.
+    assert counts[0] == 20
+    assert all(count >= 17 for count in counts)

@@ -1,0 +1,17 @@
+"""Extension study: bottleneck-label census and the projection shift."""
+
+from conftest import report
+
+from repro.analysis.census import run
+
+
+def test_census(benchmark, jobs):
+    result = benchmark(run, jobs)
+    report(result)
+    rows = {row["population"]: row for row in result.rows}
+    before = rows["PS/Worker"]
+    after = rows["PS/Worker -> AllReduce-Local"]
+    # The Sec. III-C1 bottleneck shift as label migration.
+    assert before["communication"] > 0.5
+    assert after["communication"] < 0.2
+    assert after["io"] > before["io"]

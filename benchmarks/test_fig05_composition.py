@@ -1,0 +1,18 @@
+"""Fig. 5: constitution of workloads."""
+
+from conftest import report
+
+from repro.analysis import fig05_composition
+
+
+def test_fig5(benchmark, jobs):
+    result = benchmark(fig05_composition.run, jobs)
+    report(result)
+    by_type = {row["type"]: row for row in result.rows}
+    # Paper: PS/Worker is 29% of jobs but 81% of cNodes.
+    assert abs(by_type["PS/Worker"]["job_share"] - 0.29) < 0.02
+    assert abs(by_type["PS/Worker"]["cnode_share"] - 0.81) < 0.06
+    # 1w1g dominates job counts.
+    assert by_type["1w1g"]["job_share"] == max(
+        row["job_share"] for row in result.rows
+    )

@@ -1,0 +1,16 @@
+"""Fig. 6: workload-scale CDFs."""
+
+from conftest import report
+
+from repro.analysis import fig06_scale
+
+
+def test_fig6(benchmark, jobs):
+    result = benchmark(fig06_scale.run, jobs)
+    report(result)
+    ps = next(r for r in result.rows if r["type"] == "PS/Worker")
+    # Paper: about half of PS jobs beyond 8 cNodes; models reach 100+ GB.
+    assert 4 <= ps["cnodes_p50"] <= 12
+    assert ps["weight_p99"] > 10e9
+    single = next(r for r in result.rows if r["type"] == "1w1g")
+    assert single["weight_p50"] < 10e9

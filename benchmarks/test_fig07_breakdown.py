@@ -1,0 +1,22 @@
+"""Fig. 7: average execution-time breakdown."""
+
+from conftest import report
+
+from repro.analysis import fig07_breakdown
+
+
+def test_fig7(benchmark, jobs):
+    result = benchmark(fig07_breakdown.run, jobs)
+    report(result)
+    all_cnode = next(
+        r for r in result.rows
+        if r["population"] == "all" and r["level"] == "cNode"
+    )
+    # Paper (Sec. III-D): weight ~62%, compute-bound 13%, memory 22%.
+    assert abs(all_cnode["weight"] - 0.62) < 0.07
+    assert all_cnode["memory_bound"] > all_cnode["compute_bound"]
+    all_job = next(
+        r for r in result.rows
+        if r["population"] == "all" and r["level"] == "job"
+    )
+    assert abs(all_job["weight"] - 0.22) < 0.05

@@ -1,0 +1,13 @@
+"""Fig. 8: component-share CDFs."""
+
+from conftest import report
+
+from repro.analysis import fig08_cdf
+
+
+def test_fig8(benchmark, jobs):
+    result = benchmark(fig08_cdf.run, jobs)
+    report(result)
+    assert len(result.rows) == 24
+    # The >40%-of-PS-jobs-above-80%-communication marker.
+    assert any(">80%" in note for note in result.notes)

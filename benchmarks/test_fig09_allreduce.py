@@ -1,0 +1,20 @@
+"""Fig. 9: AllReduce projection speedups."""
+
+from conftest import report
+
+from repro.analysis import fig09_allreduce
+
+
+def test_fig9(benchmark, jobs):
+    result = benchmark(fig09_allreduce.run, jobs)
+    report(result)
+    by_curve = {row["curve"]: row for row in result.rows}
+    local_single = by_curve["AllReduce-Local single-cNode"]
+    local_tp = by_curve["AllReduce-Local throughput"]
+    cluster = by_curve["AllReduce-Cluster all workloads"]
+    # Paper markers: 22.6%, 40.2%, 32.1%.
+    assert abs(local_single["not_sped_up"] - 0.226) < 0.06
+    assert abs(local_tp["not_sped_up"] - 0.402) < 0.07
+    assert abs(cluster["not_sped_up"] - 0.321) < 0.08
+    # Cluster speedups are limited (~1.2x max for weight-bound jobs).
+    assert cluster["p90_speedup"] < 1.3

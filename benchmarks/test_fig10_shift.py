@@ -1,0 +1,15 @@
+"""Fig. 10: bottleneck shift after AllReduce-Local projection."""
+
+from conftest import report
+
+from repro.analysis import fig10_shift
+
+
+def test_fig10(benchmark, jobs):
+    result = benchmark(fig10_shift.run, jobs)
+    report(result)
+    by_component = {row["component"]: row for row in result.rows}
+    # Weight traffic collapses; data I/O rises the most (paper text).
+    assert by_component["weight"]["delta"] < -0.3
+    biggest = max(result.rows, key=lambda r: r["delta"])
+    assert biggest["component"] == "data_io"

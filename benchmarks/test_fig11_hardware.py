@@ -1,0 +1,23 @@
+"""Fig. 11: hardware-evolution sweeps."""
+
+from conftest import report
+
+from repro.analysis import fig11_hardware
+
+
+def test_fig11(benchmark, jobs):
+    result = benchmark(fig11_hardware.run, jobs)
+    report(result)
+    note = result.notes[0]
+    # Paper: 1w1g -> GPU memory, 1wng -> PCIe, PS/Worker -> Ethernet,
+    # projected AllReduce-Local -> GPU memory.
+    assert "1w1g: gpu_memory" in note
+    assert "1wng: pcie" in note
+    assert "PS/Worker: ethernet" in note
+    assert "AllReduce-Local: gpu_memory" in note
+    eth100 = next(
+        r for r in result.rows
+        if r["panel"] == "PS/Worker" and r["resource"] == "ethernet"
+        and abs(r["normalized"] - 4.0) < 1e-9
+    )
+    assert abs(eth100["avg_speedup"] - 1.7) < 0.2  # paper: 1.7x

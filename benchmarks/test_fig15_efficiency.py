@@ -1,0 +1,17 @@
+"""Fig. 15: weight-share sensitivity to the efficiency assumption."""
+
+from conftest import report
+
+from repro.analysis import fig15_efficiency
+
+
+def test_fig15(benchmark, jobs):
+    result = benchmark(fig15_efficiency.run, jobs)
+    report(result)
+    medians = {row["scenario"]: row["p50"] for row in result.rows}
+    assert medians["Communication eff. 50%"] > medians["All eff. 70%"]
+    assert medians["Computation eff. 25%"] < medians["All eff. 70%"]
+    # Even at 25% computation efficiency, weight traffic stays dominant
+    # on average (Sec. V-A).
+    means = {row["scenario"]: row["mean"] for row in result.rows}
+    assert means["Computation eff. 25%"] > 0.35

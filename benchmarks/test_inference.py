@@ -1,0 +1,14 @@
+"""Inference characterization (future-work extension)."""
+
+from conftest import report
+
+from repro.analysis.inference_report import run
+
+
+def test_inference(benchmark):
+    result = benchmark(run)
+    report(result)
+    by_model = {row["model"]: row for row in result.rows}
+    # The giant-embedding recommender mirrors the PEARL story.
+    assert not by_model["Multi-Interests"]["fits_one_gpu"]
+    assert by_model["ResNet50"]["bottleneck"] == "compute_bound"

@@ -1,0 +1,17 @@
+"""The Sec. III-D key observations, regenerated end to end."""
+
+from conftest import report
+
+from repro.analysis.observations import run
+
+
+def test_observations(benchmark, jobs):
+    result = benchmark.pedantic(run, args=(jobs,), rounds=1, iterations=1)
+    report(result)
+    rows = {row["observation"]: row for row in result.rows}
+    share = float(
+        rows["distributed training resource share (Sec. II-A2)"][
+            "measured"
+        ].rstrip("%")
+    )
+    assert share > 85.0  # paper: "more than 85%"

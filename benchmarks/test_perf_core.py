@@ -1,0 +1,29 @@
+"""Performance of the library itself: the analytical model must stay
+cheap enough for 10^4-job collective analyses."""
+
+from repro.analysis.context import trace_features
+from repro.core import (
+    PAPER_DEFAULT_EFFICIENCY,
+    analyze_population,
+    estimate_breakdown,
+)
+from repro.trace import generate_trace
+
+
+def test_perf_single_estimate(benchmark, jobs, hardware):
+    features = trace_features(jobs)[0]
+    breakdown = benchmark(estimate_breakdown, features, hardware)
+    assert breakdown.total > 0
+
+
+def test_perf_population_analysis(benchmark, jobs, hardware):
+    population = trace_features(jobs)[:2000]
+    analyzed = benchmark(analyze_population, population, hardware)
+    assert len(analyzed) == 2000
+
+
+def test_perf_trace_generation(benchmark):
+    jobs = benchmark.pedantic(
+        generate_trace, kwargs={"num_jobs": 2000, "seed": 3}, rounds=3
+    )
+    assert len(jobs) == 2000

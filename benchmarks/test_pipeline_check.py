@@ -1,0 +1,11 @@
+"""Self-consistency of the Fig. 4 profile->extract->estimate loop."""
+
+from conftest import report
+
+from repro.analysis.pipeline_check import run
+
+
+def test_pipeline_check(benchmark):
+    result = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(result)
+    assert all(row["closure_error"] < 0.10 for row in result.rows)

@@ -1,0 +1,21 @@
+"""Extension study: parameter-server fleet provisioning."""
+
+from repro.core import pai_default_hardware
+from repro.sim.ps import ps_scaling_curve, recommended_ps_count
+
+
+def test_ps_provisioning(benchmark, hardware):
+    # A GCN-class job: 3 GB of round-trip traffic per worker, 32 workers.
+    rows = benchmark(
+        ps_scaling_curve, 3e9, 32, hardware, [1, 2, 4, 8, 16, 32]
+    )
+    print("\nPS provisioning (3 GB/worker/step, 32 workers):")
+    for row in rows:
+        flag = "PS-bound" if row["ps_bound"] else "worker-bound"
+        print(
+            f"  {row['num_ps']:3d} PS nodes: {row['sync_time_s']:7.2f}s "
+            f"per step  ({flag}, load factor {row['ps_load_factor']:.1f}x)"
+        )
+    # One PS shard per worker removes the PS-side bottleneck.
+    assert recommended_ps_count(32) == 32
+    assert rows[0]["sync_time_s"] > 10 * rows[-1]["sync_time_s"]

@@ -1,0 +1,33 @@
+"""Extension study: straggler penalty vs replica count."""
+
+from repro.core import Architecture, WorkloadFeatures
+from repro.sim.stragglers import JitterModel, synchronization_penalty_curve
+
+
+def test_straggler_penalty(benchmark, hardware):
+    features = WorkloadFeatures(
+        name="ps-job",
+        architecture=Architecture.PS_WORKER,
+        num_cnodes=16,
+        batch_size=128,
+        flop_count=2e12,
+        memory_access_bytes=20e9,
+        input_bytes=10e6,
+        weight_traffic_bytes=500e6,
+        dense_weight_bytes=500e6,
+    )
+    rows = benchmark(
+        synchronization_penalty_curve,
+        features,
+        hardware,
+        [1, 8, 64, 256],
+        JitterModel(sigma=0.1),
+    )
+    print("\nstraggler penalty (10% per-replica compute jitter):")
+    for row in rows:
+        print(
+            f"  {row['num_cnodes']:4d} cNodes: barrier factor "
+            f"{row['straggler_factor']:.3f}, step inflation "
+            f"{row['step_inflation']:.3f}x"
+        )
+    assert rows[-1]["step_inflation"] > rows[0]["step_inflation"]

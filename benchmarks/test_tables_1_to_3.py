@@ -1,0 +1,27 @@
+"""Tables I-III: configuration tables."""
+
+from conftest import report
+
+from repro.analysis.tables import run_table1, run_table2, run_table3
+
+
+def test_table1_system_settings(benchmark):
+    result = benchmark(run_table1)
+    report(result)
+    values = {row["setting"]: row["value"] for row in result.rows}
+    assert values["GPU FLOPs"] == "11 TFLOPs"
+    assert values["Ethernet"] == "25 Gb/s"
+
+
+def test_table2_taxonomy(benchmark):
+    result = benchmark(run_table2)
+    report(result)
+    media = {row["type"]: row["weight_movement"] for row in result.rows}
+    assert media["PS/Worker"] == "Ethernet & PCIe"
+    assert media["AllReduce-Local"] == "NVLink"
+
+
+def test_table3_variations(benchmark):
+    result = benchmark(run_table3)
+    report(result)
+    assert len(result.rows) == 4

@@ -1,0 +1,34 @@
+"""Tables IV-VI: case-study scales, features, efficiencies."""
+
+from conftest import report
+
+from repro.analysis.case_studies import run_table4, run_table5, run_table6
+
+
+def test_table4_model_scales(benchmark):
+    result = benchmark(run_table4)
+    report(result)
+    for row in result.rows:
+        if row["paper_dense_GB"] > 0:
+            assert abs(row["dense_GB"] - row["paper_dense_GB"]) <= (
+                0.15 * row["paper_dense_GB"]
+            )
+
+
+def test_table5_workload_features(benchmark):
+    result = benchmark(run_table5)
+    report(result)
+    for row in result.rows:
+        assert abs(row["flops_G"] - row["paper_flops_G"]) <= (
+            0.15 * row["paper_flops_G"]
+        )
+        assert abs(row["traffic_MB"] - row["paper_traffic_MB"]) <= (
+            0.15 * row["paper_traffic_MB"]
+        )
+
+
+def test_table6_efficiencies(benchmark):
+    result = benchmark(run_table6)
+    report(result)
+    rows = {row["model"]: row for row in result.rows}
+    assert rows["Speech"]["gddr"] == 0.031

@@ -1,0 +1,14 @@
+"""Extension study: tenant-level resource skew."""
+
+from conftest import report
+
+from repro.analysis.tenants import run
+from repro.trace.groups import resource_concentration
+
+
+def test_tenants(benchmark, jobs):
+    result = benchmark(run, jobs)
+    report(result)
+    concentration = resource_concentration(list(jobs), top_fraction=0.2)
+    # Production tenants dominate (Zipf-skewed assignment).
+    assert concentration > 0.7

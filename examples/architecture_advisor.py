@@ -1,0 +1,80 @@
+"""Architecture advisor: the Sec. VI selection story as a tool.
+
+Given a handful of representative jobs (small dense, huge dense, huge
+sparse-embedding, I/O-hungry), rank every feasible deployment by
+estimated throughput and explain the bottleneck of each.
+
+Run with::
+
+    python examples/architecture_advisor.py
+"""
+
+from repro.core import (
+    Architecture,
+    WorkloadFeatures,
+    pai_default_hardware,
+    recommend_architecture,
+)
+
+
+def job(name, **kw):
+    defaults = dict(
+        name=name,
+        architecture=Architecture.PS_WORKER,
+        num_cnodes=16,
+        batch_size=256,
+        flop_count=2e12,
+        memory_access_bytes=30e9,
+        input_bytes=20e6,
+        weight_traffic_bytes=400e6,
+        dense_weight_bytes=400e6,
+    )
+    defaults.update(kw)
+    return WorkloadFeatures(**defaults)
+
+
+SCENARIOS = [
+    job("small dense CNN", weight_traffic_bytes=200e6, dense_weight_bytes=200e6),
+    job(
+        "large dense transformer",
+        weight_traffic_bytes=6e9,
+        dense_weight_bytes=6e9,
+        flop_count=8e12,
+    ),
+    job(
+        "huge-embedding recommender",
+        dense_weight_bytes=300e6,
+        embedding_weight_bytes=150e9,
+        weight_traffic_bytes=2.5e9,
+        embedding_traffic_bytes=2.2e9,
+        memory_access_bytes=80e9,
+        flop_count=0.3e12,
+    ),
+    job(
+        "input-hungry CTR model",
+        weight_traffic_bytes=100e6,
+        dense_weight_bytes=100e6,
+        input_bytes=600e6,
+        flop_count=0.5e12,
+    ),
+]
+
+
+def main() -> None:
+    hardware = pai_default_hardware()
+    for features in SCENARIOS:
+        print(f"\n=== {features.name} ({features.num_cnodes} cNodes) ===")
+        ranked = recommend_architecture(features, hardware)
+        for rank, rec in enumerate(ranked, start=1):
+            marker = "=>" if rank == 1 else "  "
+            print(
+                f" {marker} {rank}. {str(rec.plan.architecture):18s} "
+                f"x{rec.plan.num_cnodes:<3d} "
+                f"{rec.throughput:12.0f} samples/s   "
+                f"step {rec.step_time * 1e3:8.1f} ms   "
+                f"bottleneck: {rec.bottleneck}"
+            )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,72 @@
+"""The Sec. IV case studies: build, profile, validate, optimize.
+
+Builds the six production models of Table IV, simulates one training
+step of each on the V100 testbed with its measured (Table VI)
+efficiencies, validates the analytical estimate against the measured
+breakdown (Fig. 12), and applies the mixed-precision and XLA passes
+(Fig. 13).
+
+Run with::
+
+    python examples/case_studies.py
+"""
+
+from repro.core import TABLE_VI_EFFICIENCIES, estimate_breakdown, testbed_v100_hardware
+from repro.graphs import all_case_studies, case_study_deployments, features_for
+from repro.optim import apply_passes, mixed_precision_pass, xla_fusion_pass
+from repro.sim import simulate_step
+
+
+def main() -> None:
+    hardware = testbed_v100_hardware()
+    graphs = all_case_studies()
+    deployments = case_study_deployments()
+
+    print(f"{'model':16s} {'deployment':18s} {'estimated':>10s} "
+          f"{'measured':>10s} {'diff':>7s}")
+    for name, graph in graphs.items():
+        deployment = deployments[name]
+        efficiency = TABLE_VI_EFFICIENCIES[name]
+        measurement = simulate_step(graph, deployment, hardware, efficiency)
+        estimate = estimate_breakdown(features_for(graph, deployment), hardware)
+        diff = (estimate.total - measurement.serial_total) / measurement.serial_total
+        print(
+            f"{name:16s} {str(deployment.architecture):18s} "
+            f"{estimate.total:9.3f}s {measurement.serial_total:9.3f}s "
+            f"{diff:+7.1%}"
+        )
+
+    # Optimization passes on the BERT-class model (Fig. 13a).
+    print("\noptimization passes on BERT:")
+    bert = graphs["BERT"]
+    deployment = deployments["BERT"]
+    efficiency = TABLE_VI_EFFICIENCIES["BERT"]
+    base = simulate_step(bert, deployment, hardware, efficiency).serial_total
+    for label, passes in (
+        ("mixed precision", [mixed_precision_pass]),
+        ("XLA fusion", [xla_fusion_pass]),
+        ("MP + XLA", [mixed_precision_pass, xla_fusion_pass]),
+    ):
+        optimized = apply_passes(bert, passes)
+        step = simulate_step(
+            optimized, deployment, hardware, efficiency
+        ).serial_total
+        print(f"  {label:16s} {step:6.3f}s  ({base / step:.2f}x)")
+
+    # XLA on the memory-efficiency-starved Speech model (Fig. 13b).
+    speech = graphs["Speech"]
+    deployment = deployments["Speech"]
+    efficiency = TABLE_VI_EFFICIENCIES["Speech"]
+    base_m = simulate_step(speech, deployment, hardware, efficiency)
+    fused_m = simulate_step(
+        xla_fusion_pass(speech), deployment, hardware, efficiency
+    )
+    print(
+        f"\nXLA on Speech: element-wise "
+        f"{base_m.memory_time / fused_m.memory_time:.2f}x, end-to-end "
+        f"{base_m.serial_total / fused_m.serial_total:.2f}x"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,38 @@
+"""Cluster-level characterization: the Sec. III workflow end to end.
+
+Generates the calibrated synthetic PAI trace and reproduces the
+collective analysis: workload constitution, execution-time breakdowns,
+the AllReduce projection study and the hardware-evolution sweeps.
+
+Run with::
+
+    python examples/cluster_characterization.py [num_jobs]
+"""
+
+import sys
+
+from repro.analysis import fig05_composition, fig07_breakdown, fig09_allreduce
+from repro.analysis import fig11_hardware
+from repro.analysis.calibration_report import run as calibration_report
+from repro.trace import generate_trace
+
+
+def main(num_jobs: int = 12000) -> None:
+    print(f"generating a {num_jobs}-job synthetic PAI trace ...")
+    jobs = tuple(generate_trace(num_jobs=num_jobs))
+
+    for experiment in (
+        fig05_composition,
+        fig07_breakdown,
+        fig09_allreduce,
+        fig11_hardware,
+    ):
+        print()
+        print(experiment.run(jobs).render())
+
+    print()
+    print(calibration_report(jobs).render())
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 12000)

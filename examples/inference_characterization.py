@@ -1,0 +1,56 @@
+"""Inference characterization (the paper's Sec. VIII future work).
+
+Applies the same analytical methodology to *serving*: per-request
+latency breakdowns for the case-study models, the batching
+latency/throughput trade-off, and SLO-constrained batch selection.
+
+Run with::
+
+    python examples/inference_characterization.py
+"""
+
+from repro.core import testbed_v100_hardware
+from repro.graphs import all_case_studies
+from repro.inference import (
+    batch_sweep,
+    estimate_latency,
+    inference_features_for,
+    max_batch_within_slo,
+)
+
+
+def main() -> None:
+    hardware = testbed_v100_hardware()
+    graphs = all_case_studies()
+
+    print("per-request latency at batch 1 (V100, 70% efficiency):")
+    for name, graph in graphs.items():
+        serving = inference_features_for(graph, batch_size=1)
+        if serving.resident_weight_bytes > hardware.gpu.memory_capacity:
+            print(
+                f"  {name:16s} does not fit one GPU "
+                f"({serving.resident_weight_bytes / 1e9:.0f} GB of weights) "
+                "-- needs partitioned serving"
+            )
+            continue
+        breakdown = estimate_latency(serving, hardware)
+        print(
+            f"  {name:16s} {breakdown.total * 1e3:8.2f} ms   "
+            f"bottleneck: {breakdown.bottleneck}"
+        )
+
+    print("\nResNet50 batching trade-off:")
+    resnet = inference_features_for(graphs["ResNet50"], batch_size=1)
+    for row in batch_sweep(resnet, hardware, batches=[1, 4, 16, 64, 256]):
+        print(
+            f"  batch {row['batch']:4d}: {row['latency_s'] * 1e3:8.2f} ms, "
+            f"{row['throughput_rps']:8.0f} req/s ({row['bottleneck']})"
+        )
+
+    for slo_ms in (10, 50, 200):
+        best = max_batch_within_slo(resnet, hardware, latency_slo=slo_ms / 1e3)
+        print(f"  largest batch within a {slo_ms} ms SLO: {best}")
+
+
+if __name__ == "__main__":
+    main()

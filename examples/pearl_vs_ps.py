@@ -1,0 +1,80 @@
+"""PEARL deep dive (Sec. IV-C / Fig. 13d): training a 54 GB-embedding
+GCN that fits no single GPU.
+
+Walks through the decision the paper motivates: the model cannot use
+AllReduce (weight-replica only), PS/Worker drowns in Ethernet traffic,
+and PEARL -- partitioned embeddings over NVLink, replicated dense
+weights -- recovers the throughput.
+
+Run with::
+
+    python examples/pearl_vs_ps.py
+"""
+
+from repro.core import (
+    Architecture,
+    TABLE_VI_EFFICIENCIES,
+    estimate_breakdown,
+    testbed_v100_hardware,
+)
+from repro.graphs import Deployment, build_gcn, features_for
+from repro.sim import plan_pearl, simulate_step
+
+
+def main() -> None:
+    hardware = testbed_v100_hardware()
+    gcn = build_gcn()
+    efficiency = TABLE_VI_EFFICIENCIES["GCN"]
+
+    print(
+        f"GCN: {gcn.dense_weight_bytes / 1e6:.0f} MB dense, "
+        f"{gcn.embedding_weight_bytes / 1e9:.1f} GB embeddings, "
+        f"{gcn.embedding_access_bytes / 1e9:.2f} GB of rows touched per step"
+    )
+
+    # 1. AllReduce is impossible: the replica would not fit.
+    capacity = hardware.gpu.memory_capacity
+    print(
+        f"\nAllReduce replica needs {gcn.weight_bytes / 1e9:.1f} GB per GPU; "
+        f"capacity is {capacity / 1e9:.0f} GB -> not trainable"
+    )
+
+    # 2. PEARL partitions the table across 8 workers.
+    partition = plan_pearl(gcn, num_workers=8)
+    print(
+        f"PEARL shard: {partition.shard_bytes / 1e9:.2f} GB per GPU "
+        f"(fits: {partition.fits_in(capacity)})"
+    )
+
+    # 3. Compare the PS/Worker estimate against the PEARL measurement.
+    ps_estimate = estimate_breakdown(
+        features_for(gcn, Deployment(Architecture.PS_WORKER, 8)), hardware
+    )
+    pearl = simulate_step(
+        gcn, Deployment(Architecture.PEARL, 8), hardware, efficiency
+    )
+    ps_comm = ps_estimate.fractions()["weight"]
+    pearl_comm = pearl.weight_time / pearl.serial_total
+    print(
+        f"\nPS/Worker (estimated): {ps_estimate.total:.3f}s per step, "
+        f"{ps_comm:.0%} communication"
+    )
+    print(
+        f"PEARL (measured):      {pearl.serial_total:.3f}s per step, "
+        f"{pearl_comm:.0%} communication"
+    )
+    print(f"PEARL speedup:         {ps_estimate.total / pearl.serial_total:.1f}x")
+
+    # 4. PEARL scalability in worker count (2 workers cannot host the
+    # 27 GB shards, so the fleet starts at 4).
+    print("\nPEARL throughput scaling (samples/s):")
+    for workers in (4, 6, 8):
+        measurement = simulate_step(
+            gcn, Deployment(Architecture.PEARL, workers), hardware, efficiency
+        )
+        throughput = workers * gcn.batch_size / measurement.serial_total
+        print(f"  {workers} workers: {throughput:10.0f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,65 @@
+"""Quickstart: model one training job and explore its deployment options.
+
+Builds a ResNet50-class workload by hand, estimates its execution-time
+breakdown under the Table I cluster, and asks the questions the paper's
+framework answers: where does the time go, does AllReduce-Local help,
+and what does a 100 Gbps network buy?
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import (
+    Architecture,
+    WorkloadFeatures,
+    estimate_breakdown,
+    pai_default_hardware,
+    projection_speedups,
+)
+from repro.core.units import format_time, gbps
+
+
+def main() -> None:
+    hardware = pai_default_hardware()
+
+    # A ResNet50-class job on 16 PS/Worker cNodes (features per Table V).
+    job = WorkloadFeatures(
+        name="resnet50-class",
+        architecture=Architecture.PS_WORKER,
+        num_cnodes=16,
+        batch_size=64,
+        flop_count=1.56e12,
+        memory_access_bytes=31.9e9,
+        input_bytes=38e6,
+        weight_traffic_bytes=357e6,
+        dense_weight_bytes=204e6,
+    )
+
+    # 1. Where does one training step spend its time?
+    breakdown = estimate_breakdown(job, hardware)
+    print(f"step time estimate: {format_time(breakdown.total)}")
+    for component, share in breakdown.fractions().items():
+        print(f"  {component:14s} {share:6.1%}")
+
+    # 2. Would AllReduce-Local (NVLink) help?
+    result = projection_speedups(job, Architecture.ALLREDUCE_LOCAL, hardware)
+    print(
+        f"\nAllReduce-Local projection: single-cNode speedup "
+        f"{result.single_cnode_speedup:.2f}x, throughput speedup "
+        f"{result.throughput_speedup:.2f}x "
+        f"({job.num_cnodes} -> {result.projected.num_cnodes} cNodes)"
+    )
+
+    # 3. What does a 100 Gbps fabric buy for the PS deployment?
+    upgraded = hardware.with_resource("ethernet", gbps(100))
+    faster = estimate_breakdown(job, upgraded)
+    print(
+        f"\n25 -> 100 Gbps Ethernet: {format_time(breakdown.total)} -> "
+        f"{format_time(faster.total)} "
+        f"({breakdown.total / faster.total:.2f}x)"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,185 @@
+"""Command-line entry point: regenerate paper tables and figures.
+
+Usage::
+
+    pai-repro list                     # show available experiments
+    pai-repro run fig9                 # regenerate one table/figure
+    pai-repro all                      # regenerate everything
+    pai-repro report -o report.md      # write the full markdown report
+    pai-repro trace -o trace.jsonl -n 20000 --seed 7
+                                       # generate & save a synthetic trace
+    pai-repro advise --flops 1.56T --memory 31.9GB --input 38MB \
+                     --traffic 357MB --weights 204MB --cnodes 16
+                                       # rank deployments for one job
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .registry import experiment_ids, run_all, run_experiment
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="pai-repro",
+        description=(
+            "Reproduce the tables and figures of 'Characterizing Deep "
+            "Learning Training Workloads on Alibaba-PAI' (IISWC 2019)."
+        ),
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+    subparsers.add_parser("list", help="list available experiments")
+
+    run_parser = subparsers.add_parser("run", help="run one experiment")
+    run_parser.add_argument(
+        "experiment", choices=experiment_ids(), help="experiment id"
+    )
+
+    subparsers.add_parser("all", help="run the full experiment suite")
+
+    report_parser = subparsers.add_parser(
+        "report", help="write the full suite as a markdown report"
+    )
+    report_parser.add_argument(
+        "-o", "--output", default="report.md", help="output path"
+    )
+
+    trace_parser = subparsers.add_parser(
+        "trace", help="generate a calibrated synthetic trace (JSONL)"
+    )
+    trace_parser.add_argument(
+        "-o", "--output", default="trace.jsonl", help="output path"
+    )
+    trace_parser.add_argument(
+        "-n", "--num-jobs", type=int, default=20000, help="job count"
+    )
+    trace_parser.add_argument(
+        "--seed", type=int, default=20190501, help="generator seed"
+    )
+    trace_parser.add_argument(
+        "--check",
+        action="store_true",
+        help="also run the calibration targets against the trace",
+    )
+
+    advise_parser = subparsers.add_parser(
+        "advise", help="rank feasible deployments for one workload"
+    )
+    advise_parser.add_argument("--name", default="workload")
+    advise_parser.add_argument(
+        "--flops", required=True, help="per-step compute, e.g. 1.56T"
+    )
+    advise_parser.add_argument(
+        "--memory", required=True, help="per-step memory access, e.g. 31.9GB"
+    )
+    advise_parser.add_argument(
+        "--input", required=True, dest="input_bytes", help="e.g. 38MB"
+    )
+    advise_parser.add_argument(
+        "--traffic", required=True, help="per-step sync volume, e.g. 357MB"
+    )
+    advise_parser.add_argument(
+        "--weights", required=True, help="dense weights at rest, e.g. 204MB"
+    )
+    advise_parser.add_argument(
+        "--embedding", default="0B", help="embedding weights at rest"
+    )
+    advise_parser.add_argument("--cnodes", type=int, default=8)
+    advise_parser.add_argument("--batch", type=int, default=64)
+    advise_parser.add_argument(
+        "--no-nvlink", action="store_true", help="cluster lacks NVLink"
+    )
+    return parser
+
+
+def _command_trace(args: argparse.Namespace) -> int:
+    from ..trace import evaluate_targets, generate_trace, save_trace
+
+    jobs = generate_trace(num_jobs=args.num_jobs, seed=args.seed)
+    count = save_trace(jobs, args.output)
+    print(f"wrote {count} jobs to {args.output}")
+    if args.check:
+        failures = [
+            check for check in evaluate_targets(jobs) if not check["ok"]
+        ]
+        if failures:
+            for check in failures:
+                print(
+                    f"FAIL {check['name']}: measured {check['measured']:.4g} "
+                    f"vs paper {check['paper']:.4g}"
+                )
+            return 1
+        print("all calibration targets within tolerance")
+    return 0
+
+
+def _command_advise(args: argparse.Namespace) -> int:
+    from ..core import (
+        Architecture,
+        WorkloadFeatures,
+        pai_default_hardware,
+        recommend_architecture,
+    )
+    from ..core.units import parse_flops, parse_size
+
+    embedding = parse_size(args.embedding)
+    features = WorkloadFeatures(
+        name=args.name,
+        architecture=Architecture.PS_WORKER,
+        num_cnodes=args.cnodes,
+        batch_size=args.batch,
+        flop_count=parse_flops(args.flops),
+        memory_access_bytes=parse_size(args.memory),
+        input_bytes=parse_size(args.input_bytes),
+        weight_traffic_bytes=parse_size(args.traffic),
+        dense_weight_bytes=parse_size(args.weights),
+        embedding_weight_bytes=embedding,
+        embedding_traffic_bytes=0.0,
+    )
+    ranked = recommend_architecture(
+        features, pai_default_hardware(), has_nvlink=not args.no_nvlink
+    )
+    print(f"deployments for {args.name!r}, best first:")
+    for rank, rec in enumerate(ranked, start=1):
+        print(
+            f"  {rank}. {str(rec.plan.architecture):18s} "
+            f"x{rec.plan.num_cnodes:<4d} {rec.throughput:14.0f} samples/s  "
+            f"step {rec.step_time * 1e3:9.2f} ms  bottleneck: {rec.bottleneck}"
+        )
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.command == "list":
+        for experiment_id in experiment_ids():
+            print(experiment_id)
+        return 0
+    if args.command == "run":
+        print(run_experiment(args.experiment).render())
+        return 0
+    if args.command == "all":
+        for result in run_all():
+            print(result.render())
+            print()
+        return 0
+    if args.command == "report":
+        from .report import write_report
+
+        path = write_report(args.output)
+        print(f"wrote {path}")
+        return 0
+    if args.command == "trace":
+        return _command_trace(args)
+    if args.command == "advise":
+        return _command_advise(args)
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

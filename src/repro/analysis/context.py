@@ -1,0 +1,63 @@
+"""Shared inputs for the experiment modules.
+
+Trace-based experiments (Figs. 5-11, 15, 16) consume the default
+calibrated synthetic trace; case-study experiments (Tables IV-VI,
+Figs. 12-13) consume the six model builders on the V100 testbed.  Both
+are cached so running the full experiment suite generates them once.
+"""
+
+from __future__ import annotations
+
+import functools
+from typing import List
+
+from ..core.architectures import Architecture
+from ..core.features import WorkloadFeatures
+from ..core.hardware import HardwareConfig, pai_default_hardware, testbed_v100_hardware
+from ..trace.generator import generate_trace
+from ..trace.schema import features_of_type
+
+__all__ = [
+    "DEFAULT_TRACE_JOBS",
+    "default_trace",
+    "default_hardware",
+    "testbed_hardware",
+    "trace_features",
+    "ps_worker_features",
+]
+
+#: Trace size for the experiment suite: large enough for stable tail
+#: statistics, small enough to generate in under a second.
+DEFAULT_TRACE_JOBS = 20000
+
+
+@functools.lru_cache(maxsize=4)
+def default_trace(num_jobs: int = DEFAULT_TRACE_JOBS) -> tuple:
+    """The calibrated synthetic trace (cached, deterministic)."""
+    return tuple(generate_trace(num_jobs=num_jobs))
+
+
+def default_hardware() -> HardwareConfig:
+    """Table I settings."""
+    return pai_default_hardware()
+
+
+def testbed_hardware() -> HardwareConfig:
+    """The Sec. IV V100 testbed."""
+    return testbed_v100_hardware()
+
+
+def trace_features(
+    jobs: tuple = None, architecture: Architecture = None
+) -> List[WorkloadFeatures]:
+    """Feature tuples from the default trace, optionally one type."""
+    if jobs is None:
+        jobs = default_trace()
+    if architecture is None:
+        return [job.features for job in jobs]
+    return features_of_type(list(jobs), architecture)
+
+
+def ps_worker_features(jobs: tuple = None) -> List[WorkloadFeatures]:
+    """The PS/Worker population (the Sec. III-C projection subjects)."""
+    return trace_features(jobs, Architecture.PS_WORKER)

@@ -1,0 +1,101 @@
+"""Fig. 8: CDFs of execution-time component shares.
+
+Panel (a) aggregates per hardware component (GPU FLOPs, GPU memory,
+PCIe, Ethernet); panels (b)-(d) show per-type CDFs of the four logical
+components, at both job and cNode level.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..core.architectures import Architecture
+from ..core.population import (
+    COMPONENT_KEYS,
+    HARDWARE_KEYS,
+    analyze_population,
+    fraction_samples,
+    hardware_share_samples,
+    weighted_fraction_exceeding,
+)
+from ..trace.statistics import EmpiricalCDF
+from .context import default_hardware, default_trace, trace_features
+from .result import ExperimentResult
+
+__all__ = ["run", "component_cdfs", "hardware_cdfs"]
+
+
+def component_cdfs(
+    jobs: tuple, architecture: Architecture, cnode_level: bool = False
+) -> Dict[str, EmpiricalCDF]:
+    """Panels (b)-(d): per-component share CDFs for one type."""
+    analyzed = analyze_population(
+        trace_features(jobs, architecture), default_hardware()
+    )
+    weights = (
+        [float(job.weight) for job in analyzed] if cnode_level else None
+    )
+    return {
+        component: EmpiricalCDF.from_samples(
+            fraction_samples(analyzed, component), weights
+        )
+        for component in COMPONENT_KEYS
+    }
+
+
+def hardware_cdfs(jobs: tuple, cnode_level: bool = False) -> Dict[str, EmpiricalCDF]:
+    """Panel (a): per-hardware-component share CDFs, all workloads."""
+    analyzed = analyze_population(trace_features(jobs), default_hardware())
+    weights = (
+        [float(job.weight) for job in analyzed] if cnode_level else None
+    )
+    return {
+        component: EmpiricalCDF.from_samples(
+            hardware_share_samples(analyzed, component), weights
+        )
+        for component in HARDWARE_KEYS
+        if component != "NVLink"  # no NVLink traffic in the trace types
+    }
+
+
+def run(jobs: tuple = None) -> ExperimentResult:
+    """Regenerate the Fig. 8 quantile summaries and markers."""
+    if jobs is None:
+        jobs = default_trace()
+    rows = []
+    for arch in (
+        Architecture.SINGLE,
+        Architecture.LOCAL_CENTRALIZED,
+        Architecture.PS_WORKER,
+    ):
+        for cnode_level in (False, True):
+            cdfs = component_cdfs(jobs, arch, cnode_level)
+            for component, cdf in cdfs.items():
+                rows.append(
+                    {
+                        "type": str(arch),
+                        "level": "cNode" if cnode_level else "job",
+                        "component": component,
+                        "p50": cdf.median,
+                        "p90": cdf.quantile(0.90),
+                    }
+                )
+    ps = analyze_population(
+        trace_features(jobs, Architecture.PS_WORKER), default_hardware()
+    )
+    above80 = weighted_fraction_exceeding(ps, "weight", 0.80, cnode_level=True)
+    single = analyze_population(
+        trace_features(jobs, Architecture.SINGLE), default_hardware()
+    )
+    data50 = weighted_fraction_exceeding(single, "data_io", 0.50)
+    notes = [
+        f"PS/Worker spending >80% time on weight traffic: {above80:.1%} "
+        "(paper: >40%)",
+        f"1w1g spending >50% time on input I/O: {data50:.1%} (paper: ~5%)",
+    ]
+    return ExperimentResult(
+        experiment="fig8",
+        title="Component-share CDFs (Fig. 8)",
+        rows=rows,
+        notes=notes,
+    )

@@ -1,0 +1,179 @@
+"""Every number the paper reports, for paper-vs-measured comparison.
+
+Grouped by table/figure.  Values are in base units (bytes, FLOPs,
+bytes/s, fractions in [0, 1]).
+"""
+
+from __future__ import annotations
+
+from ..core.units import gbps, gigabytes, gigabytes_per_second, megabytes
+from ..core.units import kilobytes, teraflops, terabytes_per_second, gigaflops
+
+__all__ = [
+    "TABLE_I",
+    "TABLE_IV",
+    "TABLE_V",
+    "FIG5",
+    "FIG7",
+    "FIG9",
+    "FIG12_DIFF_BOUND",
+    "FIG13",
+    "FIG16",
+    "SEC3_OBSERVATIONS",
+]
+
+#: Table I: system settings of the trace cluster.
+TABLE_I = {
+    "gpu_flops": teraflops(11),
+    "gpu_memory_bandwidth": terabytes_per_second(1),
+    "ethernet": gbps(25),
+    "pcie": gigabytes_per_second(10),
+    "nvlink": gigabytes_per_second(50),
+}
+
+#: Table IV: case-study model scales (at-rest weights incl. optimizer).
+TABLE_IV = {
+    "ResNet50": {
+        "domain": "CV",
+        "dense": megabytes(204),
+        "embedding": 0.0,
+        "architecture": "AllReduce-Local",
+    },
+    "NMT": {
+        "domain": "Translation",
+        "dense": megabytes(706),
+        "embedding": megabytes(819),
+        "architecture": "AllReduce-Local",
+    },
+    "BERT": {
+        "domain": "QA",
+        "dense": gigabytes(1),
+        "embedding": megabytes(284),
+        "architecture": "AllReduce-Local",
+    },
+    "Speech": {
+        "domain": "Speech recognition",
+        "dense": megabytes(416),
+        "embedding": 0.0,
+        "architecture": "1w1g",
+    },
+    "Multi-Interests": {
+        "domain": "Recommender",
+        "dense": megabytes(1.19),
+        "embedding": 239.45e9,
+        "architecture": "PS/Worker",
+    },
+    "GCN": {
+        "domain": "Recommender",
+        "dense": megabytes(207),
+        "embedding": gigabytes(54),
+        "architecture": "PEARL",
+    },
+}
+
+#: Table V: basic workload features (per training step).
+TABLE_V = {
+    "Multi-Interests": {
+        "batch_size": 2048,
+        "flop_count": gigaflops(105.8),
+        "memory_access": 100.4e9,
+        "pcie_copy": megabytes(261),
+        "network_traffic": megabytes(122),
+    },
+    "ResNet50": {
+        "batch_size": 64,
+        "flop_count": teraflops(1.56),
+        "memory_access": 31.9e9,
+        "pcie_copy": megabytes(38),
+        "network_traffic": megabytes(357),
+    },
+    "NMT": {
+        "batch_size": 6144,
+        "flop_count": teraflops(2.5),
+        "memory_access": 101.6e9,
+        "pcie_copy": kilobytes(22),
+        "network_traffic": 1.33e9,
+    },
+    "BERT": {
+        "batch_size": 12,
+        "flop_count": teraflops(2.1),
+        "memory_access": 107.3e9,
+        "pcie_copy": kilobytes(46),
+        "network_traffic": 1.5e9,
+    },
+    "Speech": {
+        "batch_size": 32,
+        "flop_count": teraflops(7.9),
+        "memory_access": 20.4e9,
+        "pcie_copy": megabytes(804),
+        "network_traffic": megabytes(728),
+    },
+    "GCN": {
+        "batch_size": 512,
+        "flop_count": gigaflops(330.7),
+        "memory_access": 25.79e9,
+        "pcie_copy": megabytes(1.2),
+        "network_traffic": gigabytes(3),
+    },
+}
+
+#: Fig. 5: workload constitution.
+FIG5 = {
+    "ps_job_share": 0.29,
+    "ps_cnode_share": 0.81,
+    "allreduce_job_share": 0.01,
+}
+
+#: Fig. 7 / Sec. III-D averages.
+FIG7 = {
+    "weight_share_job_level": 0.22,
+    "weight_share_cnode_level": 0.62,
+    "compute_bound_share_cnode_level": 0.13,
+    "memory_bound_share_cnode_level": 0.22,
+    "data_io_share_1w1g": 0.10,
+    "data_io_share_distributed": 0.03,
+}
+
+#: Fig. 9 markers.
+FIG9 = {
+    "local_single_not_sped_up": 0.226,
+    "local_throughput_not_sped_up": 0.402,
+    "cluster_not_sped_up": 0.321,
+    "cluster_rescue_not_sped_up": 0.622,  # 37.8% of local failures rescued
+}
+
+#: Fig. 12: estimation error is below ~10-15% except Speech (>66%).
+FIG12_DIFF_BOUND = {
+    "typical": 0.17,
+    "speech_min": 0.35,
+}
+
+#: Fig. 13 reported optimization gains.
+FIG13 = {
+    "bert_mp_end_to_end": 1.44,
+    "bert_mp_matmul": 2.8,
+    "bert_xla_end_to_end": 1.76,
+    "bert_mp_xla_end_to_end": 2.0,
+    "speech_xla_elementwise": 3.43,
+    "speech_xla_end_to_end": 1.83,
+    "gcn_pearl_comm_share": 0.25,
+    "gcn_ps_comm_share": 0.95,
+}
+
+#: Fig. 16 / Eq. 3.
+FIG16 = {
+    "non_overlap_not_sped_up": 0.226,
+    "ideal_overlap_not_sped_up": 0.202,
+    "weight_bound_speedup": 21.0,
+    "weight_bound_fraction": 0.234,
+}
+
+#: Sec. III-D key-observation bullets (fractions).
+SEC3_OBSERVATIONS = {
+    "ps_resource_share": 0.81,
+    "small_models_below_10gb": 0.90,
+    "weight_comm_share": 0.62,
+    "ps_comm_above_80": 0.40,
+    "throughput_improved_by_local": 0.60,
+    "ethernet_100g_speedup": 1.7,
+}

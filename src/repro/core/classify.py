@@ -1,0 +1,124 @@
+"""Bottleneck classification: label each job by where its time goes.
+
+The paper's breakdowns implicitly classify jobs (communication-bound
+PS/Worker jobs, I/O-bound 1w1g jobs, ...); this module makes the label
+explicit and auditable.  A job is *X-bound* when component X holds at
+least :data:`DOMINANCE_THRESHOLD` of the step time; otherwise it is
+*balanced*.  The census over a population is the cluster-health view a
+platform team tracks release over release.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict, Iterable, List
+
+from .efficiency import PAPER_DEFAULT_EFFICIENCY, EfficiencyModel
+from .features import WorkloadFeatures
+from .hardware import HardwareConfig
+from .timemodel import PAPER_MODEL_OPTIONS, ModelOptions, estimate_breakdown
+
+__all__ = [
+    "Bottleneck",
+    "DOMINANCE_THRESHOLD",
+    "ClassifiedJob",
+    "classify",
+    "classify_population",
+    "bottleneck_census",
+]
+
+#: Minimum share of the step a component needs to earn the job its label.
+DOMINANCE_THRESHOLD = 0.5
+
+
+class Bottleneck(enum.Enum):
+    """What dominates a job's training step."""
+
+    COMMUNICATION = "communication-bound"
+    COMPUTE = "compute-bound"
+    MEMORY = "memory-bound"
+    INPUT_IO = "io-bound"
+    BALANCED = "balanced"
+
+    def __str__(self) -> str:
+        return self.value
+
+
+_COMPONENT_TO_LABEL = {
+    "weight": Bottleneck.COMMUNICATION,
+    "compute_bound": Bottleneck.COMPUTE,
+    "memory_bound": Bottleneck.MEMORY,
+    "data_io": Bottleneck.INPUT_IO,
+}
+
+
+@dataclass(frozen=True)
+class ClassifiedJob:
+    """A job with its dominant component and label."""
+
+    features: WorkloadFeatures
+    label: Bottleneck
+    dominant_component: str
+    dominant_share: float
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.dominant_share <= 1.0:
+            raise ValueError("dominant_share must be in [0, 1]")
+
+
+def classify(
+    features: WorkloadFeatures,
+    hardware: HardwareConfig,
+    efficiency: EfficiencyModel = PAPER_DEFAULT_EFFICIENCY,
+    options: ModelOptions = PAPER_MODEL_OPTIONS,
+    threshold: float = DOMINANCE_THRESHOLD,
+) -> ClassifiedJob:
+    """Label one job by its dominant execution-time component."""
+    if not 0.0 < threshold <= 1.0:
+        raise ValueError("threshold must be in (0, 1]")
+    fractions = estimate_breakdown(
+        features, hardware, efficiency, options
+    ).fractions()
+    dominant = max(fractions, key=fractions.get)
+    share = fractions[dominant]
+    label = (
+        _COMPONENT_TO_LABEL[dominant] if share >= threshold else Bottleneck.BALANCED
+    )
+    return ClassifiedJob(
+        features=features,
+        label=label,
+        dominant_component=dominant,
+        dominant_share=share,
+    )
+
+
+def classify_population(
+    workloads: Iterable[WorkloadFeatures],
+    hardware: HardwareConfig,
+    efficiency: EfficiencyModel = PAPER_DEFAULT_EFFICIENCY,
+    options: ModelOptions = PAPER_MODEL_OPTIONS,
+    threshold: float = DOMINANCE_THRESHOLD,
+) -> List[ClassifiedJob]:
+    """Classify every job in a population."""
+    return [
+        classify(features, hardware, efficiency, options, threshold)
+        for features in workloads
+    ]
+
+
+def bottleneck_census(
+    classified: Iterable[ClassifiedJob], cnode_level: bool = False
+) -> Dict[Bottleneck, float]:
+    """Population share of each label (optionally cNode-weighted)."""
+    jobs = list(classified)
+    if not jobs:
+        raise ValueError("population is empty")
+    weights = [
+        float(job.features.num_cnodes) if cnode_level else 1.0 for job in jobs
+    ]
+    total = sum(weights)
+    census = {label: 0.0 for label in Bottleneck}
+    for job, weight in zip(jobs, weights):
+        census[job.label] += weight
+    return {label: value / total for label, value in census.items()}

@@ -1,0 +1,165 @@
+"""Population-level aggregation of per-job breakdowns (Sec. III).
+
+The paper reports two aggregation levels throughout Figs. 5, 7 and 8:
+
+* **job-level** -- every job counts once;
+* **cNode-level** -- every job is weighted by its cNode count, so the
+  view reflects where the cluster's GPUs actually spend their time.
+
+The cNode-level percentages of Fig. 7 are "computed as weighted sum of
+the job-level percentages, with the weight being the cNode number of
+each job over the overall cNode number".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+from .efficiency import PAPER_DEFAULT_EFFICIENCY, EfficiencyModel
+from .features import WorkloadFeatures
+from .hardware import HardwareConfig
+from .timemodel import (
+    PAPER_MODEL_OPTIONS,
+    ModelOptions,
+    TimeBreakdown,
+    estimate_breakdown,
+)
+
+__all__ = [
+    "COMPONENT_KEYS",
+    "HARDWARE_KEYS",
+    "AnalyzedJob",
+    "analyze_population",
+    "average_fractions",
+    "average_hardware_shares",
+    "fraction_samples",
+    "hardware_share_samples",
+    "weighted_fraction_exceeding",
+]
+
+#: The four logical execution-time components (Figs. 7 and 8(b-d)).
+COMPONENT_KEYS: Tuple[str, ...] = (
+    "data_io",
+    "weight",
+    "compute_bound",
+    "memory_bound",
+)
+
+#: The hardware components of the Fig. 8(a) view.
+HARDWARE_KEYS: Tuple[str, ...] = (
+    "GPU_FLOPs",
+    "GPU_memory",
+    "PCIe",
+    "Ethernet",
+    "NVLink",
+)
+
+
+@dataclass(frozen=True)
+class AnalyzedJob:
+    """A workload together with its analytical breakdown."""
+
+    features: WorkloadFeatures
+    breakdown: TimeBreakdown
+
+    @property
+    def weight(self) -> int:
+        """cNode-level aggregation weight."""
+        return self.features.num_cnodes
+
+
+def analyze_population(
+    workloads: Iterable[WorkloadFeatures],
+    hardware: HardwareConfig,
+    efficiency: EfficiencyModel = PAPER_DEFAULT_EFFICIENCY,
+    options: ModelOptions = PAPER_MODEL_OPTIONS,
+) -> List[AnalyzedJob]:
+    """Apply the analytical model to every job in a population."""
+    return [
+        AnalyzedJob(
+            features=features,
+            breakdown=estimate_breakdown(features, hardware, efficiency, options),
+        )
+        for features in workloads
+    ]
+
+
+def _weights(jobs: Sequence[AnalyzedJob], cnode_level: bool) -> List[float]:
+    if cnode_level:
+        return [float(job.weight) for job in jobs]
+    return [1.0] * len(jobs)
+
+
+def average_fractions(
+    jobs: Sequence[AnalyzedJob], cnode_level: bool = False
+) -> Dict[str, float]:
+    """Average component shares over a population (one Fig. 7 column)."""
+    if not jobs:
+        raise ValueError("population is empty")
+    weights = _weights(jobs, cnode_level)
+    total_weight = sum(weights)
+    averages = {key: 0.0 for key in COMPONENT_KEYS}
+    for job, weight in zip(jobs, weights):
+        fractions = job.breakdown.fractions()
+        for key in COMPONENT_KEYS:
+            averages[key] += fractions[key] * weight
+    return {key: value / total_weight for key, value in averages.items()}
+
+
+def average_hardware_shares(
+    jobs: Sequence[AnalyzedJob], cnode_level: bool = False
+) -> Dict[str, float]:
+    """Average per-hardware-component shares (the Fig. 8(a) summary)."""
+    if not jobs:
+        raise ValueError("population is empty")
+    weights = _weights(jobs, cnode_level)
+    total_weight = sum(weights)
+    averages = {key: 0.0 for key in HARDWARE_KEYS}
+    for job, weight in zip(jobs, weights):
+        shares = job.breakdown.hardware_shares()
+        for key in HARDWARE_KEYS:
+            averages[key] += shares[key] * weight
+    return {key: value / total_weight for key, value in averages.items()}
+
+
+def fraction_samples(
+    jobs: Sequence[AnalyzedJob], component: str
+) -> List[float]:
+    """Per-job shares of one component, for CDF plots (Fig. 8(b-d))."""
+    if component not in COMPONENT_KEYS:
+        raise KeyError(f"unknown component: {component!r}")
+    return [job.breakdown.fractions()[component] for job in jobs]
+
+
+def hardware_share_samples(
+    jobs: Sequence[AnalyzedJob], hardware_component: str
+) -> List[float]:
+    """Per-job shares of one hardware component (Fig. 8(a) CDFs)."""
+    if hardware_component not in HARDWARE_KEYS:
+        raise KeyError(f"unknown hardware component: {hardware_component!r}")
+    return [
+        job.breakdown.hardware_shares()[hardware_component] for job in jobs
+    ]
+
+
+def weighted_fraction_exceeding(
+    jobs: Sequence[AnalyzedJob],
+    component: str,
+    threshold: float,
+    cnode_level: bool = False,
+) -> float:
+    """Population fraction whose component share exceeds ``threshold``.
+
+    Backs observations such as "more than 40 % PS/Worker jobs spend more
+    than 80 % time in communication" (Sec. III-B).
+    """
+    if not jobs:
+        raise ValueError("population is empty")
+    weights = _weights(jobs, cnode_level)
+    total_weight = sum(weights)
+    hit_weight = 0.0
+    for job, weight in zip(jobs, weights):
+        if job.breakdown.fractions()[component] > threshold:
+            hit_weight += weight
+    return hit_weight / total_weight

@@ -1,0 +1,165 @@
+"""Architecture selection: the Sec. VI-A1 implication, made executable.
+
+"Our simple analytical model can predict the time breakdown of jobs on
+different architectures, facilitating system architecture selection."
+This module does exactly that: given a workload's features and the
+hardware, it enumerates every *feasible* deployment (respecting GPU
+memory for weight-replica modes, NVLink availability, and the local
+8-GPU cap), estimates throughput for each, and ranks them.
+
+The feasibility rules encode the paper's placement constraints:
+
+* AllReduce (local or cluster) requires the full model to fit in one
+  GPU's memory (weight-replica mode only) and NVLink-equipped servers;
+* PEARL requires NVLink and needs each embedding shard plus the dense
+  replica to fit;
+* PS/Worker always works (variables live in host memory on PS nodes);
+* local architectures cap at 8 cNodes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from .architectures import Architecture
+from .efficiency import PAPER_DEFAULT_EFFICIENCY, EfficiencyModel
+from .features import WorkloadFeatures
+from .hardware import HardwareConfig
+from .throughput import job_throughput
+from .timemodel import (
+    PAPER_MODEL_OPTIONS,
+    ModelOptions,
+    TimeBreakdown,
+    estimate_breakdown,
+)
+
+__all__ = [
+    "DeploymentPlan",
+    "Recommendation",
+    "feasible",
+    "candidate_plans",
+    "recommend_architecture",
+]
+
+#: Fraction of GPU memory available for weights (the rest holds
+#: activations, workspace and the framework runtime).
+WEIGHT_MEMORY_BUDGET = 0.8
+
+
+@dataclass(frozen=True)
+class DeploymentPlan:
+    """One candidate deployment of a workload."""
+
+    architecture: Architecture
+    num_cnodes: int
+
+    def __post_init__(self) -> None:
+        if self.num_cnodes < 1:
+            raise ValueError("num_cnodes must be at least 1")
+
+
+@dataclass(frozen=True)
+class Recommendation:
+    """A ranked, estimated deployment."""
+
+    plan: DeploymentPlan
+    throughput: float
+    breakdown: TimeBreakdown
+    bottleneck: str
+
+    @property
+    def step_time(self) -> float:
+        return self.breakdown.total
+
+
+def feasible(
+    plan: DeploymentPlan,
+    features: WorkloadFeatures,
+    hardware: HardwareConfig,
+    has_nvlink: bool = True,
+) -> Tuple[bool, str]:
+    """Whether a plan can run at all; returns (ok, reason-if-not)."""
+    arch = plan.architecture
+    if plan.num_cnodes > arch.max_local_cnodes:
+        return False, f"{arch} supports at most {arch.max_local_cnodes} cNodes"
+    if arch is Architecture.SINGLE and plan.num_cnodes != 1:
+        return False, "1w1g uses exactly one GPU"
+    if arch.requires_nvlink and not has_nvlink:
+        return False, f"{arch} needs NVLink-equipped servers"
+    budget = hardware.gpu.memory_capacity * WEIGHT_MEMORY_BUDGET
+    if not arch.supports_partitioned_weights:
+        # Weight-replica mode: the whole model on every GPU.
+        if features.weight_bytes > budget:
+            return False, (
+                f"model ({features.weight_bytes / 1e9:.1f} GB) exceeds the "
+                f"replica budget ({budget / 1e9:.1f} GB)"
+            )
+    elif arch is Architecture.PEARL:
+        shard = features.embedding_weight_bytes / plan.num_cnodes
+        if features.dense_weight_bytes + shard > budget:
+            return False, (
+                "dense replica + embedding shard exceeds the GPU memory "
+                "budget"
+            )
+    return True, ""
+
+
+def _dominant_component(breakdown: TimeBreakdown) -> str:
+    fractions = breakdown.fractions()
+    return max(fractions, key=fractions.get)
+
+
+def candidate_plans(features: WorkloadFeatures) -> List[DeploymentPlan]:
+    """Reasonable deployments to evaluate for a workload.
+
+    Keeps the original cNode count where the architecture allows it and
+    adds the local-capped variant.
+    """
+    n = features.num_cnodes
+    local_n = min(n, 8)
+    plans = [
+        DeploymentPlan(Architecture.SINGLE, 1),
+        DeploymentPlan(Architecture.LOCAL_CENTRALIZED, max(local_n, 2)),
+        DeploymentPlan(Architecture.PS_WORKER, n),
+        DeploymentPlan(Architecture.ALLREDUCE_LOCAL, max(local_n, 2)),
+        DeploymentPlan(Architecture.ALLREDUCE_CLUSTER, max(n, 2)),
+        DeploymentPlan(Architecture.PEARL, max(local_n, 2)),
+    ]
+    return plans
+
+
+def recommend_architecture(
+    features: WorkloadFeatures,
+    hardware: HardwareConfig,
+    efficiency: EfficiencyModel = PAPER_DEFAULT_EFFICIENCY,
+    options: ModelOptions = PAPER_MODEL_OPTIONS,
+    has_nvlink: bool = True,
+    plans: Optional[List[DeploymentPlan]] = None,
+) -> List[Recommendation]:
+    """Rank the feasible deployments of a workload by throughput.
+
+    Returns recommendations best-first; empty only if *no* architecture
+    can host the model (which cannot happen while PS/Worker exists).
+    """
+    if plans is None:
+        plans = candidate_plans(features)
+    recommendations = []
+    for plan in plans:
+        ok, _ = feasible(plan, features, hardware, has_nvlink)
+        if not ok:
+            continue
+        deployed = features.with_architecture(
+            plan.architecture, num_cnodes=plan.num_cnodes
+        )
+        breakdown = estimate_breakdown(deployed, hardware, efficiency, options)
+        recommendations.append(
+            Recommendation(
+                plan=plan,
+                throughput=job_throughput(deployed, hardware, efficiency, options),
+                breakdown=breakdown,
+                bottleneck=_dominant_component(breakdown),
+            )
+        )
+    recommendations.sort(key=lambda r: r.throughput, reverse=True)
+    return recommendations

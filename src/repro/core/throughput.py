@@ -1,0 +1,65 @@
+"""Job-level throughput (Eq. 2) and speedup computation.
+
+The overall throughput of a data-parallel training job is::
+
+    throughput = (#cNode / T_total) * batch_size          (Eq. 2)
+
+i.e. the number of steps all cNodes jointly complete per unit time,
+multiplied by the (per-replica, unchanged) batch size.  Architecture
+projections can change *both* the single-node step time and the cNode
+count (AllReduce-Local caps the job at 8 GPUs), so the paper reports
+both single-cNode speedup and throughput speedup (Fig. 9(a)).
+"""
+
+from __future__ import annotations
+
+from .efficiency import PAPER_DEFAULT_EFFICIENCY, EfficiencyModel
+from .features import WorkloadFeatures
+from .hardware import HardwareConfig
+from .timemodel import PAPER_MODEL_OPTIONS, ModelOptions, estimate_step_time
+
+__all__ = ["job_throughput", "step_speedup", "throughput_speedup"]
+
+
+def job_throughput(
+    features: WorkloadFeatures,
+    hardware: HardwareConfig,
+    efficiency: EfficiencyModel = PAPER_DEFAULT_EFFICIENCY,
+    options: ModelOptions = PAPER_MODEL_OPTIONS,
+) -> float:
+    """Samples per second across the whole job (Eq. 2)."""
+    step_time = estimate_step_time(features, hardware, efficiency, options)
+    if step_time <= 0:
+        raise ValueError("workload has zero estimated step time")
+    return features.num_cnodes / step_time * features.batch_size
+
+
+def step_speedup(
+    baseline: WorkloadFeatures,
+    candidate: WorkloadFeatures,
+    hardware: HardwareConfig,
+    efficiency: EfficiencyModel = PAPER_DEFAULT_EFFICIENCY,
+    options: ModelOptions = PAPER_MODEL_OPTIONS,
+) -> float:
+    """Single-cNode step-time speedup of ``candidate`` over ``baseline``.
+
+    Values above 1 mean the candidate deployment finishes a step faster.
+    """
+    base = estimate_step_time(baseline, hardware, efficiency, options)
+    cand = estimate_step_time(candidate, hardware, efficiency, options)
+    if cand <= 0:
+        raise ValueError("candidate workload has zero estimated step time")
+    return base / cand
+
+
+def throughput_speedup(
+    baseline: WorkloadFeatures,
+    candidate: WorkloadFeatures,
+    hardware: HardwareConfig,
+    efficiency: EfficiencyModel = PAPER_DEFAULT_EFFICIENCY,
+    options: ModelOptions = PAPER_MODEL_OPTIONS,
+) -> float:
+    """Job-throughput speedup of ``candidate`` over ``baseline`` (Eq. 2)."""
+    base = job_throughput(baseline, hardware, efficiency, options)
+    cand = job_throughput(candidate, hardware, efficiency, options)
+    return cand / base

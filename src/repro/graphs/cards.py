@@ -1,0 +1,97 @@
+"""Model cards: human-readable summaries of built model graphs.
+
+A "model card" here is the profiling-oriented view of a model: its
+layer-group composition, where the FLOPs / memory traffic / parameters
+live, and the Table IV/V-shaped totals.  Used by examples and handy in
+a REPL when exploring a builder's output.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from .graph import ModelGraph
+from .ops import OpKind
+
+__all__ = ["LayerGroupStats", "group_stats", "render_model_card"]
+
+
+@dataclass(frozen=True)
+class LayerGroupStats:
+    """Aggregate resource usage of one layer group (name prefix)."""
+
+    group: str
+    op_count: int
+    flops: float
+    memory_access_bytes: float
+    param_bytes: float
+
+    def __post_init__(self) -> None:
+        if self.op_count < 1:
+            raise ValueError("op_count must be at least 1")
+
+
+def _group_of(op_name: str, depth: int) -> str:
+    return "/".join(op_name.split("/")[:depth])
+
+
+def group_stats(graph: ModelGraph, depth: int = 1) -> List[LayerGroupStats]:
+    """Aggregate forward ops by their name prefix at ``depth`` levels."""
+    if depth < 1:
+        raise ValueError("depth must be at least 1")
+    accumulator: Dict[str, List[float]] = defaultdict(lambda: [0, 0.0, 0.0, 0.0])
+    order: List[str] = []
+    for op in graph.forward:
+        group = _group_of(op.name, depth)
+        if group not in accumulator:
+            order.append(group)
+        bucket = accumulator[group]
+        bucket[0] += 1
+        bucket[1] += op.flops
+        bucket[2] += op.memory_access_bytes
+        bucket[3] += op.param_bytes
+    return [
+        LayerGroupStats(
+            group=group,
+            op_count=int(accumulator[group][0]),
+            flops=accumulator[group][1],
+            memory_access_bytes=accumulator[group][2],
+            param_bytes=accumulator[group][3],
+        )
+        for group in order
+    ]
+
+
+def _top_groups(
+    stats: List[LayerGroupStats], key, limit: int
+) -> List[Tuple[str, float]]:
+    ranked = sorted(stats, key=key, reverse=True)[:limit]
+    return [(s.group, key(s)) for s in ranked if key(s) > 0]
+
+
+def render_model_card(graph: ModelGraph, depth: int = 1, top: int = 6) -> str:
+    """A text model card: totals plus where the cost concentrates."""
+    stats = group_stats(graph, depth)
+    compute_ops = sum(
+        1 for op in graph.forward if op.kind is OpKind.COMPUTE_BOUND
+    )
+    lines = [
+        f"=== {graph.name} ({graph.domain}) ===",
+        f"batch {graph.batch_size}, {len(graph.forward)} forward ops "
+        f"({compute_ops} compute-bound), optimizer: {graph.optimizer.name}",
+        f"weights at rest: {graph.dense_weight_bytes / 1e6:.1f} MB dense + "
+        f"{graph.embedding_weight_bytes / 1e9:.2f} GB embedding",
+        f"per training step: {graph.flop_count / 1e9:.1f} GFLOPs, "
+        f"{graph.memory_access_bytes / 1e9:.2f} GB memory access, "
+        f"{graph.input_bytes / 1e6:.2f} MB input",
+        "",
+        "top layer groups by forward FLOPs:",
+    ]
+    for group, flops in _top_groups(stats, lambda s: s.flops, top):
+        lines.append(f"  {group:24s} {flops / 1e9:10.2f} GFLOPs")
+    lines.append("top layer groups by parameters:")
+    for group, params in _top_groups(stats, lambda s: s.param_bytes, top):
+        lines.append(f"  {group:24s} {params / 1e6:10.2f} MB")
+    return "\n".join(lines)

@@ -1,0 +1,126 @@
+"""Derive analytical-model features from a model graph + deployment.
+
+This is the bridge between the op-level substrate and the Sec. II-B
+model: given a :class:`~repro.graphs.graph.ModelGraph` and a deployment
+(architecture + cNode count), produce the
+:class:`~repro.core.features.WorkloadFeatures` record the analytical
+model consumes.
+
+Synchronization-traffic conventions (calibrated to reproduce the
+Table V "Network Traffic" column exactly):
+
+* **AllReduce (local or cluster)** -- dense gradients ride a ring
+  AllReduce: per-node traffic (send + receive) is
+  ``2 * 2(n-1)/n * dense_trainable_bytes``.  Sparse embedding gradients
+  are exchanged as gathered slices (``embedding_access_bytes``, already
+  a round-trip volume).  Models whose embedding gradients are dense
+  over a small vocabulary (BERT) fold the table into the dense part.
+* **PS/Worker and 1wng (centralized)** -- workers pull variables and
+  push gradients: ``2 * dense_trainable_bytes`` plus the accessed
+  embedding round trip.
+* **PEARL** -- dense variables ride the ring AllReduce; the partitioned
+  embedding round trip is recorded in ``embedding_traffic_bytes`` so
+  the time model can apply partitioned-gather parallelism.
+* **1w1g** -- no weight traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.architectures import Architecture
+from ..core.features import WorkloadFeatures
+from .graph import ModelGraph
+
+__all__ = ["Deployment", "ring_sync_bytes", "sync_traffic", "features_for"]
+
+
+@dataclass(frozen=True)
+class Deployment:
+    """Where and how a model trains.
+
+    Attributes:
+        architecture: The Table II architecture.
+        num_cnodes: GPU replicas.
+        embedding_sync_dense: Fold embedding gradients into the dense
+            AllReduce volume (see module docs; True for BERT-style
+            small-vocabulary tables).
+        num_parameter_servers: Explicit PS-fleet size; an
+            under-provisioned fleet throttles the Ethernet hop (see
+            :mod:`repro.sim.ps`).
+    """
+
+    architecture: Architecture
+    num_cnodes: int = 1
+    embedding_sync_dense: bool = False
+    #: PS-fleet size for PS/Worker deployments; None means one shard
+    #: per worker (the well-provisioned default the paper assumes).
+    num_parameter_servers: int = None
+
+    def __post_init__(self) -> None:
+        if self.num_cnodes < 1:
+            raise ValueError("num_cnodes must be at least 1")
+        if (
+            self.num_parameter_servers is not None
+            and self.num_parameter_servers < 1
+        ):
+            raise ValueError("num_parameter_servers must be at least 1")
+
+    @property
+    def ps_fleet_size(self) -> int:
+        """Effective PS count (defaults to one shard per worker)."""
+        if self.num_parameter_servers is None:
+            return self.num_cnodes
+        return self.num_parameter_servers
+
+
+def ring_sync_bytes(trainable_bytes: float, num_cnodes: int) -> float:
+    """Per-node send+receive volume of a ring AllReduce.
+
+    ``2 * 2(n-1)/n * S``: each of the reduce-scatter and all-gather
+    phases moves ``(n-1)/n * S`` bytes out of and into every node.
+    """
+    if num_cnodes < 1:
+        raise ValueError("num_cnodes must be at least 1")
+    if num_cnodes == 1:
+        return 0.0
+    return 4.0 * (num_cnodes - 1) / num_cnodes * trainable_bytes
+
+
+def sync_traffic(graph: ModelGraph, deployment: Deployment) -> tuple:
+    """Per-cNode, per-step ``(total, embedding_part)`` traffic bytes."""
+    arch = deployment.architecture
+    n = deployment.num_cnodes
+    dense = graph.dense_trainable_bytes
+    sparse = graph.embedding_access_bytes
+    if deployment.embedding_sync_dense:
+        dense += graph.embedding_trainable_bytes
+        sparse = 0.0
+
+    if arch is Architecture.SINGLE:
+        return 0.0, 0.0
+    if arch in (Architecture.ALLREDUCE_LOCAL, Architecture.ALLREDUCE_CLUSTER):
+        return ring_sync_bytes(dense, n) + sparse, 0.0
+    if arch in (Architecture.PS_WORKER, Architecture.LOCAL_CENTRALIZED):
+        return 2.0 * dense + sparse, 0.0
+    if arch is Architecture.PEARL:
+        return ring_sync_bytes(dense, n) + sparse, sparse
+    raise AssertionError(f"unhandled architecture: {arch!r}")
+
+
+def features_for(graph: ModelGraph, deployment: Deployment) -> WorkloadFeatures:
+    """Build the analytical-model feature record for one deployment."""
+    total_traffic, embedding_traffic = sync_traffic(graph, deployment)
+    return WorkloadFeatures(
+        name=graph.name,
+        architecture=deployment.architecture,
+        num_cnodes=deployment.num_cnodes,
+        batch_size=graph.batch_size,
+        flop_count=graph.flop_count,
+        memory_access_bytes=graph.memory_access_bytes,
+        input_bytes=graph.input_bytes,
+        weight_traffic_bytes=total_traffic,
+        dense_weight_bytes=graph.dense_weight_bytes,
+        embedding_weight_bytes=graph.embedding_weight_bytes,
+        embedding_traffic_bytes=embedding_traffic,
+    )

@@ -1,0 +1,48 @@
+"""Optimizer state accounting.
+
+Table IV notes that the reported parameter sizes "include both the
+trainable variables and the optimization-related variables, such as
+momentums".  Each optimizer therefore contributes a multiplier on the
+at-rest weight footprint: SGD keeps only the variable itself, momentum
+adds one slot, Adam adds two.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Optimizer", "SGD", "MOMENTUM", "ADAM", "ADAGRAD"]
+
+
+@dataclass(frozen=True)
+class Optimizer:
+    """An optimizer described by its per-variable slot count.
+
+    Attributes:
+        name: Identifier used in reports.
+        slots: Auxiliary variables kept per trainable variable.
+    """
+
+    name: str
+    slots: int
+
+    def __post_init__(self) -> None:
+        if self.slots < 0:
+            raise ValueError("slots must be non-negative")
+
+    @property
+    def state_multiplier(self) -> int:
+        """At-rest footprint relative to the bare trainable variables."""
+        return 1 + self.slots
+
+    def at_rest_bytes(self, trainable_bytes: float) -> float:
+        """Variable + slot bytes stored by this optimizer."""
+        if trainable_bytes < 0:
+            raise ValueError("trainable_bytes must be non-negative")
+        return trainable_bytes * self.state_multiplier
+
+
+SGD = Optimizer("sgd", slots=0)
+MOMENTUM = Optimizer("momentum", slots=1)
+ADAM = Optimizer("adam", slots=2)
+ADAGRAD = Optimizer("adagrad", slots=1)

@@ -1,0 +1,105 @@
+"""Inference workload features (the paper's stated future work).
+
+Sec. VIII: "As future work, we seek to characterize inference workloads
+in our cluster using a similar methodology."  This package extends the
+framework accordingly.  An inference request differs from a training
+step in three ways:
+
+* **forward only** -- no backward pass and no weight/gradient traffic;
+* **latency-bound** -- the unit of interest is one request (or a small
+  dynamic batch), not a throughput-maximizing step;
+* **resident weights** -- the model is loaded once; per-request PCIe
+  traffic is the input sample and the (usually tiny) output.
+
+The same decomposition applies: ``T = T_in + T_c + T_out`` with
+``T_c`` split into compute- and memory-bound parts, so all the Sec. II-B
+machinery carries over.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from ..graphs.graph import ModelGraph
+
+__all__ = ["InferenceFeatures", "inference_features_for"]
+
+
+@dataclass(frozen=True)
+class InferenceFeatures:
+    """Per-request (or per-batch) serving requirements of one model.
+
+    Attributes:
+        name: Model identifier.
+        batch_size: Requests served per forward execution.
+        flop_count: Compute-bound FLOPs of one forward execution.
+        memory_access_bytes: Memory-bound access of one forward
+            execution.
+        input_bytes: Host-to-device input volume per execution.
+        output_bytes: Device-to-host result volume per execution.
+        resident_weight_bytes: Model footprint held in GPU memory
+            (no optimizer slots at serving time).
+    """
+
+    name: str
+    batch_size: int
+    flop_count: float
+    memory_access_bytes: float
+    input_bytes: float
+    output_bytes: float
+    resident_weight_bytes: float
+
+    def __post_init__(self) -> None:
+        if self.batch_size < 1:
+            raise ValueError("batch_size must be at least 1")
+        for field in (
+            "flop_count",
+            "memory_access_bytes",
+            "input_bytes",
+            "output_bytes",
+            "resident_weight_bytes",
+        ):
+            if getattr(self, field) < 0:
+                raise ValueError(f"{field} must be non-negative")
+
+    def with_batch_size(self, batch_size: int) -> "InferenceFeatures":
+        """Rescale the per-execution quantities to a new batch size."""
+        if batch_size < 1:
+            raise ValueError("batch_size must be at least 1")
+        factor = batch_size / self.batch_size
+        return replace(
+            self,
+            batch_size=batch_size,
+            flop_count=self.flop_count * factor,
+            memory_access_bytes=self.memory_access_bytes * factor,
+            input_bytes=self.input_bytes * factor,
+            output_bytes=self.output_bytes * factor,
+        )
+
+
+def inference_features_for(
+    graph: ModelGraph,
+    batch_size: int = 1,
+    output_bytes_per_sample: float = 4096.0,
+) -> InferenceFeatures:
+    """Derive serving features from a training graph.
+
+    Inference runs the forward op list only; weights are held without
+    optimizer slots.  Training graphs are built at their training batch
+    size, so the forward quantities are rescaled to ``batch_size``.
+    """
+    if batch_size < 1:
+        raise ValueError("batch_size must be at least 1")
+    scale = batch_size / graph.batch_size
+    forward = graph.forward_totals
+    return InferenceFeatures(
+        name=graph.name,
+        batch_size=batch_size,
+        flop_count=forward.compute_bound_flops * scale,
+        memory_access_bytes=forward.memory_bound_access_bytes * scale,
+        input_bytes=graph.input_bytes_per_sample * batch_size,
+        output_bytes=output_bytes_per_sample * batch_size,
+        resident_weight_bytes=(
+            graph.dense_trainable_bytes + graph.embedding_trainable_bytes
+        ),
+    )

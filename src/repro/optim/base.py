@@ -1,0 +1,24 @@
+"""Graph-level optimization passes (Sec. IV-D).
+
+A pass is a pure transformation :class:`ModelGraph` -> :class:`ModelGraph`;
+passes compose by chaining (the order MP-then-XLA matches the paper's
+"with both MP and XLA in place" configuration).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+from ..graphs.graph import ModelGraph
+
+__all__ = ["OptimizationPass", "apply_passes"]
+
+#: A graph-to-graph transformation.
+OptimizationPass = Callable[[ModelGraph], ModelGraph]
+
+
+def apply_passes(graph: ModelGraph, passes: Iterable[OptimizationPass]) -> ModelGraph:
+    """Apply passes left to right."""
+    for optimization in passes:
+        graph = optimization(graph)
+    return graph

@@ -1,0 +1,97 @@
+"""Computation/communication overlap scheduling (Sec. V-B).
+
+The paper brackets reality between two extremes -- no overlap
+(``T = T_d + T_c + T_w``) and ideal overlap (``T = max{...}``) -- and
+cites Poseidon and TicTac as systems that schedule gradient transfers
+behind the remaining backward computation.  This module implements that
+middle ground analytically: a **wait-free backward scheduler** that
+starts pushing each layer's gradient as soon as it is produced.
+
+With gradients produced uniformly across the backward pass, the
+achievable overlap window for weight traffic is the backward-compute
+time itself; the exposed (non-overlapped) communication is::
+
+    T_w_exposed = max(T_w - overlap_fraction * T_c_backward, T_w_tail)
+
+where ``T_w_tail`` is the final layer's gradient, which can never hide
+(it is produced last).  ``overlap_fraction`` models scheduler quality:
+0 reproduces the paper's non-overlap composition, 1 with a zero tail
+approaches the ideal bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.efficiency import PAPER_DEFAULT_EFFICIENCY, EfficiencyModel
+from ..core.features import WorkloadFeatures
+from ..core.hardware import HardwareConfig
+from ..core.timemodel import (
+    PAPER_MODEL_OPTIONS,
+    ModelOptions,
+    estimate_breakdown,
+)
+
+__all__ = ["OverlapSchedule", "overlapped_step_time", "overlap_speedup"]
+
+#: Share of T_c that belongs to the backward pass (backward costs ~2x
+#: forward, so 2/3 of the compute window can hide communication).
+BACKWARD_COMPUTE_SHARE = 2.0 / 3.0
+
+
+@dataclass(frozen=True)
+class OverlapSchedule:
+    """A communication-scheduling configuration.
+
+    Attributes:
+        overlap_fraction: How much of the backward-compute window the
+            scheduler actually uses (0 = none, 1 = perfect wait-free).
+        tail_fraction: Share of the weight traffic produced by the last
+            layer, which cannot overlap with anything.
+    """
+
+    overlap_fraction: float = 0.9
+    tail_fraction: float = 0.1
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.overlap_fraction <= 1.0:
+            raise ValueError("overlap_fraction must be in [0, 1]")
+        if not 0.0 <= self.tail_fraction <= 1.0:
+            raise ValueError("tail_fraction must be in [0, 1]")
+
+
+def overlapped_step_time(
+    features: WorkloadFeatures,
+    hardware: HardwareConfig,
+    schedule: OverlapSchedule = OverlapSchedule(),
+    efficiency: EfficiencyModel = PAPER_DEFAULT_EFFICIENCY,
+    options: ModelOptions = PAPER_MODEL_OPTIONS,
+) -> float:
+    """Step time under a wait-free gradient-push schedule.
+
+    Bounded below by the ideal-overlap composition and above by the
+    non-overlap composition for every configuration.
+    """
+    breakdown = estimate_breakdown(features, hardware, efficiency, options)
+    window = schedule.overlap_fraction * BACKWARD_COMPUTE_SHARE * (
+        breakdown.computation
+    )
+    tail = schedule.tail_fraction * breakdown.weight_total
+    exposed = max(breakdown.weight_total - window, tail)
+    total = breakdown.data_io + breakdown.computation + exposed
+    return max(total, breakdown.total_ideal_overlap)
+
+
+def overlap_speedup(
+    features: WorkloadFeatures,
+    hardware: HardwareConfig,
+    schedule: OverlapSchedule = OverlapSchedule(),
+    efficiency: EfficiencyModel = PAPER_DEFAULT_EFFICIENCY,
+    options: ModelOptions = PAPER_MODEL_OPTIONS,
+) -> float:
+    """Speedup of the schedule over the paper's non-overlap composition."""
+    breakdown = estimate_breakdown(features, hardware, efficiency, options)
+    overlapped = overlapped_step_time(
+        features, hardware, schedule, efficiency, options
+    )
+    return breakdown.total / overlapped

@@ -1,0 +1,118 @@
+"""XLA-style operation fusion and code generation (Sec. IV-D).
+
+The pass models the two effects the paper attributes to XLA:
+
+* **Fusion / de-materialization** -- consecutive fusible element-wise
+  ops merge into one kernel: interior intermediates are never written
+  to and re-read from device memory.  Structurally each fused boundary
+  saves one write + one read; on top of that, an op whose builder
+  marked it as inflated by unfused materialization
+  (``Op.unfused_factor``) recovers that factor entirely.
+* **Cache residency / locality** -- "operation fusion exploits GPU's
+  high-speed cache" (Sec. IV-D): fused kernels attain a higher fraction
+  of the memory bandwidth.  The executor applies
+  :data:`CACHE_RESIDENCY_UPLIFT` to the memory efficiency of fused ops
+  (never lowering it, capped at :data:`MAX_FUSED_EFFICIENCY`).  This is
+  what rescues the Speech model, whose unfused kernels attain only 3 %
+  of the GDDR bandwidth (Table VI).
+
+Launch-overhead reduction falls out naturally: a fused group is one
+kernel instead of many.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import List
+
+from ..graphs.graph import ModelGraph
+from ..graphs.ops import Op, OpKind
+
+__all__ = [
+    "STRUCTURAL_FUSION_SAVING",
+    "CACHE_RESIDENCY_UPLIFT",
+    "MAX_FUSED_EFFICIENCY",
+    "fused_memory_efficiency",
+    "xla_fusion_pass",
+    "fusion_groups",
+]
+
+#: Fraction of a fused group's (de-materialized) traffic that remains:
+#: each interior boundary stops writing + re-reading one intermediate.
+STRUCTURAL_FUSION_SAVING = 0.8
+
+#: Memory-bandwidth efficiency multiplier for fused, cache-resident
+#: kernels; calibrated against the 3.43x element-wise speedup XLA
+#: achieves on the Speech model (Fig. 13(b)).
+CACHE_RESIDENCY_UPLIFT = 2.75
+
+#: Fused kernels cannot exceed this fraction of peak memory bandwidth.
+MAX_FUSED_EFFICIENCY = 0.78
+
+
+def fused_memory_efficiency(base_efficiency: float) -> float:
+    """Memory efficiency of a fused kernel (never below the base)."""
+    if not 0 < base_efficiency <= 1:
+        raise ValueError("base_efficiency must be in (0, 1]")
+    return max(
+        base_efficiency,
+        min(MAX_FUSED_EFFICIENCY, base_efficiency * CACHE_RESIDENCY_UPLIFT),
+    )
+
+
+def fusion_groups(ops: List[Op]) -> List[List[Op]]:
+    """Partition an op list into maximal runs of fusible ops.
+
+    Non-fusible ops form singleton groups; consecutive fusible
+    (element-wise) ops form one group each.
+    """
+    groups: List[List[Op]] = []
+    current: List[Op] = []
+    for op in ops:
+        if op.fusible:
+            current.append(op)
+        else:
+            if current:
+                groups.append(current)
+                current = []
+            groups.append([op])
+    if current:
+        groups.append(current)
+    return groups
+
+
+def _fuse_group(group: List[Op]) -> Op:
+    """Merge a run of fusible element-wise ops into one kernel."""
+    if len(group) == 1 and group[0].unfused_factor == 1.0:
+        return replace(group[0], fused=True)
+    demat = sum(op.memory_access_bytes / op.unfused_factor for op in group)
+    saving = STRUCTURAL_FUSION_SAVING if len(group) > 1 else 1.0
+    return Op(
+        name=f"fused({group[0].name}..x{len(group)})",
+        kind=OpKind.MEMORY_BOUND,
+        flops=sum(op.flops for op in group),
+        memory_access_bytes=demat * saving,
+        param_bytes=sum(op.param_bytes for op in group),
+        is_embedding=False,
+        matmul_like=False,
+        fusible=True,
+        is_backward=all(op.is_backward for op in group),
+        unfused_factor=1.0,
+        fused=True,
+        tensor_core=False,
+    )
+
+
+def xla_fusion_pass(graph: ModelGraph) -> ModelGraph:
+    """Fuse element-wise chains in the forward graph.
+
+    Backward ops are generated from the forward list, so fusing the
+    forward pass fuses the whole training step.
+    """
+    forward: List[Op] = []
+    for group in fusion_groups(list(graph.forward)):
+        if group[0].fusible:
+            forward.append(_fuse_group(group))
+        else:
+            forward.extend(group)
+    return graph.with_forward(forward)

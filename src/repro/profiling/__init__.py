@@ -1,0 +1,12 @@
+"""Runtime profiling and feature extraction (the Fig. 4 pipeline)."""
+
+from .extraction import extract_features, extract_weight_traffic_by_medium
+from .runmeta import JobMetadata, OpTraceEntry, RunMetadata
+
+__all__ = [
+    "JobMetadata",
+    "OpTraceEntry",
+    "RunMetadata",
+    "extract_features",
+    "extract_weight_traffic_by_medium",
+]

@@ -1,0 +1,67 @@
+"""Workload feature extraction (Fig. 4, "Workload Feature Extraction").
+
+Turns a profiled step (:class:`~repro.profiling.runmeta.RunMetadata`)
+plus the job metadata into the per-cNode feature tuple the analytical
+model consumes.  This closes the loop of the characterization
+framework: profile -> extract features -> estimate breakdown -> compare
+against the measured breakdown.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..core.features import WorkloadFeatures
+from ..sim.measurement import medium_of_resource
+from .runmeta import JobMetadata, RunMetadata
+
+__all__ = ["extract_features", "extract_weight_traffic_by_medium"]
+
+
+def extract_weight_traffic_by_medium(metadata: RunMetadata) -> Dict[str, float]:
+    """Observed weight/gradient wire volume per medium, whole job."""
+    volumes: Dict[str, float] = {}
+    for entry in metadata.entries_of("weight"):
+        medium = medium_of_resource(entry.device)
+        volumes[medium] = volumes.get(medium, 0.0) + entry.volume
+    return volumes
+
+
+def extract_features(
+    metadata: RunMetadata,
+    job: JobMetadata,
+    dense_weight_bytes: float = 0.0,
+    embedding_weight_bytes: float = 0.0,
+) -> WorkloadFeatures:
+    """Extract per-cNode, per-step features from a profiled step.
+
+    Compute records carry their FLOP volume; memory records their byte
+    volume; input records the host-to-device copy; weight records the
+    wire traffic on each hop (so a PS round trip contributes once per
+    medium -- the per-cNode traffic is taken as the *maximum* over
+    media, matching the ``S_w`` convention of a single logical volume
+    that crosses every hop).
+
+    The at-rest weight sizes are not observable in a runtime trace and
+    are supplied from the job's checkpoint metadata when available.
+    """
+    cnodes = max(job.num_cnodes, 1)
+    flop_count = metadata.total_volume("compute") / cnodes
+    memory_access = metadata.total_volume("memory") / cnodes
+    input_bytes = metadata.total_volume("input") / cnodes
+    weight_by_medium = extract_weight_traffic_by_medium(metadata)
+    weight_traffic = (
+        max(weight_by_medium.values()) / cnodes if weight_by_medium else 0.0
+    )
+    return WorkloadFeatures(
+        name=job.job_name,
+        architecture=job.architecture,
+        num_cnodes=cnodes,
+        batch_size=job.batch_size,
+        flop_count=flop_count,
+        memory_access_bytes=memory_access,
+        input_bytes=input_bytes,
+        weight_traffic_bytes=weight_traffic,
+        dense_weight_bytes=dense_weight_bytes,
+        embedding_weight_bytes=embedding_weight_bytes,
+    )

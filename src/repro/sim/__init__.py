@@ -1,0 +1,75 @@
+"""Discrete-event testbed simulator (the measured side of Sec. IV)."""
+
+from .collectives import (
+    CollectiveCost,
+    allgatherv_time,
+    broadcast_time,
+    ps_pull_push_time,
+    reduce_scatter_time,
+    ring_allreduce_time,
+)
+from .events import Event, EventQueue, TimelineRecord
+from .executor import SimulationOptions, TestbedSimulator, simulate_step
+from .measurement import StepMeasurement, medium_of_resource
+from .multijob import (
+    ClusterScheduler,
+    JobExecution,
+    ScheduleResult,
+    sample_durations,
+)
+from .pearl import PearlPartition, PearlSchedule, pearl_schedule, plan_pearl
+from .ps import (
+    PsProvisioning,
+    ps_scaling_curve,
+    ps_sync_time,
+    recommended_ps_count,
+)
+from .resources import Channel, Device
+from .stragglers import (
+    JitterModel,
+    expected_straggler_factor,
+    straggled_step_time,
+    synchronization_penalty_curve,
+)
+from .timeline import busy_fraction_by_resource, render_timeline
+from .topology import SimCluster, SimServer, build_cluster
+
+__all__ = [
+    "Channel",
+    "ClusterScheduler",
+    "CollectiveCost",
+    "Device",
+    "Event",
+    "EventQueue",
+    "JitterModel",
+    "JobExecution",
+    "ScheduleResult",
+    "PearlPartition",
+    "PearlSchedule",
+    "PsProvisioning",
+    "SimCluster",
+    "SimServer",
+    "SimulationOptions",
+    "StepMeasurement",
+    "TestbedSimulator",
+    "TimelineRecord",
+    "allgatherv_time",
+    "broadcast_time",
+    "build_cluster",
+    "expected_straggler_factor",
+    "busy_fraction_by_resource",
+    "medium_of_resource",
+    "pearl_schedule",
+    "plan_pearl",
+    "ps_pull_push_time",
+    "ps_scaling_curve",
+    "ps_sync_time",
+    "recommended_ps_count",
+    "reduce_scatter_time",
+    "render_timeline",
+    "ring_allreduce_time",
+    "sample_durations",
+    "simulate_step",
+    "straggled_step_time",
+    "synchronization_penalty_curve",
+]

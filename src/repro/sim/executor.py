@@ -1,0 +1,412 @@
+"""The training-step executor: simulate one step of a deployed model.
+
+This is the "testbed" of Sec. IV: given a model graph, a deployment and
+per-workload measured efficiencies (Table VI), it plays one training
+step through the simulated cluster -- input load over (contended) PCIe,
+kernel-by-kernel forward and backward execution with launch overheads,
+and the architecture's synchronization collectives -- and returns a
+:class:`~repro.sim.measurement.StepMeasurement` whose breakdown is the
+"actual measurement" side of the Fig. 12 validation.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from ..core.architectures import Architecture
+from ..core.efficiency import PAPER_DEFAULT_EFFICIENCY, EfficiencyModel
+from ..core.hardware import HardwareConfig, testbed_v100_hardware
+from ..graphs.features_from_graph import Deployment
+from ..graphs.graph import ModelGraph
+from ..graphs.ops import Op, OpKind
+from ..optim.mixed_precision import TENSOR_CORE_UTILIZATION
+from ..optim.xla import fused_memory_efficiency
+from .collectives import ring_allreduce_time
+from .events import TimelineRecord
+from .measurement import StepMeasurement
+from .pearl import pearl_schedule
+from .resources import Device
+from .topology import SimCluster, build_cluster
+
+__all__ = ["SimulationOptions", "TestbedSimulator", "simulate_step"]
+
+
+@dataclass(frozen=True)
+class SimulationOptions:
+    """Executor knobs.
+
+    Attributes:
+        launch_overhead: Per-kernel CPU scheduling + launch seconds.
+        mixed_precision: Run MatMul-like ops on TensorCore (the graph
+            should already be transformed by the MP pass; this flag is
+            used when simulating an untransformed graph directly).
+        kernels_per_op: Each coarse graph op stands for this many real
+            GPU kernels (the builders aggregate layer-level work); the
+            per-op framework overhead is ``launch_overhead *
+            kernels_per_op``.
+        jitter_sigma: Per-replica compute-time jitter (log-normal,
+            median 1); makes synchronous barriers wait for stragglers.
+        check_memory: Reject deployments whose weights cannot fit the
+            GPUs (replica mode) or shards (PEARL).
+    """
+
+    launch_overhead: float = 4e-6
+    kernels_per_op: float = 25.0
+    mixed_precision: bool = False
+    #: Log-space sigma of per-replica compute jitter (0 = deterministic).
+    #: Synchronous steps then wait for the slowest replica (stragglers).
+    jitter_sigma: float = 0.0
+    jitter_seed: int = 97
+    #: Verify the deployment fits GPU memory before simulating.
+    check_memory: bool = True
+
+
+def _kernel_seconds(op: Op, device: Device, mixed_precision: bool) -> float:
+    """Execution time of one op on one device.
+
+    Honors the optimization-pass metadata: ``tensor_core`` ops run at
+    the TensorCore peak with its calibrated utilization (net 2.8x on
+    MatMul), ``fused`` memory-bound kernels attain the cache-residency
+    memory efficiency.
+    """
+    if op.kind is OpKind.COMPUTE_BOUND:
+        use_tc = op.tensor_core or (mixed_precision and op.matmul_like)
+        if use_tc and device.tensor_core_flops > 0:
+            rate = (
+                device.tensor_core_flops
+                * device.compute_efficiency
+                * TENSOR_CORE_UTILIZATION
+            )
+        else:
+            rate = device.peak_flops * device.compute_efficiency
+        return op.flops / rate
+    memory_efficiency = device.memory_efficiency
+    if op.fused:
+        memory_efficiency = fused_memory_efficiency(memory_efficiency)
+    return op.memory_access_bytes / (
+        device.memory_bandwidth * memory_efficiency
+    )
+
+
+def _category(op: Op) -> str:
+    return "compute" if op.kind is OpKind.COMPUTE_BOUND else "memory"
+
+
+class TestbedSimulator:
+    """Simulates single training steps on a V100-class cluster."""
+
+    # Not a test class despite the name (keeps pytest collection quiet).
+    __test__ = False
+
+    def __init__(
+        self,
+        hardware: HardwareConfig = None,
+        efficiency: EfficiencyModel = PAPER_DEFAULT_EFFICIENCY,
+        options: SimulationOptions = SimulationOptions(),
+    ) -> None:
+        self.hardware = hardware if hardware is not None else testbed_v100_hardware()
+        self.efficiency = efficiency
+        self.options = options
+
+    # ---- topology sizing -------------------------------------------
+
+    def _cluster_for(self, deployment: Deployment) -> SimCluster:
+        arch = deployment.architecture
+        n = deployment.num_cnodes
+        per_server = self.hardware.server.gpus_per_server
+        if arch in (
+            Architecture.SINGLE,
+            Architecture.LOCAL_CENTRALIZED,
+            Architecture.ALLREDUCE_LOCAL,
+        ):
+            servers, gpus = 1, max(n, 1)
+        elif arch is Architecture.PS_WORKER:
+            servers, gpus = n, 1  # one worker per server (Sec. II-A2)
+        else:  # AllReduce-Cluster, PEARL: packed 8-GPU servers
+            servers = max(1, math.ceil(n / per_server))
+            gpus = min(n, per_server)
+        return build_cluster(
+            num_servers=servers,
+            hardware=self.hardware,
+            efficiency=self.efficiency,
+            gpus_per_server=gpus,
+            with_nvlink=arch.requires_nvlink or self.hardware.server.has_nvlink,
+            launch_overhead=self.options.launch_overhead,
+        )
+
+    # ---- phases ------------------------------------------------------
+
+    def _load_input(
+        self, cluster: SimCluster, graph: ModelGraph, deployment: Deployment
+    ) -> List[float]:
+        """Every replica loads its input batch over its server's PCIe."""
+        ready = []
+        gpus = cluster.all_gpus()[: deployment.num_cnodes]
+        for index, gpu in enumerate(gpus):
+            server = cluster.server_of_gpu(index)
+            ready.append(
+                server.pcie.reserve(
+                    0.0, graph.input_bytes, f"{gpu.name}/input", "input"
+                )
+            )
+        return ready
+
+    def _run_ops(
+        self,
+        gpu: Device,
+        ops,
+        start: float,
+        mixed_precision: bool,
+        jitter: float = 1.0,
+    ) -> float:
+        time = start
+        for op in ops:
+            seconds = _kernel_seconds(op, gpu, mixed_precision) * jitter
+            volume = (
+                op.flops
+                if op.kind is OpKind.COMPUTE_BOUND
+                else op.memory_access_bytes
+            )
+            time = gpu.run_kernel(
+                time,
+                op.name,
+                seconds,
+                _category(op),
+                volume=volume,
+                overhead=gpu.launch_overhead * self.options.kernels_per_op,
+            )
+        return time
+
+    def _sync_weights(
+        self,
+        cluster: SimCluster,
+        graph: ModelGraph,
+        deployment: Deployment,
+        grads_ready: List[float],
+    ) -> List[float]:
+        """Run the architecture's synchronization; returns end times."""
+        arch = deployment.architecture
+        n = deployment.num_cnodes
+        start = max(grads_ready) if grads_ready else 0.0
+        eff = cluster.efficiency
+
+        if arch is Architecture.SINGLE or n == 1:
+            return grads_ready
+
+        if arch in (Architecture.PS_WORKER, Architecture.LOCAL_CENTRALIZED):
+            dense = graph.dense_trainable_bytes
+            if deployment.embedding_sync_dense:
+                dense += graph.embedding_trainable_bytes
+                sparse = 0.0
+            else:
+                sparse = graph.embedding_access_bytes
+            volume = 2.0 * dense + sparse
+            ends = []
+            for index in range(n):
+                server = cluster.server_of_gpu(index if arch is Architecture.PS_WORKER else 0)
+                if arch is Architecture.PS_WORKER:
+                    # Ethernet hop on the worker's NIC, then PCIe hop.
+                    # An under-provisioned PS fleet (p < w) funnels the
+                    # aggregate traffic through fewer PS NICs; the
+                    # worker sees that incast as a stretched wire time.
+                    ps_factor = max(
+                        1.0, n / deployment.ps_fleet_size
+                    )
+                    eth_end = server.nic.reserve(
+                        grads_ready[index],
+                        volume * ps_factor,
+                        f"worker{index}/ps-ethernet",
+                        "weight",
+                    )
+                    end = server.pcie.reserve(
+                        eth_end, volume, f"worker{index}/ps-pcie", "weight"
+                    )
+                    ends.append(end)
+                else:  # 1wng: parameters on host CPU, PCIe round trip
+                    end = server.pcie.reserve(
+                        grads_ready[index],
+                        volume,
+                        f"gpu{index}/1wng-pcie",
+                        "weight",
+                    )
+                    ends.append(end)
+            return ends
+
+        if arch in (Architecture.ALLREDUCE_LOCAL, Architecture.ALLREDUCE_CLUSTER):
+            dense = graph.dense_trainable_bytes
+            if deployment.embedding_sync_dense:
+                dense += graph.embedding_trainable_bytes
+            if arch is Architecture.ALLREDUCE_LOCAL:
+                cost = ring_allreduce_time(
+                    dense,
+                    n,
+                    self.hardware.nvlink.bandwidth,
+                    eff.network,
+                    self.hardware.nvlink.latency,
+                )
+                medium_channel = "nvlink"
+            else:
+                # Hierarchical ring: the Ethernet hop dominates; NVLink
+                # moves the intra-server shares concurrently.
+                servers = max(1, math.ceil(n / self.hardware.server.gpus_per_server))
+                cost = ring_allreduce_time(
+                    dense,
+                    max(servers, 2),
+                    self.hardware.ethernet.bandwidth,
+                    eff.network,
+                    self.hardware.ethernet.latency,
+                )
+                medium_channel = "nic"
+            sparse = 0.0 if deployment.embedding_sync_dense else graph.embedding_access_bytes
+            sparse_seconds = sparse / (
+                self.hardware.nvlink.bandwidth * eff.network
+            ) if sparse else 0.0
+            ends = []
+            for index in range(min(n, len(cluster.all_gpus()))):
+                server = cluster.server_of_gpu(index)
+                channel = server.nvlink if medium_channel == "nvlink" else server.nic
+                record = TimelineRecord(
+                    name=f"gpu{index}/allreduce",
+                    resource=channel.name,
+                    start=start,
+                    end=start + cost.seconds + sparse_seconds,
+                    category="weight",
+                    volume=cost.volume_per_node + sparse,
+                )
+                channel.records.append(record)
+                ends.append(record.end)
+            return ends
+
+        if arch is Architecture.PEARL:
+            schedule = pearl_schedule(
+                graph,
+                n,
+                self.hardware.nvlink.bandwidth,
+                eff.network,
+                self.hardware.nvlink.latency,
+            )
+            seconds = (
+                schedule.scatter.seconds + schedule.dense_allreduce.seconds
+            )
+            ends = []
+            for index in range(min(n, len(cluster.all_gpus()))):
+                server = cluster.server_of_gpu(index)
+                record = TimelineRecord(
+                    name=f"gpu{index}/pearl-sync",
+                    resource=server.nvlink.name,
+                    start=start,
+                    end=start + seconds,
+                    category="weight",
+                    volume=schedule.scatter.volume_per_node
+                    + schedule.dense_allreduce.volume_per_node,
+                )
+                server.nvlink.records.append(record)
+                ends.append(record.end)
+            return ends
+
+        raise AssertionError(f"unhandled architecture: {arch!r}")
+
+    # ---- entry point -------------------------------------------------
+
+    def _check_memory(self, graph: ModelGraph, deployment: Deployment) -> None:
+        """Reject deployments whose weights cannot live on the GPUs."""
+        budget = self.hardware.gpu.memory_capacity * 0.8
+        arch = deployment.architecture
+        if arch is Architecture.PEARL:
+            shard = graph.embedding_weight_bytes / max(deployment.num_cnodes, 1)
+            needed = graph.dense_weight_bytes + shard
+        elif arch in (Architecture.PS_WORKER, Architecture.LOCAL_CENTRALIZED):
+            # Variables live in host memory; GPUs hold a working replica
+            # of the dense part only.
+            needed = graph.dense_weight_bytes
+        else:
+            needed = graph.weight_bytes
+        if needed > budget:
+            raise ValueError(
+                f"{graph.name} needs {needed / 1e9:.1f} GB per GPU under "
+                f"{arch}, budget is {budget / 1e9:.1f} GB"
+            )
+
+    def _jitter_factors(self, n: int) -> List[float]:
+        if self.options.jitter_sigma <= 0:
+            return [1.0] * n
+        rng = np.random.default_rng(self.options.jitter_seed)
+        return list(
+            rng.lognormal(mean=0.0, sigma=self.options.jitter_sigma, size=n)
+        )
+
+    def run_step(self, graph: ModelGraph, deployment: Deployment) -> StepMeasurement:
+        """Simulate one training step; returns its measurement."""
+        if self.options.check_memory:
+            self._check_memory(graph, deployment)
+        cluster = self._cluster_for(deployment)
+        cluster.reset()
+        n = deployment.num_cnodes
+        input_ready = self._load_input(cluster, graph, deployment)
+
+        # PEARL gathers the accessed embedding rows before the forward
+        # pass (the rows live in other workers' shards).
+        gather_done = list(input_ready)
+        if deployment.architecture is Architecture.PEARL and n > 1:
+            schedule = pearl_schedule(
+                graph,
+                n,
+                self.hardware.nvlink.bandwidth,
+                cluster.efficiency.network,
+                self.hardware.nvlink.latency,
+            )
+            gather_done = []
+            for index, ready in enumerate(input_ready):
+                server = cluster.server_of_gpu(index)
+                record = TimelineRecord(
+                    name=f"gpu{index}/pearl-gather",
+                    resource=server.nvlink.name,
+                    start=ready,
+                    end=ready + schedule.gather.seconds,
+                    category="weight",
+                    volume=schedule.gather.volume_per_node,
+                )
+                server.nvlink.records.append(record)
+                gather_done.append(record.end)
+
+        # PS workers pull variables before computing; the pull volume is
+        # folded into the round trip charged after the backward pass,
+        # matching the analytical model's single S_w round trip.
+        grads_ready = []
+        mixed = self.options.mixed_precision
+        jitter = self._jitter_factors(n)
+        for index in range(n):
+            gpu = cluster.gpu(index)
+            end = self._run_ops(
+                gpu,
+                graph.training_step,
+                gather_done[index],
+                mixed,
+                jitter[index],
+            )
+            grads_ready.append(end)
+
+        sync_ends = self._sync_weights(cluster, graph, deployment, grads_ready)
+        step_time = max(sync_ends) if sync_ends else max(grads_ready)
+        return StepMeasurement(
+            workload=graph.name,
+            records=tuple(cluster.records()),
+            step_time=step_time,
+            num_cnodes=n,
+        )
+
+
+def simulate_step(
+    graph: ModelGraph,
+    deployment: Deployment,
+    hardware: HardwareConfig = None,
+    efficiency: EfficiencyModel = PAPER_DEFAULT_EFFICIENCY,
+    options: SimulationOptions = SimulationOptions(),
+) -> StepMeasurement:
+    """One-call convenience wrapper around :class:`TestbedSimulator`."""
+    simulator = TestbedSimulator(hardware, efficiency, options)
+    return simulator.run_step(graph, deployment)

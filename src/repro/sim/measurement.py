@@ -1,0 +1,125 @@
+"""Measurements extracted from a simulated training step.
+
+A :class:`StepMeasurement` aggregates the timeline records of one
+simulated step into the same shape the analytical model predicts
+(:class:`~repro.core.timemodel.TimeBreakdown`), plus the framework
+overhead the analytical model deliberately ignores (Sec. IV).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..core.timemodel import TimeBreakdown
+from .events import TimelineRecord
+
+__all__ = ["StepMeasurement", "medium_of_resource"]
+
+
+def medium_of_resource(resource: str) -> str:
+    """Map a channel name to the Table II medium it implements."""
+    if "nic" in resource:
+        return "Ethernet"
+    if "nvlink" in resource:
+        return "NVLink"
+    if "pcie" in resource:
+        return "PCIe"
+    return "local"
+
+
+@dataclass(frozen=True)
+class StepMeasurement:
+    """All timeline records of one simulated training step."""
+
+    workload: str
+    records: Tuple[TimelineRecord, ...]
+    step_time: float
+    num_cnodes: int
+
+    def __post_init__(self) -> None:
+        if self.step_time < 0:
+            raise ValueError("step_time must be non-negative")
+
+    def records_of(self, category: str) -> List[TimelineRecord]:
+        return [r for r in self.records if r.category == category]
+
+    def _per_cnode_time(self, category: str) -> float:
+        """Average busy seconds per cNode in one category."""
+        total = sum(r.duration for r in self.records if r.category == category)
+        return total / max(self.num_cnodes, 1)
+
+    @property
+    def data_io_time(self) -> float:
+        """Average per-cNode input-phase elapsed time.
+
+        Input transfers are the first activity of the step (they are
+        requested at t=0), so a record's end time includes the FIFO
+        queueing delay behind sibling GPUs on the shared PCIe complex --
+        which is exactly the contention the analytical model charges.
+        """
+        ends = [r.end for r in self.records if r.category == "input"]
+        if not ends:
+            return 0.0
+        return sum(ends) / len(ends)
+
+    @property
+    def compute_time(self) -> float:
+        return self._per_cnode_time("compute")
+
+    @property
+    def memory_time(self) -> float:
+        return self._per_cnode_time("memory")
+
+    @property
+    def overhead_time(self) -> float:
+        """Framework overhead (kernel launch / scheduling) per cNode."""
+        return self._per_cnode_time("overhead")
+
+    def weight_times(self) -> Dict[str, float]:
+        """Per-medium weight-traffic seconds, averaged per cNode."""
+        per_medium: Dict[str, float] = {}
+        for record in self.records:
+            if record.category != "weight":
+                continue
+            medium = medium_of_resource(record.resource)
+            per_medium[medium] = per_medium.get(medium, 0.0) + record.duration
+        return {
+            medium: seconds / max(self.num_cnodes, 1)
+            for medium, seconds in per_medium.items()
+        }
+
+    @property
+    def weight_time(self) -> float:
+        return sum(self.weight_times().values())
+
+    def breakdown(self) -> TimeBreakdown:
+        """The measured step decomposed like the analytical model."""
+        return TimeBreakdown(
+            data_io=self.data_io_time,
+            compute_flops=self.compute_time,
+            compute_memory=self.memory_time,
+            weight_comm=self.weight_times(),
+        )
+
+    @property
+    def serial_total(self) -> float:
+        """Sum of per-cNode component times (the model's composition)."""
+        return (
+            self.data_io_time
+            + self.compute_time
+            + self.memory_time
+            + self.weight_time
+            + self.overhead_time
+        )
+
+    def summary(self) -> Dict[str, float]:
+        return {
+            "workload": self.workload,
+            "step_time": self.step_time,
+            "data_io": self.data_io_time,
+            "compute_bound": self.compute_time,
+            "memory_bound": self.memory_time,
+            "weight": self.weight_time,
+            "overhead": self.overhead_time,
+        }

@@ -1,0 +1,126 @@
+"""Straggler effects in synchronous training.
+
+The paper's model treats every replica as identical, which is exact for
+its purposes (Sec. II-B characterizes *demands*, not jitter).  But the
+synchronization step of every architecture it studies is a barrier: the
+PS cannot apply an update, and an AllReduce cannot complete, before the
+slowest replica arrives.  On busy multi-tenant clusters per-step compute
+times jitter (CPU scheduling, cache interference, thermal variation),
+so the *expected* barrier time grows with the cNode count even when the
+mean per-replica time does not.
+
+This module quantifies that effect analytically: with per-replica step
+times ``T * J_i`` where ``J_i`` are i.i.d. log-normal jitter factors
+(median 1), the barrier waits for ``max_i J_i``.  The expected maximum
+of ``n`` log-normals has no closed form; we use the standard Monte
+Carlo estimate with a fixed seed so results are reproducible.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+import numpy as np
+
+from ..core.efficiency import PAPER_DEFAULT_EFFICIENCY, EfficiencyModel
+from ..core.features import WorkloadFeatures
+from ..core.hardware import HardwareConfig
+from ..core.timemodel import PAPER_MODEL_OPTIONS, ModelOptions, estimate_breakdown
+
+__all__ = [
+    "JitterModel",
+    "expected_straggler_factor",
+    "straggled_step_time",
+    "synchronization_penalty_curve",
+]
+
+
+@dataclass(frozen=True)
+class JitterModel:
+    """Per-replica compute jitter.
+
+    Attributes:
+        sigma: Log-space standard deviation of the per-step jitter
+            factor (0.05-0.2 is typical for busy shared clusters).
+        samples: Monte Carlo draws used to estimate the expected max.
+        seed: RNG seed (fixed for reproducibility).
+    """
+
+    sigma: float = 0.1
+    samples: int = 4000
+    seed: int = 1234
+
+    def __post_init__(self) -> None:
+        if self.sigma < 0:
+            raise ValueError("sigma must be non-negative")
+        if self.samples < 1:
+            raise ValueError("samples must be positive")
+
+
+def expected_straggler_factor(num_cnodes: int, jitter: JitterModel = JitterModel()) -> float:
+    """E[max of n log-normal jitter factors] (median-1 normalization).
+
+    Equals 1 for a single replica or zero jitter; grows without bound
+    (slowly, ~exp(sigma * sqrt(2 ln n))) as the replica count grows.
+    """
+    if num_cnodes < 1:
+        raise ValueError("num_cnodes must be at least 1")
+    if jitter.sigma == 0 or num_cnodes == 1:
+        return 1.0
+    rng = np.random.default_rng(jitter.seed)
+    draws = rng.lognormal(
+        mean=0.0, sigma=jitter.sigma, size=(jitter.samples, num_cnodes)
+    )
+    return float(draws.max(axis=1).mean())
+
+
+def straggled_step_time(
+    features: WorkloadFeatures,
+    hardware: HardwareConfig,
+    jitter: JitterModel = JitterModel(),
+    efficiency: EfficiencyModel = PAPER_DEFAULT_EFFICIENCY,
+    options: ModelOptions = PAPER_MODEL_OPTIONS,
+) -> float:
+    """Step time with the compute phase stretched by the barrier wait.
+
+    Only the computation part jitters (network transfers are modeled as
+    bandwidth-deterministic); the barrier therefore waits for the
+    slowest replica's compute before synchronization starts.
+    """
+    breakdown = estimate_breakdown(features, hardware, efficiency, options)
+    factor = expected_straggler_factor(features.num_cnodes, jitter)
+    return (
+        breakdown.data_io
+        + breakdown.computation * factor
+        + breakdown.weight_total
+    )
+
+
+def synchronization_penalty_curve(
+    features: WorkloadFeatures,
+    hardware: HardwareConfig,
+    cnode_counts: List[int] = None,
+    jitter: JitterModel = JitterModel(),
+    efficiency: EfficiencyModel = PAPER_DEFAULT_EFFICIENCY,
+) -> List[dict]:
+    """Relative step-time inflation vs replica count (a study table)."""
+    if cnode_counts is None:
+        cnode_counts = [1, 2, 4, 8, 16, 32, 64, 128]
+    rows = []
+    for count in cnode_counts:
+        deployed = features.with_architecture(
+            features.architecture, num_cnodes=count
+        )
+        base = estimate_breakdown(deployed, hardware, efficiency).total
+        straggled = straggled_step_time(
+            deployed, hardware, jitter, efficiency
+        )
+        rows.append(
+            {
+                "num_cnodes": count,
+                "straggler_factor": expected_straggler_factor(count, jitter),
+                "step_inflation": straggled / base,
+            }
+        )
+    return rows

@@ -1,0 +1,131 @@
+"""Cluster topology for the testbed simulator (Fig. 1, Sec. IV).
+
+Builds server objects (8 GPUs, one PCIe complex, an optional NVLink
+mesh, one NIC) from a :class:`~repro.core.hardware.HardwareConfig` and a
+per-workload :class:`~repro.core.efficiency.EfficiencyModel`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..core.efficiency import PAPER_DEFAULT_EFFICIENCY, EfficiencyModel
+from ..core.hardware import HardwareConfig
+from .resources import Channel, Device
+
+__all__ = ["SimServer", "SimCluster", "build_cluster"]
+
+
+@dataclass
+class SimServer:
+    """One multi-GPU server."""
+
+    index: int
+    gpus: List[Device]
+    pcie: Channel
+    nic: Channel
+    nvlink: Channel = None  # absent on servers without NVLink (Fig. 1a)
+
+    @property
+    def name(self) -> str:
+        return f"server{self.index}"
+
+    def reset(self) -> None:
+        for gpu in self.gpus:
+            gpu.reset()
+        self.pcie.reset()
+        self.nic.reset()
+        if self.nvlink is not None:
+            self.nvlink.reset()
+
+
+@dataclass
+class SimCluster:
+    """A set of servers joined by Ethernet."""
+
+    servers: List[SimServer]
+    hardware: HardwareConfig
+    efficiency: EfficiencyModel
+
+    def reset(self) -> None:
+        for server in self.servers:
+            server.reset()
+
+    def all_gpus(self) -> List[Device]:
+        return [gpu for server in self.servers for gpu in server.gpus]
+
+    def gpu(self, flat_index: int) -> Device:
+        gpus = self.all_gpus()
+        return gpus[flat_index]
+
+    def server_of_gpu(self, flat_index: int) -> SimServer:
+        per_server = len(self.servers[0].gpus)
+        return self.servers[flat_index // per_server]
+
+    def records(self):
+        """All timeline records across devices and channels."""
+        out = []
+        for server in self.servers:
+            for gpu in server.gpus:
+                out.extend(gpu.records)
+            out.extend(server.pcie.records)
+            out.extend(server.nic.records)
+            if server.nvlink is not None:
+                out.extend(server.nvlink.records)
+        return out
+
+
+def build_cluster(
+    num_servers: int,
+    hardware: HardwareConfig,
+    efficiency: EfficiencyModel = PAPER_DEFAULT_EFFICIENCY,
+    gpus_per_server: int = None,
+    with_nvlink: bool = None,
+    launch_overhead: float = 4e-6,
+) -> SimCluster:
+    """Instantiate a simulated cluster from a hardware configuration."""
+    if num_servers < 1:
+        raise ValueError("num_servers must be at least 1")
+    if gpus_per_server is None:
+        gpus_per_server = hardware.server.gpus_per_server
+    if with_nvlink is None:
+        with_nvlink = hardware.server.has_nvlink
+    servers = []
+    for index in range(num_servers):
+        gpus = [
+            Device(
+                name=f"server{index}/gpu{g}",
+                peak_flops=hardware.gpu.peak_flops,
+                memory_bandwidth=hardware.gpu.memory_bandwidth,
+                compute_efficiency=efficiency.compute,
+                memory_efficiency=efficiency.memory,
+                launch_overhead=launch_overhead,
+                tensor_core_flops=hardware.gpu.tensor_core_flops,
+            )
+            for g in range(gpus_per_server)
+        ]
+        pcie = Channel(
+            name=f"server{index}/pcie",
+            bandwidth=hardware.pcie.bandwidth,
+            latency=hardware.pcie.latency,
+            efficiency=efficiency.pcie,
+        )
+        nic = Channel(
+            name=f"server{index}/nic",
+            bandwidth=hardware.ethernet.bandwidth,
+            latency=hardware.ethernet.latency,
+            efficiency=efficiency.network,
+        )
+        nvlink = None
+        if with_nvlink:
+            nvlink = Channel(
+                name=f"server{index}/nvlink",
+                bandwidth=hardware.nvlink.bandwidth,
+                latency=hardware.nvlink.latency,
+                efficiency=efficiency.network,
+            )
+        servers.append(
+            SimServer(index=index, gpus=gpus, pcie=pcie, nic=nic, nvlink=nvlink)
+        )
+    return SimCluster(servers=servers, hardware=hardware, efficiency=efficiency)

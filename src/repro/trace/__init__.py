@@ -1,0 +1,61 @@
+"""Synthetic PAI cluster trace: schema, generator, calibration, stats."""
+
+from .calibration import CALIBRATION_TARGETS, CalibrationTarget, evaluate_targets
+from .filters import (
+    by_cnode_band,
+    by_day_window,
+    by_tenant,
+    by_type,
+    by_weight_band,
+    filter_jobs,
+    split_by,
+)
+from .generator import ClusterTraceGenerator, TraceConfig, generate_trace
+from .groups import GroupProfile, group_profiles, resource_concentration
+from .schema import JobRecord, features_of_type, jobs_of_type
+from .serialization import (
+    SCHEMA_VERSION,
+    job_from_dict,
+    job_to_dict,
+    load_trace,
+    save_trace,
+)
+from .statistics import (
+    EmpiricalCDF,
+    fraction_above,
+    fraction_below,
+    weighted_fraction,
+    weighted_mean,
+)
+
+__all__ = [
+    "CALIBRATION_TARGETS",
+    "CalibrationTarget",
+    "ClusterTraceGenerator",
+    "EmpiricalCDF",
+    "GroupProfile",
+    "JobRecord",
+    "SCHEMA_VERSION",
+    "TraceConfig",
+    "by_cnode_band",
+    "by_day_window",
+    "by_tenant",
+    "by_type",
+    "by_weight_band",
+    "evaluate_targets",
+    "features_of_type",
+    "filter_jobs",
+    "fraction_above",
+    "fraction_below",
+    "generate_trace",
+    "group_profiles",
+    "job_from_dict",
+    "job_to_dict",
+    "jobs_of_type",
+    "load_trace",
+    "resource_concentration",
+    "save_trace",
+    "split_by",
+    "weighted_fraction",
+    "weighted_mean",
+]

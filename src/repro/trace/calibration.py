@@ -1,0 +1,318 @@
+"""Every quantitative Sec. III claim, as a checkable calibration target.
+
+The synthetic trace is only a valid substitute for the proprietary PAI
+trace if the statistics the paper reports emerge from it.  This module
+lists those statistics with tolerances; ``tests/trace/test_calibration.py``
+asserts each one and the benchmark harness prints paper-vs-measured rows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, List
+
+from ..core.architectures import Architecture
+from ..core.efficiency import PAPER_DEFAULT_EFFICIENCY
+from ..core.hardware import pai_default_hardware
+from ..core.population import (
+    analyze_population,
+    average_fractions,
+    weighted_fraction_exceeding,
+)
+from ..core.projection import projection_speedups
+from ..core.sweep import sweep_resource
+from ..core.units import gbps, gigabytes
+from .schema import JobRecord, features_of_type
+
+__all__ = ["CalibrationTarget", "CALIBRATION_TARGETS", "evaluate_targets"]
+
+
+@dataclass(frozen=True)
+class CalibrationTarget:
+    """One paper statistic with its acceptance band.
+
+    Attributes:
+        name: Short identifier.
+        description: Where the statistic comes from in the paper.
+        paper_value: The reported value.
+        tolerance: Acceptable absolute deviation of the measured value.
+        measure: Computes the statistic from a trace.
+    """
+
+    name: str
+    description: str
+    paper_value: float
+    tolerance: float
+    measure: Callable[[List[JobRecord]], float]
+
+    def check(self, jobs: List[JobRecord]) -> Dict[str, float]:
+        """Measure the statistic and report pass/fail."""
+        measured = self.measure(jobs)
+        return {
+            "name": self.name,
+            "paper": self.paper_value,
+            "measured": measured,
+            "tolerance": self.tolerance,
+            "ok": abs(measured - self.paper_value) <= self.tolerance,
+        }
+
+
+def _type_share(architecture: Architecture) -> Callable[[List[JobRecord]], float]:
+    def measure(jobs: List[JobRecord]) -> float:
+        return sum(1 for j in jobs if j.workload_type is architecture) / len(jobs)
+
+    return measure
+
+
+def _cnode_share(architecture: Architecture) -> Callable[[List[JobRecord]], float]:
+    def measure(jobs: List[JobRecord]) -> float:
+        total = sum(j.num_cnodes for j in jobs)
+        return sum(j.num_cnodes for j in jobs if j.workload_type is architecture) / total
+
+    return measure
+
+
+def _small_model_share(jobs: List[JobRecord]) -> float:
+    return sum(1 for j in jobs if j.features.weight_bytes < gigabytes(10)) / len(jobs)
+
+
+def _huge_job_share(jobs: List[JobRecord]) -> float:
+    return sum(1 for j in jobs if j.num_cnodes > 128) / len(jobs)
+
+
+def _huge_job_resource_share(jobs: List[JobRecord]) -> float:
+    total = sum(j.num_cnodes for j in jobs)
+    return sum(j.num_cnodes for j in jobs if j.num_cnodes > 128) / total
+
+
+def _ps_median_cnodes_above_8(jobs: List[JobRecord]) -> float:
+    ps = [j.num_cnodes for j in jobs if j.workload_type is Architecture.PS_WORKER]
+    return sum(1 for c in ps if c > 8) / len(ps)
+
+
+def _analyze(jobs: List[JobRecord], architecture: Architecture = None):
+    hardware = pai_default_hardware()
+    if architecture is None:
+        features = [j.features for j in jobs]
+    else:
+        features = features_of_type(jobs, architecture)
+    return analyze_population(features, hardware)
+
+
+def _avg_fraction(component: str, cnode_level: bool, architecture=None):
+    def measure(jobs: List[JobRecord]) -> float:
+        return average_fractions(_analyze(jobs, architecture), cnode_level)[component]
+
+    return measure
+
+
+def _ps_comm_above_80(jobs: List[JobRecord]) -> float:
+    # Fig. 8(d) reports both job- and cNode-level CDFs; the >40% claim
+    # matches the cNode-level curve (large jobs skew toward
+    # communication), which is the resource-relevant view.
+    analyzed = _analyze(jobs, Architecture.PS_WORKER)
+    return weighted_fraction_exceeding(analyzed, "weight", 0.80, cnode_level=True)
+
+
+def _1w1g_data_above_50(jobs: List[JobRecord]) -> float:
+    analyzed = _analyze(jobs, Architecture.SINGLE)
+    return weighted_fraction_exceeding(analyzed, "data_io", 0.50)
+
+
+def _projection_results(jobs: List[JobRecord], target: Architecture):
+    hardware = pai_default_hardware()
+    return [
+        projection_speedups(features, target, hardware)
+        for features in features_of_type(jobs, Architecture.PS_WORKER)
+    ]
+
+
+def _local_single_not_sped_up(jobs: List[JobRecord]) -> float:
+    results = _projection_results(jobs, Architecture.ALLREDUCE_LOCAL)
+    return sum(1 for r in results if r.single_cnode_speedup <= 1.0) / len(results)
+
+
+def _local_throughput_not_sped_up(jobs: List[JobRecord]) -> float:
+    results = _projection_results(jobs, Architecture.ALLREDUCE_LOCAL)
+    return sum(1 for r in results if r.throughput_speedup <= 1.0) / len(results)
+
+
+def _cluster_not_sped_up(jobs: List[JobRecord]) -> float:
+    results = _projection_results(jobs, Architecture.ALLREDUCE_CLUSTER)
+    return sum(1 for r in results if r.throughput_speedup <= 1.0) / len(results)
+
+
+def _cluster_rescues_local_failures(jobs: List[JobRecord]) -> float:
+    """Among jobs not throughput-improved by Local, share improved by Cluster."""
+    local = _projection_results(jobs, Architecture.ALLREDUCE_LOCAL)
+    cluster = _projection_results(jobs, Architecture.ALLREDUCE_CLUSTER)
+    failures = [
+        c for l, c in zip(local, cluster) if l.throughput_speedup <= 1.0
+    ]
+    if not failures:
+        return 0.0
+    return sum(1 for c in failures if c.throughput_speedup > 1.0) / len(failures)
+
+
+def _ethernet_100g_speedup(jobs: List[JobRecord]) -> float:
+    hardware = pai_default_hardware()
+    features = features_of_type(jobs, Architecture.PS_WORKER)
+    series = sweep_resource(
+        features, "ethernet", [gbps(100)], hardware, PAPER_DEFAULT_EFFICIENCY
+    )
+    return series.points[0].average_speedup
+
+
+CALIBRATION_TARGETS: List[CalibrationTarget] = [
+    CalibrationTarget(
+        "ps_job_share",
+        "Sec. II-A2: roughly 29% of jobs use the PS architecture",
+        0.29,
+        0.02,
+        _type_share(Architecture.PS_WORKER),
+    ),
+    CalibrationTarget(
+        "allreduce_job_share",
+        "Sec. II-A2: less than 1% of jobs use AllReduce",
+        0.01,
+        0.005,
+        _type_share(Architecture.ALLREDUCE_LOCAL),
+    ),
+    CalibrationTarget(
+        "ps_cnode_share",
+        "Fig. 5(b): PS/Worker jobs consume 81% of cNodes",
+        0.81,
+        0.05,
+        _cnode_share(Architecture.PS_WORKER),
+    ),
+    CalibrationTarget(
+        "ps_jobs_above_8_cnodes",
+        "Fig. 6(a): about half of PS/Worker jobs use more than 8 cNodes",
+        0.50,
+        0.08,
+        _ps_median_cnodes_above_8,
+    ),
+    CalibrationTarget(
+        "huge_job_share",
+        "Sec. III-A: only 0.7% of workloads have more than 128 cNodes",
+        0.007,
+        0.004,
+        _huge_job_share,
+    ),
+    CalibrationTarget(
+        "huge_job_resource_share",
+        "Sec. III-A: >128-cNode jobs consume more than 16% of resources "
+        "(the paper reports a lower bound; we accept 0.16 +- 0.09)",
+        0.16,
+        0.09,
+        _huge_job_resource_share,
+    ),
+    CalibrationTarget(
+        "small_model_share",
+        "Sec. III-D: 90% of jobs train models smaller than 10 GB",
+        0.90,
+        0.05,
+        _small_model_share,
+    ),
+    CalibrationTarget(
+        "weight_share_cnode_level",
+        "Sec. III-D: weight/gradient traffic is ~62% of time, cNode level",
+        0.62,
+        0.06,
+        _avg_fraction("weight", cnode_level=True),
+    ),
+    CalibrationTarget(
+        "weight_share_job_level",
+        "Fig. 7: weight/gradient traffic is ~22% of time, job level",
+        0.22,
+        0.05,
+        _avg_fraction("weight", cnode_level=False),
+    ),
+    CalibrationTarget(
+        "compute_bound_share_cnode_level",
+        "Sec. III-D: compute-bound ops contribute ~13%, cNode level",
+        0.13,
+        0.05,
+        _avg_fraction("compute_bound", cnode_level=True),
+    ),
+    CalibrationTarget(
+        "memory_bound_share_cnode_level",
+        "Sec. III-D: memory-bound ops contribute ~22%, cNode level",
+        0.22,
+        0.06,
+        _avg_fraction("memory_bound", cnode_level=True),
+    ),
+    CalibrationTarget(
+        "data_io_share_distributed",
+        "Sec. III-B: input data time is ~3% for distributed workloads "
+        "(approximate claim; we accept up to ~5.5%)",
+        0.03,
+        0.025,
+        _avg_fraction("data_io", cnode_level=False, architecture=Architecture.PS_WORKER),
+    ),
+    CalibrationTarget(
+        "data_io_share_1w1g",
+        "Sec. III-B: input data time is ~10% for 1w1g workloads",
+        0.10,
+        0.04,
+        _avg_fraction("data_io", cnode_level=False, architecture=Architecture.SINGLE),
+    ),
+    CalibrationTarget(
+        "1w1g_data_bound_share",
+        "Sec. III-B: ~5% of 1w1g jobs spend >50% of time on input I/O",
+        0.05,
+        0.03,
+        _1w1g_data_above_50,
+    ),
+    CalibrationTarget(
+        "ps_comm_above_80",
+        "Sec. III-B: >40% of PS/Worker jobs spend >80% time communicating",
+        0.43,
+        0.08,
+        _ps_comm_above_80,
+    ),
+    CalibrationTarget(
+        "local_single_not_sped_up",
+        "Fig. 9(a): 22.6% of PS jobs see no single-cNode speedup on "
+        "AllReduce-Local",
+        0.226,
+        0.05,
+        _local_single_not_sped_up,
+    ),
+    CalibrationTarget(
+        "local_throughput_not_sped_up",
+        "Fig. 9(a): 40.2% of PS jobs see no throughput gain on "
+        "AllReduce-Local (60% are sped up)",
+        0.402,
+        0.06,
+        _local_throughput_not_sped_up,
+    ),
+    CalibrationTarget(
+        "cluster_not_sped_up",
+        "Fig. 9(b): 32.1% of PS jobs not sped up by AllReduce-Cluster "
+        "(67.9% sped up)",
+        0.321,
+        0.07,
+        _cluster_not_sped_up,
+    ),
+    CalibrationTarget(
+        "cluster_rescues_local_failures",
+        "Fig. 9(b): 37.8% of jobs not helped by AllReduce-Local are sped "
+        "up by AllReduce-Cluster",
+        0.378,
+        0.08,
+        _cluster_rescues_local_failures,
+    ),
+    CalibrationTarget(
+        "ethernet_100g_speedup",
+        "Abstract / Fig. 11(c): 1.7x average PS/Worker speedup at 100 Gbps",
+        1.70,
+        0.20,
+        _ethernet_100g_speedup,
+    ),
+]
+
+
+def evaluate_targets(jobs: List[JobRecord]) -> List[Dict[str, float]]:
+    """Check every calibration target against a trace."""
+    return [target.check(jobs) for target in CALIBRATION_TARGETS]

@@ -1,0 +1,70 @@
+"""Parametric samplers used by the synthetic trace generator.
+
+Thin, explicit wrappers over ``numpy.random.Generator`` so the
+generator's code reads as a specification of the trace's marginal
+distributions.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+__all__ = [
+    "lognormal",
+    "loguniform",
+    "beta_with_mean",
+    "clipped_lognormal_int",
+    "power_of_two",
+]
+
+
+def lognormal(rng: np.random.Generator, median: float, sigma: float) -> float:
+    """Log-normal sample with the given median and log-space sigma."""
+    if median <= 0:
+        raise ValueError("median must be positive")
+    if sigma < 0:
+        raise ValueError("sigma must be non-negative")
+    return float(rng.lognormal(mean=math.log(median), sigma=sigma))
+
+
+def loguniform(rng: np.random.Generator, low: float, high: float) -> float:
+    """Sample uniformly in log space over ``[low, high]``."""
+    if not 0 < low <= high:
+        raise ValueError("need 0 < low <= high")
+    return float(math.exp(rng.uniform(math.log(low), math.log(high))))
+
+
+def beta_with_mean(
+    rng: np.random.Generator, mean: float, concentration: float = 5.0
+) -> float:
+    """Beta sample parameterized by mean and concentration (a + b)."""
+    if not 0 < mean < 1:
+        raise ValueError("mean must be in (0, 1)")
+    if concentration <= 0:
+        raise ValueError("concentration must be positive")
+    a = mean * concentration
+    b = (1.0 - mean) * concentration
+    return float(rng.beta(a, b))
+
+
+def clipped_lognormal_int(
+    rng: np.random.Generator,
+    median: float,
+    sigma: float,
+    low: int,
+    high: int,
+) -> int:
+    """Integer-rounded log-normal sample clipped to ``[low, high]``."""
+    if low > high:
+        raise ValueError("low must not exceed high")
+    value = int(round(lognormal(rng, median, sigma)))
+    return max(low, min(high, value))
+
+
+def power_of_two(rng: np.random.Generator, low_exp: int, high_exp: int) -> int:
+    """A power of two with uniformly random exponent in ``[low, high]``."""
+    if low_exp > high_exp:
+        raise ValueError("low_exp must not exceed high_exp")
+    return 1 << int(rng.integers(low_exp, high_exp + 1))

@@ -1,0 +1,118 @@
+"""Trace query helpers: slice a job population the way analyses do.
+
+Small composable predicates over :class:`~repro.trace.schema.JobRecord`
+lists -- by workload type, model-size band, cNode band, submission
+window and tenant -- so notebooks and experiments stop re-writing the
+same comprehensions.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Optional
+
+from ..core.architectures import Architecture
+from .schema import JobRecord
+
+__all__ = [
+    "TracePredicate",
+    "by_type",
+    "by_weight_band",
+    "by_cnode_band",
+    "by_day_window",
+    "by_tenant",
+    "filter_jobs",
+    "split_by",
+]
+
+#: A job filter.
+TracePredicate = Callable[[JobRecord], bool]
+
+
+def by_type(*architectures: Architecture) -> TracePredicate:
+    """Keep jobs of the given workload types."""
+    if not architectures:
+        raise ValueError("at least one architecture is required")
+    allowed = frozenset(architectures)
+
+    def predicate(job: JobRecord) -> bool:
+        return job.workload_type in allowed
+
+    return predicate
+
+
+def by_weight_band(
+    min_bytes: float = 0.0, max_bytes: Optional[float] = None
+) -> TracePredicate:
+    """Keep jobs whose at-rest model size falls in ``[min, max)``."""
+    if min_bytes < 0:
+        raise ValueError("min_bytes must be non-negative")
+    if max_bytes is not None and max_bytes <= min_bytes:
+        raise ValueError("max_bytes must exceed min_bytes")
+
+    def predicate(job: JobRecord) -> bool:
+        weight = job.features.weight_bytes
+        if weight < min_bytes:
+            return False
+        return max_bytes is None or weight < max_bytes
+
+    return predicate
+
+
+def by_cnode_band(
+    min_cnodes: int = 1, max_cnodes: Optional[int] = None
+) -> TracePredicate:
+    """Keep jobs whose cNode count falls in ``[min, max]``."""
+    if min_cnodes < 1:
+        raise ValueError("min_cnodes must be at least 1")
+    if max_cnodes is not None and max_cnodes < min_cnodes:
+        raise ValueError("max_cnodes must not precede min_cnodes")
+
+    def predicate(job: JobRecord) -> bool:
+        if job.num_cnodes < min_cnodes:
+            return False
+        return max_cnodes is None or job.num_cnodes <= max_cnodes
+
+    return predicate
+
+
+def by_day_window(first_day: int, last_day: int) -> TracePredicate:
+    """Keep jobs submitted within ``[first_day, last_day]`` inclusive."""
+    if first_day < 0 or last_day < first_day:
+        raise ValueError("need 0 <= first_day <= last_day")
+
+    def predicate(job: JobRecord) -> bool:
+        return first_day <= job.submit_day <= last_day
+
+    return predicate
+
+
+def by_tenant(*groups: str) -> TracePredicate:
+    """Keep jobs from the given tenant groups."""
+    if not groups:
+        raise ValueError("at least one group is required")
+    allowed = frozenset(groups)
+
+    def predicate(job: JobRecord) -> bool:
+        return job.user_group in allowed
+
+    return predicate
+
+
+def filter_jobs(
+    jobs: Iterable[JobRecord], *predicates: TracePredicate
+) -> List[JobRecord]:
+    """Jobs satisfying every predicate (AND-composition)."""
+    return [
+        job for job in jobs if all(predicate(job) for predicate in predicates)
+    ]
+
+
+def split_by(
+    jobs: Iterable[JobRecord], predicate: TracePredicate
+) -> tuple:
+    """Partition into ``(matching, rest)``."""
+    matching: List[JobRecord] = []
+    rest: List[JobRecord] = []
+    for job in jobs:
+        (matching if predicate(job) else rest).append(job)
+    return matching, rest

@@ -1,0 +1,81 @@
+"""Tenant-level analytics over the cluster trace.
+
+Production traces are multi-tenant; the synthetic trace stamps every
+job with a ``user_group``.  This module provides the per-tenant views a
+platform team uses: who submits what, who consumes the GPUs, and how
+concentrated the resource usage is (the classic "a handful of tenants
+own most of the cluster" finding of multi-tenant GPU-cluster studies
+the paper cites, e.g. Jeon et al.).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+from typing import Dict, Iterable, List
+
+from ..core.architectures import Architecture
+from .schema import JobRecord
+
+__all__ = ["GroupProfile", "group_profiles", "resource_concentration"]
+
+
+@dataclass(frozen=True)
+class GroupProfile:
+    """Aggregate submission behaviour of one tenant group."""
+
+    group: str
+    job_count: int
+    cnode_total: int
+    dominant_type: Architecture
+    median_weight_bytes: float
+
+    def __post_init__(self) -> None:
+        if self.job_count < 1:
+            raise ValueError("job_count must be at least 1")
+
+
+def group_profiles(jobs: Iterable[JobRecord]) -> List[GroupProfile]:
+    """Per-tenant profiles, largest resource consumer first."""
+    by_group: Dict[str, List[JobRecord]] = defaultdict(list)
+    for job in jobs:
+        by_group[job.user_group].append(job)
+    profiles = []
+    for group, members in by_group.items():
+        type_counts: Dict[Architecture, int] = defaultdict(int)
+        for job in members:
+            type_counts[job.workload_type] += 1
+        dominant = max(type_counts, key=lambda a: (type_counts[a], a.value))
+        weights = sorted(job.features.weight_bytes for job in members)
+        profiles.append(
+            GroupProfile(
+                group=group,
+                job_count=len(members),
+                cnode_total=sum(job.num_cnodes for job in members),
+                dominant_type=dominant,
+                median_weight_bytes=weights[len(weights) // 2],
+            )
+        )
+    profiles.sort(key=lambda p: p.cnode_total, reverse=True)
+    return profiles
+
+
+def resource_concentration(
+    jobs: Iterable[JobRecord], top_fraction: float = 0.2
+) -> float:
+    """cNode share held by the top ``top_fraction`` of tenant groups.
+
+    A value near ``top_fraction`` means uniform usage; values near 1
+    mean a few tenants own the cluster.
+    """
+    if not 0 < top_fraction <= 1:
+        raise ValueError("top_fraction must be in (0, 1]")
+    profiles = group_profiles(jobs)
+    if not profiles:
+        raise ValueError("trace has no jobs")
+    total = sum(profile.cnode_total for profile in profiles)
+    if total == 0:
+        return 0.0
+    top_count = max(1, int(round(top_fraction * len(profiles))))
+    top = sum(profile.cnode_total for profile in profiles[:top_count])
+    return top / total

@@ -1,0 +1,66 @@
+"""Trace records: what the cluster-level characterization consumes.
+
+A :class:`JobRecord` is one training job from the (synthetic) cluster
+trace: its workload-feature tuple plus scheduling metadata.  The real
+trace analyzed in Sec. III covers tens of thousands of jobs submitted
+between Dec 1 2018 and Jan 20 2019; the synthetic generator reproduces
+its reported marginal statistics (see :mod:`repro.trace.calibration`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List
+
+from ..core.architectures import Architecture
+from ..core.features import WorkloadFeatures
+
+__all__ = ["JobRecord", "jobs_of_type", "features_of_type"]
+
+
+@dataclass(frozen=True)
+class JobRecord:
+    """One training job in the cluster trace.
+
+    Attributes:
+        job_id: Unique id within the trace.
+        features: The per-cNode workload feature tuple (Fig. 4 schema).
+        submit_day: Day offset within the trace window (0-50 for the
+            Dec 1 - Jan 20 window of the paper).
+        user_group: Synthetic tenant label; jobs from one group share
+            workload shape tendencies.
+    """
+
+    job_id: int
+    features: WorkloadFeatures
+    submit_day: int = 0
+    user_group: str = "default"
+
+    def __post_init__(self) -> None:
+        if self.job_id < 0:
+            raise ValueError("job_id must be non-negative")
+        if self.submit_day < 0:
+            raise ValueError("submit_day must be non-negative")
+
+    @property
+    def workload_type(self) -> Architecture:
+        """The Table II workload type of this job."""
+        return self.features.architecture
+
+    @property
+    def num_cnodes(self) -> int:
+        return self.features.num_cnodes
+
+
+def jobs_of_type(
+    jobs: Iterable[JobRecord], architecture: Architecture
+) -> List[JobRecord]:
+    """Filter a trace down to one workload type."""
+    return [job for job in jobs if job.workload_type is architecture]
+
+
+def features_of_type(
+    jobs: Iterable[JobRecord], architecture: Architecture
+) -> List[WorkloadFeatures]:
+    """Feature tuples of one workload type."""
+    return [job.features for job in jobs if job.workload_type is architecture]

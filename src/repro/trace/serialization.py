@@ -1,0 +1,104 @@
+"""Trace persistence: JSONL export/import of job records.
+
+A characterization library needs to consume traces it did not generate;
+this module defines the on-disk format (one JSON object per job, schema
+version tagged) and a loader that validates against the feature schema.
+It round-trips the synthetic trace exactly and accepts hand-written or
+externally produced traces with the same fields.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, List, Union
+
+from ..core.architectures import Architecture
+from ..core.features import WorkloadFeatures
+from .schema import JobRecord
+
+__all__ = ["SCHEMA_VERSION", "job_to_dict", "job_from_dict", "save_trace", "load_trace"]
+
+SCHEMA_VERSION = 1
+
+_FEATURE_FIELDS = (
+    "name",
+    "num_cnodes",
+    "batch_size",
+    "flop_count",
+    "memory_access_bytes",
+    "input_bytes",
+    "weight_traffic_bytes",
+    "dense_weight_bytes",
+    "embedding_weight_bytes",
+    "embedding_traffic_bytes",
+)
+
+
+def job_to_dict(job: JobRecord) -> dict:
+    """Serialize one job record to a plain dict."""
+    features = job.features
+    payload = {field: getattr(features, field) for field in _FEATURE_FIELDS}
+    payload["architecture"] = features.architecture.value
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "job_id": job.job_id,
+        "submit_day": job.submit_day,
+        "user_group": job.user_group,
+        "features": payload,
+    }
+
+
+def job_from_dict(payload: dict) -> JobRecord:
+    """Deserialize one job record; validates through the schema types."""
+    version = payload.get("schema_version")
+    if version != SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported trace schema version: {version!r} "
+            f"(expected {SCHEMA_VERSION})"
+        )
+    raw = dict(payload["features"])
+    architecture = Architecture.from_label(raw.pop("architecture"))
+    features = WorkloadFeatures(architecture=architecture, **raw)
+    return JobRecord(
+        job_id=int(payload["job_id"]),
+        features=features,
+        submit_day=int(payload.get("submit_day", 0)),
+        user_group=str(payload.get("user_group", "default")),
+    )
+
+
+def save_trace(jobs: Iterable[JobRecord], path: Union[str, Path]) -> int:
+    """Write a trace as JSON lines; returns the job count."""
+    path = Path(path)
+    count = 0
+    with path.open("w", encoding="utf-8") as handle:
+        for job in jobs:
+            handle.write(json.dumps(job_to_dict(job), sort_keys=True))
+            handle.write("\n")
+            count += 1
+    return count
+
+
+def load_trace(path: Union[str, Path]) -> List[JobRecord]:
+    """Read a JSONL trace, validating every record."""
+    path = Path(path)
+    jobs: List[JobRecord] = []
+    with path.open("r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                payload = json.loads(line)
+            except json.JSONDecodeError as error:
+                raise ValueError(
+                    f"{path}:{line_number}: invalid JSON: {error}"
+                ) from error
+            try:
+                jobs.append(job_from_dict(payload))
+            except (KeyError, TypeError, ValueError) as error:
+                raise ValueError(
+                    f"{path}:{line_number}: invalid job record: {error}"
+                ) from error
+    return jobs

@@ -1,0 +1,132 @@
+"""Small statistics toolkit: empirical CDFs and weighted aggregates.
+
+Every distribution figure in the paper (Figs. 6, 8, 9, 10, 15, 16) is an
+empirical CDF over the job population, sometimes cNode-weighted.  This
+module provides those primitives without pulling in plotting
+dependencies; the benchmark harness prints the resulting series.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "EmpiricalCDF",
+    "fraction_below",
+    "fraction_above",
+    "weighted_mean",
+    "weighted_fraction",
+]
+
+
+@dataclass(frozen=True)
+class EmpiricalCDF:
+    """An empirical (optionally weighted) cumulative distribution.
+
+    ``values`` are sorted ascending; ``cumulative`` gives
+    P(X <= values[i]) including weights.
+    """
+
+    values: Tuple[float, ...]
+    cumulative: Tuple[float, ...]
+
+    @staticmethod
+    def from_samples(
+        samples: Iterable[float], weights: Iterable[float] = None
+    ) -> "EmpiricalCDF":
+        """Build a CDF from samples with optional per-sample weights."""
+        data = np.asarray(list(samples), dtype=float)
+        if data.size == 0:
+            raise ValueError("cannot build a CDF from zero samples")
+        if weights is None:
+            weight_array = np.ones_like(data)
+        else:
+            weight_array = np.asarray(list(weights), dtype=float)
+            if weight_array.shape != data.shape:
+                raise ValueError("weights must match samples in length")
+            if np.any(weight_array < 0):
+                raise ValueError("weights must be non-negative")
+        order = np.argsort(data, kind="stable")
+        sorted_values = data[order]
+        cumulative = np.cumsum(weight_array[order])
+        total = cumulative[-1]
+        if total <= 0:
+            raise ValueError("total weight must be positive")
+        return EmpiricalCDF(
+            values=tuple(sorted_values.tolist()),
+            cumulative=tuple((cumulative / total).tolist()),
+        )
+
+    def probability_at(self, x: float) -> float:
+        """P(X <= x)."""
+        values = np.asarray(self.values)
+        index = np.searchsorted(values, x, side="right")
+        if index == 0:
+            return 0.0
+        return self.cumulative[index - 1]
+
+    def quantile(self, q: float) -> float:
+        """Smallest value with cumulative probability >= q."""
+        if not 0 <= q <= 1:
+            raise ValueError("q must be in [0, 1]")
+        cumulative = np.asarray(self.cumulative)
+        index = int(np.searchsorted(cumulative, q, side="left"))
+        index = min(index, len(self.values) - 1)
+        return self.values[index]
+
+    @property
+    def median(self) -> float:
+        return self.quantile(0.5)
+
+    def series(self, points: int = 50) -> List[Tuple[float, float]]:
+        """Down-sampled (value, probability) pairs for text rendering."""
+        if points < 2:
+            raise ValueError("points must be at least 2")
+        count = len(self.values)
+        if count <= points:
+            return list(zip(self.values, self.cumulative))
+        indices = np.linspace(0, count - 1, points).astype(int)
+        return [(self.values[i], self.cumulative[i]) for i in indices]
+
+
+def fraction_below(samples: Sequence[float], threshold: float) -> float:
+    """Fraction of samples strictly below ``threshold``."""
+    if not samples:
+        raise ValueError("samples must be non-empty")
+    return sum(1 for s in samples if s < threshold) / len(samples)
+
+
+def fraction_above(samples: Sequence[float], threshold: float) -> float:
+    """Fraction of samples strictly above ``threshold``."""
+    if not samples:
+        raise ValueError("samples must be non-empty")
+    return sum(1 for s in samples if s > threshold) / len(samples)
+
+
+def weighted_mean(samples: Sequence[float], weights: Sequence[float]) -> float:
+    """Weighted arithmetic mean."""
+    if len(samples) != len(weights):
+        raise ValueError("samples and weights must match in length")
+    total = float(sum(weights))
+    if total <= 0:
+        raise ValueError("total weight must be positive")
+    return float(sum(s * w for s, w in zip(samples, weights)) / total)
+
+
+def weighted_fraction(
+    samples: Sequence[float],
+    weights: Sequence[float],
+    predicate,
+) -> float:
+    """Weighted fraction of samples satisfying ``predicate``."""
+    if len(samples) != len(weights):
+        raise ValueError("samples and weights must match in length")
+    total = float(sum(weights))
+    if total <= 0:
+        raise ValueError("total weight must be positive")
+    return float(
+        sum(w for s, w in zip(samples, weights) if predicate(s)) / total
+    )

@@ -1,0 +1,78 @@
+"""The pai-repro command-line interface."""
+
+import pytest
+
+from repro.analysis.cli import build_parser, main
+
+
+class TestParser:
+    def test_list_command(self):
+        args = build_parser().parse_args(["list"])
+        assert args.command == "list"
+
+    def test_run_command(self):
+        args = build_parser().parse_args(["run", "fig9"])
+        assert args.experiment == "fig9"
+
+    def test_run_rejects_unknown(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "fig99"])
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+
+class TestMain:
+    def test_list_prints_every_experiment(self, capsys):
+        assert main(["list"]) == 0
+        output = capsys.readouterr().out
+        for experiment_id in ("table1", "fig9", "fig13", "calibration"):
+            assert experiment_id in output
+
+    def test_run_prints_a_table(self, capsys):
+        assert main(["run", "table1"]) == 0
+        output = capsys.readouterr().out
+        assert "System settings" in output
+        assert "11 TFLOPs" in output
+
+    def test_run_table6(self, capsys):
+        assert main(["run", "table6"]) == 0
+        assert "0.031" in capsys.readouterr().out
+
+
+class TestAdvise:
+    ARGS = [
+        "advise",
+        "--flops", "1.56T",
+        "--memory", "31.9GB",
+        "--input", "38MB",
+        "--traffic", "357MB",
+        "--weights", "204MB",
+        "--cnodes", "16",
+    ]
+
+    def test_ranks_deployments(self, capsys):
+        assert main(self.ARGS) == 0
+        output = capsys.readouterr().out
+        assert "best first" in output
+        assert "PS/Worker" in output
+        assert "AllReduce-Local" in output
+
+    def test_no_nvlink_removes_allreduce(self, capsys):
+        assert main(self.ARGS + ["--no-nvlink"]) == 0
+        output = capsys.readouterr().out
+        assert "AllReduce-Local" not in output
+        assert "PS/Worker" in output
+
+    def test_huge_embedding_model(self, capsys):
+        args = list(self.ARGS)
+        args[args.index("--weights") + 1] = "300MB"
+        assert main(args + ["--embedding", "150GB"]) == 0
+        output = capsys.readouterr().out
+        assert "PEARL" in output
+        assert "AllReduce-Local" not in output
+
+    def test_requires_flops(self):
+        with pytest.raises(SystemExit):
+            main(["advise", "--memory", "1GB"])

@@ -1,0 +1,45 @@
+"""Tenants and batch-scaling experiment modules."""
+
+import pytest
+
+from repro.analysis.batch_scaling import BATCH_FACTORS, run as run_batch
+from repro.analysis.context import default_trace
+from repro.analysis.tenants import run as run_tenants
+
+
+class TestTenants:
+    def test_rows_and_concentration_note(self):
+        result = run_tenants(default_trace(6000), top=5)
+        assert len(result.rows) == 5
+        shares = [row["cnode_share"] for row in result.rows]
+        assert shares == sorted(shares, reverse=True)
+        assert "top 20%" in result.notes[0]
+
+    def test_production_groups_dominate(self):
+        result = run_tenants(default_trace(6000), top=5)
+        # The Zipf head groups hold far more than uniform share (1/24).
+        assert result.rows[0]["cnode_share"] > 0.15
+
+
+class TestBatchScaling:
+    @pytest.fixture(scope="class")
+    def result(self):
+        return run_batch(models=["ResNet50", "Multi-Interests"])
+
+    def test_row_count(self, result):
+        assert len(result.rows) == 2 * len(BATCH_FACTORS)
+
+    def test_dense_model_amortizes_communication(self, result):
+        resnet = [r for r in result.rows if r["model"] == "ResNet50"]
+        comm = [r["comm_share"] for r in resnet]
+        assert comm == sorted(comm, reverse=True)
+
+    def test_throughput_monotone_for_dense(self, result):
+        resnet = [r for r in result.rows if r["model"] == "ResNet50"]
+        throughput = [r["samples_per_s"] for r in resnet]
+        assert throughput == sorted(throughput)
+
+    def test_embedding_model_comm_share_flat(self, result):
+        multi = [r for r in result.rows if r["model"] == "Multi-Interests"]
+        comm = [r["comm_share"] for r in multi]
+        assert max(comm) - min(comm) < 0.05

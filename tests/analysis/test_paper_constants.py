@@ -1,0 +1,76 @@
+"""Internal consistency of the recorded paper constants."""
+
+import pytest
+
+from repro.analysis.paper_constants import (
+    FIG5,
+    FIG9,
+    FIG13,
+    FIG16,
+    SEC3_OBSERVATIONS,
+    TABLE_I,
+    TABLE_IV,
+    TABLE_V,
+)
+from repro.core import pai_default_hardware
+
+
+class TestTableI:
+    def test_matches_default_hardware(self):
+        hardware = pai_default_hardware()
+        assert TABLE_I["gpu_flops"] == hardware.gpu.peak_flops
+        assert TABLE_I["ethernet"] == hardware.ethernet.bandwidth
+        assert TABLE_I["pcie"] == hardware.pcie.bandwidth
+        assert TABLE_I["nvlink"] == hardware.nvlink.bandwidth
+
+    def test_ethernet_in_bytes(self):
+        # 25 Gbps == 3.125 GB/s; recording bits here would break Eq. 3.
+        assert TABLE_I["ethernet"] == pytest.approx(3.125e9)
+
+
+class TestTables4And5:
+    def test_same_model_set(self):
+        assert set(TABLE_IV) == set(TABLE_V)
+        assert len(TABLE_IV) == 6
+
+    def test_values_positive(self):
+        for row in TABLE_V.values():
+            assert row["flop_count"] > 0
+            assert row["memory_access"] > 0
+            assert row["batch_size"] >= 1
+
+    def test_known_anchors(self):
+        assert TABLE_V["ResNet50"]["network_traffic"] == pytest.approx(357e6)
+        assert TABLE_IV["Multi-Interests"]["embedding"] == pytest.approx(
+            239.45e9
+        )
+
+
+class TestFigureMarkers:
+    def test_fractions_in_unit_interval(self):
+        for group in (FIG5, FIG9, FIG16):
+            for key, value in group.items():
+                if key == "weight_bound_speedup":
+                    continue
+                assert 0.0 <= value <= 1.0, key
+
+    def test_eq3_marker(self):
+        assert FIG16["weight_bound_speedup"] == 21.0
+
+    def test_fig9_consistency(self):
+        # Throughput failures include single-cNode failures.
+        assert (
+            FIG9["local_throughput_not_sped_up"]
+            >= FIG9["local_single_not_sped_up"]
+        )
+
+    def test_fig13_speedups_above_one(self):
+        for key, value in FIG13.items():
+            if key.endswith("share"):
+                assert 0 < value < 1
+            else:
+                assert value >= 1.0
+
+    def test_sec3_observations(self):
+        assert SEC3_OBSERVATIONS["ethernet_100g_speedup"] == pytest.approx(1.7)
+        assert SEC3_OBSERVATIONS["ps_resource_share"] == pytest.approx(0.81)

@@ -1,0 +1,27 @@
+"""The pipeline self-consistency experiment."""
+
+import pytest
+
+from repro.analysis.pipeline_check import run
+
+
+@pytest.fixture(scope="module")
+def result():
+    return run()
+
+
+class TestPipelineCheck:
+    def test_six_models(self, result):
+        assert len(result.rows) == 6
+
+    def test_closure_is_tight(self, result):
+        for row in result.rows:
+            assert row["closure_error"] < 0.10, row["model"]
+
+    def test_profiled_op_counts_positive(self, result):
+        assert all(row["profiled_ops"] > 10 for row in result.rows)
+
+    def test_registered(self):
+        from repro.analysis.registry import experiment_ids
+
+        assert "pipeline" in experiment_ids()

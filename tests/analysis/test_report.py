@@ -1,0 +1,67 @@
+"""Markdown report generation and the extended CLI."""
+
+import pytest
+
+from repro.analysis.cli import main
+from repro.analysis.report import render_markdown
+from repro.analysis.result import ExperimentResult
+
+
+def toy_results():
+    return [
+        ExperimentResult(
+            experiment="figX",
+            title="Toy experiment",
+            rows=[{"a": 1, "b": 0.5}],
+            notes=["a note"],
+        ),
+        ExperimentResult(
+            experiment="tableY",
+            title="Another",
+            rows=[],
+        ),
+    ]
+
+
+class TestRenderMarkdown:
+    def test_structure(self):
+        text = render_markdown(toy_results())
+        assert text.startswith("# Reproduction report")
+        assert "## figX" in text
+        assert "| a | b |" in text
+        assert "> a note" in text
+        assert "*(no rows)*" in text
+
+    def test_contents_links(self):
+        text = render_markdown(toy_results())
+        assert "- [figX](#figX): Toy experiment" in text
+
+
+class TestCliReport:
+    def test_report_command_writes_file(self, tmp_path, capsys, monkeypatch):
+        # Patch the suite down to something fast.
+        import repro.analysis.report as report_module
+
+        monkeypatch.setattr(report_module, "run_all", toy_results)
+        out = tmp_path / "report.md"
+        assert main(["report", "-o", str(out)]) == 0
+        assert out.exists()
+        assert "figX" in out.read_text()
+
+
+class TestCliTrace:
+    def test_trace_command_round_trips(self, tmp_path, capsys):
+        from repro.trace import load_trace
+
+        out = tmp_path / "trace.jsonl"
+        assert main(["trace", "-o", str(out), "-n", "150", "--seed", "5"]) == 0
+        jobs = load_trace(out)
+        assert len(jobs) == 150
+        assert "wrote 150 jobs" in capsys.readouterr().out
+
+    def test_trace_check_passes_on_default_seed(self, tmp_path, capsys):
+        out = tmp_path / "trace.jsonl"
+        code = main(["trace", "-o", str(out), "-n", "8000", "--check"])
+        output = capsys.readouterr().out
+        assert code == 0, output
+        assert "all calibration targets within tolerance" in output

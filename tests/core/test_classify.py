@@ -1,0 +1,101 @@
+"""Bottleneck classification."""
+
+import pytest
+
+from repro.core.architectures import Architecture
+from repro.core.classify import (
+    Bottleneck,
+    bottleneck_census,
+    classify,
+    classify_population,
+)
+from repro.core.features import WorkloadFeatures
+
+
+def job(weight=1.0, flops=1.0, memory=1.0, io=1.0, num_cnodes=8):
+    return WorkloadFeatures(
+        name="job",
+        architecture=Architecture.PS_WORKER,
+        num_cnodes=num_cnodes,
+        batch_size=64,
+        flop_count=flops,
+        memory_access_bytes=memory,
+        input_bytes=io,
+        weight_traffic_bytes=weight,
+        dense_weight_bytes=weight,
+    )
+
+
+class TestClassify:
+    def test_communication_bound(self, hardware):
+        labeled = classify(job(weight=10e9), hardware)
+        assert labeled.label is Bottleneck.COMMUNICATION
+        assert labeled.dominant_component == "weight"
+        assert labeled.dominant_share > 0.9
+
+    def test_compute_bound(self, hardware):
+        labeled = classify(job(flops=100e12), hardware)
+        assert labeled.label is Bottleneck.COMPUTE
+
+    def test_memory_bound(self, hardware):
+        labeled = classify(job(memory=10e12), hardware)
+        assert labeled.label is Bottleneck.MEMORY
+
+    def test_io_bound(self, hardware):
+        labeled = classify(job(io=100e9), hardware)
+        assert labeled.label is Bottleneck.INPUT_IO
+
+    def test_balanced(self, hardware):
+        # Calibrate four roughly equal components (~1 s each at Table I
+        # rates with 70% efficiency).
+        balanced = job(
+            weight=2.1875e9 / 1.3125,  # ~1 s over Ethernet+PCIe
+            flops=7.7e12,
+            memory=0.7e12,
+            io=7e9,
+        )
+        labeled = classify(balanced, hardware)
+        assert labeled.label is Bottleneck.BALANCED
+        assert labeled.dominant_share < 0.5
+
+    def test_threshold_validation(self, hardware):
+        with pytest.raises(ValueError):
+            classify(job(), hardware, threshold=0.0)
+
+    def test_custom_threshold(self, hardware):
+        # With a very low threshold nothing is balanced.
+        labeled = classify(job(), hardware, threshold=0.01)
+        assert labeled.label is not Bottleneck.BALANCED
+
+
+class TestCensus:
+    def test_shares_sum_to_one(self, hardware):
+        population = [job(weight=10e9), job(flops=100e12), job(io=100e9)]
+        census = bottleneck_census(classify_population(population, hardware))
+        assert sum(census.values()) == pytest.approx(1.0)
+        assert census[Bottleneck.COMMUNICATION] == pytest.approx(1 / 3)
+
+    def test_cnode_weighting(self, hardware):
+        population = [
+            job(weight=10e9, num_cnodes=90),
+            job(flops=100e12, num_cnodes=10),
+        ]
+        census = bottleneck_census(
+            classify_population(population, hardware), cnode_level=True
+        )
+        assert census[Bottleneck.COMMUNICATION] == pytest.approx(0.9)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            bottleneck_census([])
+
+
+class TestOnTrace:
+    def test_ps_population_is_mostly_comm_bound(self, trace, hardware):
+        from repro.trace import features_of_type
+
+        population = features_of_type(list(trace), Architecture.PS_WORKER)
+        census = bottleneck_census(
+            classify_population(population[:1000], hardware)
+        )
+        assert census[Bottleneck.COMMUNICATION] > 0.5

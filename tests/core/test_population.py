@@ -1,0 +1,126 @@
+"""Population-level aggregation: job vs cNode weighting."""
+
+import pytest
+
+from repro.core.architectures import Architecture
+from repro.core.features import WorkloadFeatures
+from repro.core.population import (
+    COMPONENT_KEYS,
+    HARDWARE_KEYS,
+    analyze_population,
+    average_fractions,
+    average_hardware_shares,
+    fraction_samples,
+    hardware_share_samples,
+    weighted_fraction_exceeding,
+)
+
+
+def jobs():
+    small = WorkloadFeatures(
+        name="small",
+        architecture=Architecture.PS_WORKER,
+        num_cnodes=1,
+        batch_size=32,
+        flop_count=7.7e12,  # 1 s compute at Table I rates
+        memory_access_bytes=1.0,
+        input_bytes=1.0,
+        weight_traffic_bytes=1.0,
+        dense_weight_bytes=1.0,
+    )
+    big = WorkloadFeatures(
+        name="big",
+        architecture=Architecture.PS_WORKER,
+        num_cnodes=9,
+        batch_size=32,
+        flop_count=1.0,
+        memory_access_bytes=1.0,
+        input_bytes=1.0,
+        weight_traffic_bytes=2.1875e9,  # 1 s on Ethernet at 70%
+        dense_weight_bytes=2.1875e9,
+    )
+    return [small, big]
+
+
+class TestAnalyzePopulation:
+    def test_one_breakdown_per_job(self, hardware):
+        analyzed = analyze_population(jobs(), hardware)
+        assert len(analyzed) == 2
+        assert analyzed[0].features.name == "small"
+        assert analyzed[0].weight == 1
+        assert analyzed[1].weight == 9
+
+
+class TestAverageFractions:
+    def test_job_level_is_unweighted(self, hardware):
+        analyzed = analyze_population(jobs(), hardware)
+        fractions = average_fractions(analyzed, cnode_level=False)
+        # One compute-dominated and one comm-dominated job average ~50/50.
+        assert fractions["compute_bound"] == pytest.approx(0.5, abs=0.05)
+        assert fractions["weight"] == pytest.approx(0.5, abs=0.05)
+
+    def test_cnode_level_weights_by_size(self, hardware):
+        analyzed = analyze_population(jobs(), hardware)
+        fractions = average_fractions(analyzed, cnode_level=True)
+        # The 9-cNode comm-bound job dominates the weighted view.
+        assert fractions["weight"] > 0.85
+
+    def test_fractions_cover_components(self, hardware):
+        analyzed = analyze_population(jobs(), hardware)
+        fractions = average_fractions(analyzed)
+        assert set(fractions) == set(COMPONENT_KEYS)
+        assert sum(fractions.values()) == pytest.approx(1.0)
+
+    def test_empty_population_rejected(self):
+        with pytest.raises(ValueError):
+            average_fractions([])
+
+
+class TestHardwareShares:
+    def test_keys(self, hardware):
+        analyzed = analyze_population(jobs(), hardware)
+        shares = average_hardware_shares(analyzed)
+        assert set(shares) == set(HARDWARE_KEYS)
+
+    def test_cnode_level_shifts_to_ethernet(self, hardware):
+        analyzed = analyze_population(jobs(), hardware)
+        job_level = average_hardware_shares(analyzed, cnode_level=False)
+        cnode_level = average_hardware_shares(analyzed, cnode_level=True)
+        assert cnode_level["Ethernet"] > job_level["Ethernet"]
+
+    def test_samples(self, hardware):
+        analyzed = analyze_population(jobs(), hardware)
+        assert len(hardware_share_samples(analyzed, "Ethernet")) == 2
+        with pytest.raises(KeyError):
+            hardware_share_samples(analyzed, "Floppy")
+
+
+class TestFractionSamples:
+    def test_samples_match_population(self, hardware):
+        analyzed = analyze_population(jobs(), hardware)
+        samples = fraction_samples(analyzed, "weight")
+        assert len(samples) == 2
+        assert samples[1] > samples[0]
+
+    def test_unknown_component(self, hardware):
+        analyzed = analyze_population(jobs(), hardware)
+        with pytest.raises(KeyError):
+            fraction_samples(analyzed, "luck")
+
+
+class TestWeightedFractionExceeding:
+    def test_job_level(self, hardware):
+        analyzed = analyze_population(jobs(), hardware)
+        assert weighted_fraction_exceeding(
+            analyzed, "weight", 0.8
+        ) == pytest.approx(0.5)
+
+    def test_cnode_level(self, hardware):
+        analyzed = analyze_population(jobs(), hardware)
+        assert weighted_fraction_exceeding(
+            analyzed, "weight", 0.8, cnode_level=True
+        ) == pytest.approx(0.9)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            weighted_fraction_exceeding([], "weight", 0.5)

@@ -1,0 +1,139 @@
+"""Architecture recommendation (the Sec. VI selection tooling)."""
+
+import pytest
+
+from repro.core.architectures import Architecture
+from repro.core.features import WorkloadFeatures
+from repro.core.recommend import (
+    DeploymentPlan,
+    candidate_plans,
+    feasible,
+    recommend_architecture,
+)
+
+
+def job(weight=300e6, embedding=0.0, num_cnodes=16, **kw):
+    defaults = dict(
+        name="job",
+        architecture=Architecture.PS_WORKER,
+        num_cnodes=num_cnodes,
+        batch_size=128,
+        flop_count=1e12,
+        memory_access_bytes=10e9,
+        input_bytes=10e6,
+        weight_traffic_bytes=weight * 0.6,
+        dense_weight_bytes=weight,
+        embedding_weight_bytes=embedding,
+    )
+    defaults.update(kw)
+    return WorkloadFeatures(**defaults)
+
+
+class TestFeasibility:
+    def test_small_model_fits_everywhere(self, hardware):
+        features = job(weight=300e6)
+        for plan in candidate_plans(features):
+            ok, reason = feasible(plan, features, hardware)
+            assert ok, (plan, reason)
+
+    def test_huge_dense_model_excludes_allreduce(self, hardware):
+        features = job(weight=100e9)
+        plan = DeploymentPlan(Architecture.ALLREDUCE_LOCAL, 8)
+        ok, reason = feasible(plan, features, hardware)
+        assert not ok
+        assert "replica" in reason
+
+    def test_huge_embedding_model_allows_pearl_when_sharded(self, hardware):
+        features = job(weight=200e6, embedding=100e9)
+        ok, _ = feasible(
+            DeploymentPlan(Architecture.PEARL, 8), features, hardware
+        )
+        # 100 GB / 8 = 12.5 GB shard + 0.2 GB dense < 0.8 * 32 GB.
+        assert ok
+
+    def test_pearl_rejects_unshardable_table(self, hardware):
+        features = job(weight=200e6, embedding=500e9)
+        ok, reason = feasible(
+            DeploymentPlan(Architecture.PEARL, 8), features, hardware
+        )
+        assert not ok
+        assert "shard" in reason
+
+    def test_nvlink_requirement(self, hardware):
+        features = job()
+        ok, reason = feasible(
+            DeploymentPlan(Architecture.ALLREDUCE_LOCAL, 8),
+            features,
+            hardware,
+            has_nvlink=False,
+        )
+        assert not ok
+        assert "NVLink" in reason
+
+    def test_local_cap(self, hardware):
+        ok, reason = feasible(
+            DeploymentPlan(Architecture.ALLREDUCE_LOCAL, 16), job(), hardware
+        )
+        assert not ok
+
+    def test_ps_always_feasible(self, hardware):
+        features = job(weight=5e9, embedding=300e9, num_cnodes=128)
+        ok, _ = feasible(
+            DeploymentPlan(Architecture.PS_WORKER, 128), features, hardware
+        )
+        assert ok
+
+
+class TestRecommendations:
+    def test_comm_bound_job_prefers_nvlink(self, hardware):
+        features = job(weight=5e9, num_cnodes=8, input_bytes=1e3)
+        best = recommend_architecture(features, hardware)[0]
+        assert best.plan.architecture in (
+            Architecture.ALLREDUCE_LOCAL,
+            Architecture.PEARL,
+        )
+
+    def test_huge_embedding_job_prefers_pearl_over_ps(self, hardware):
+        features = job(
+            weight=200e6,
+            embedding=120e9,
+            num_cnodes=8,
+            weight_traffic_bytes=2e9,
+            embedding_traffic_bytes=1.8e9,
+        )
+        ranked = recommend_architecture(features, hardware)
+        architectures = [r.plan.architecture for r in ranked]
+        assert architectures.index(Architecture.PEARL) < architectures.index(
+            Architecture.PS_WORKER
+        )
+        assert Architecture.ALLREDUCE_LOCAL not in architectures
+
+    def test_without_nvlink_ps_wins_for_big_models(self, hardware):
+        features = job(weight=60e9, embedding=0.0, num_cnodes=16)
+        ranked = recommend_architecture(features, hardware, has_nvlink=False)
+        assert ranked[0].plan.architecture in (
+            Architecture.PS_WORKER,
+            Architecture.LOCAL_CENTRALIZED,
+        )
+
+    def test_ranked_by_throughput(self, hardware):
+        ranked = recommend_architecture(job(), hardware)
+        throughputs = [r.throughput for r in ranked]
+        assert throughputs == sorted(throughputs, reverse=True)
+
+    def test_bottleneck_reported(self, hardware):
+        ranked = recommend_architecture(job(), hardware)
+        assert all(
+            r.bottleneck
+            in ("data_io", "weight", "compute_bound", "memory_bound")
+            for r in ranked
+        )
+
+    def test_never_empty(self, hardware):
+        # PS/Worker hosts anything.
+        features = job(weight=10e9, embedding=400e9, num_cnodes=64)
+        assert recommend_architecture(features, hardware, has_nvlink=False)
+
+    def test_plan_validation(self):
+        with pytest.raises(ValueError):
+            DeploymentPlan(Architecture.PS_WORKER, 0)

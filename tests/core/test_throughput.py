@@ -1,0 +1,86 @@
+"""Eq. 2 throughput and speedup helpers."""
+
+import pytest
+
+from repro.core.architectures import Architecture
+from repro.core.features import WorkloadFeatures
+from repro.core.throughput import job_throughput, step_speedup, throughput_speedup
+from repro.core.timemodel import estimate_step_time
+
+
+def make(architecture=Architecture.PS_WORKER, num_cnodes=16, batch_size=128, **kw):
+    defaults = dict(
+        name="job",
+        architecture=architecture,
+        num_cnodes=num_cnodes,
+        batch_size=batch_size,
+        flop_count=1e12,
+        memory_access_bytes=10e9,
+        input_bytes=10e6,
+        weight_traffic_bytes=0.0
+        if architecture is Architecture.SINGLE
+        else 200e6,
+        dense_weight_bytes=200e6,
+    )
+    defaults.update(kw)
+    return WorkloadFeatures(**defaults)
+
+
+class TestJobThroughput:
+    def test_equation_two(self, hardware):
+        features = make()
+        step = estimate_step_time(features, hardware)
+        expected = features.num_cnodes / step * features.batch_size
+        assert job_throughput(features, hardware) == pytest.approx(expected)
+
+    def test_scales_with_cnodes(self, hardware):
+        # Same per-cNode behaviour, more replicas -> proportional samples/s.
+        small = make(num_cnodes=8)
+        large = make(num_cnodes=16)
+        assert job_throughput(large, hardware) == pytest.approx(
+            2 * job_throughput(small, hardware)
+        )
+
+    def test_scales_with_batch(self, hardware):
+        assert job_throughput(make(batch_size=256), hardware) == pytest.approx(
+            2 * job_throughput(make(batch_size=128), hardware)
+        )
+
+
+class TestSpeedups:
+    def test_identity(self, hardware):
+        features = make()
+        assert step_speedup(features, features, hardware) == pytest.approx(1.0)
+        assert throughput_speedup(features, features, hardware) == pytest.approx(1.0)
+
+    def test_step_speedup_ignores_cnode_count_change(self, hardware):
+        # Single-cNode speedup compares per-step times only.
+        ps = make(num_cnodes=64)
+        local = ps.with_architecture(Architecture.ALLREDUCE_LOCAL, num_cnodes=8)
+        single = step_speedup(ps, local, hardware)
+        throughput = throughput_speedup(ps, local, hardware)
+        assert throughput == pytest.approx(single * 8 / 64)
+
+    def test_weight_bound_job_approaches_21x(self, hardware):
+        ps = make(
+            num_cnodes=8,
+            weight_traffic_bytes=100e9,
+            flop_count=1.0,
+            memory_access_bytes=1.0,
+            input_bytes=1.0,
+            dense_weight_bytes=100e9,
+        )
+        local = ps.with_architecture(Architecture.ALLREDUCE_LOCAL)
+        assert step_speedup(ps, local, hardware) == pytest.approx(21.0, rel=1e-3)
+
+    def test_data_bound_job_slows_down(self, hardware):
+        # Contention makes I/O-bound jobs slower under AllReduce-Local.
+        ps = make(
+            num_cnodes=8,
+            weight_traffic_bytes=1.0,
+            input_bytes=1e9,
+            flop_count=1.0,
+            memory_access_bytes=1.0,
+        )
+        local = ps.with_architecture(Architecture.ALLREDUCE_LOCAL)
+        assert step_speedup(ps, local, hardware) < 1.0

@@ -1,0 +1,210 @@
+"""Deep structural checks on the six case-study builders.
+
+Beyond the Table IV/V totals, verify that each model's internal shape
+is the architecture it claims to be: stage/layer structure, parameter
+placement, spatial/sequence dimensions.
+"""
+
+import pytest
+
+from repro.graphs.ops import FP32_BYTES, OpKind
+
+
+def ops_named(graph, prefix):
+    return [op for op in graph.forward if op.name.startswith(prefix)]
+
+
+class TestResNet50Structure:
+    def test_stage_block_counts(self, case_studies):
+        graph = case_studies["ResNet50"]
+        for stage, blocks in ((1, 3), (2, 4), (3, 6), (4, 3)):
+            block_names = {
+                op.name.split("/")[1]
+                for op in ops_named(graph, f"stage{stage}/")
+            }
+            assert len(block_names) == blocks, f"stage{stage}"
+
+    def test_bottleneck_shape(self, case_studies):
+        graph = case_studies["ResNet50"]
+        block = ops_named(graph, "stage1/block1/")
+        conv_names = [op.name for op in block if op.name.endswith("/conv")]
+        # 1x1 reduce, 3x3, 1x1 expand, projection shortcut.
+        assert len(conv_names) == 4
+
+    def test_channel_progression(self, case_studies):
+        graph = case_studies["ResNet50"]
+        # The expand conv of the last stage produces 2048 channels:
+        # its parameters are 1x1 x 512 x 2048 (+bias).
+        expand = next(
+            op for op in graph.forward if op.name == "stage4/block3/c/conv"
+        )
+        assert expand.param_bytes == (512 * 2048 + 2048) * FP32_BYTES
+
+    def test_stem_downsamples(self, case_studies):
+        graph = case_studies["ResNet50"]
+        stem = next(op for op in graph.forward if op.name == "stem/conv")
+        # 7x7x3x64 kernel.
+        assert stem.param_bytes == (49 * 3 * 64 + 64) * FP32_BYTES
+
+    def test_classifier_is_1000_way(self, case_studies):
+        graph = case_studies["ResNet50"]
+        head = next(
+            op for op in graph.forward if op.name == "head/classifier"
+        )
+        assert head.param_bytes == (2048 * 1000 + 1000) * FP32_BYTES
+
+    def test_every_conv_has_bn(self, case_studies):
+        graph = case_studies["ResNet50"]
+        convs = {op.name[:-5] for op in graph.forward if op.name.endswith("/conv")}
+        bns = {op.name[:-3] for op in graph.forward if op.name.endswith("/bn")}
+        assert convs == bns
+
+
+class TestTransformerStructure:
+    @pytest.mark.parametrize("model", ["BERT", "NMT"])
+    def test_attention_has_five_ops(self, case_studies, model):
+        graph = case_studies[model]
+        prefix = (
+            "encoder/layer0/self_attn/"
+            if model == "BERT"
+            else "encoder/layer0/self_attn/"
+        )
+        names = {op.name.split("/")[-1] for op in ops_named(graph, prefix)}
+        assert {"qkv", "scores", "softmax", "context", "out_proj"} <= names
+
+    def test_bert_layer_parameter_formula(self, case_studies):
+        graph = case_studies["BERT"]
+        layer_ops = ops_named(graph, "encoder/layer0/")
+        params = sum(op.param_bytes for op in layer_ops)
+        d, ffn = 768, 3072
+        # qkv 3d^2 + out d^2 + 2 FFN matrices + biases + 2 LayerNorms.
+        expected = (
+            (4 * d * d) + (d * ffn + ffn) + (ffn * d + d) + 2 * (2 * d)
+        ) * FP32_BYTES
+        assert params == pytest.approx(expected)
+
+    def test_bert_logits_tied_to_embeddings(self, case_studies):
+        graph = case_studies["BERT"]
+        logits = next(op for op in graph.forward if op.name == "mlm/logits")
+        assert logits.param_bytes == 0.0  # tied: no extra parameters
+
+    def test_nmt_decoder_has_cross_attention(self, case_studies):
+        graph = case_studies["NMT"]
+        for layer in range(6):
+            assert ops_named(graph, f"decoder/layer{layer}/cross_attn/")
+
+    def test_nmt_embeddings_are_two_tables(self, case_studies):
+        graph = case_studies["NMT"]
+        tables = [op for op in graph.forward if op.is_embedding]
+        assert len(tables) == 2
+        assert all(
+            op.param_bytes == 65536 * 768 * FP32_BYTES for op in tables
+        )
+
+    def test_attention_scores_scale_with_seq_squared(self, case_studies):
+        graph = case_studies["BERT"]
+        scores = next(
+            op
+            for op in graph.forward
+            if op.name == "encoder/layer0/self_attn/scores"
+        )
+        # 2 * batch * seq * d * seq FLOPs.
+        assert scores.flops == pytest.approx(2 * 12 * 256 * 768 * 256)
+
+
+class TestSpeechStructure:
+    def test_lstm_gate_widths(self, case_studies):
+        graph = case_studies["Speech"]
+        first_gate = next(
+            op for op in graph.forward if op.name == "lstm/layer0/gates"
+        )
+        # 4 * hidden gates over (input 640 + hidden 1024).
+        assert first_gate.param_bytes == (
+            (640 + 1024) * 4096 + 4096
+        ) * FP32_BYTES
+
+    def test_recurrent_layers_use_hidden_input(self, case_studies):
+        graph = case_studies["Speech"]
+        later_gate = next(
+            op for op in graph.forward if op.name == "lstm/layer3/gates"
+        )
+        assert later_gate.param_bytes == (
+            (1024 + 1024) * 4096 + 4096
+        ) * FP32_BYTES
+
+    def test_layernorm_per_lstm_layer(self, case_studies):
+        graph = case_studies["Speech"]
+        norms = [op for op in graph.forward if "layernorm" in op.name]
+        assert len(norms) == 5
+
+    def test_ctc_head_vocab(self, case_studies):
+        graph = case_studies["Speech"]
+        logits = next(
+            op for op in graph.forward if op.name == "head/logits/matmul"
+        )
+        assert logits.param_bytes == (1024 * 12000 + 12000) * FP32_BYTES
+
+
+class TestRecommenderStructure:
+    def test_multi_interests_embedding_shape(self, case_studies):
+        graph = case_studies["Multi-Interests"]
+        table = next(op for op in graph.forward if op.is_embedding)
+        assert table.param_bytes == 467_500_000 * 64 * FP32_BYTES
+
+    def test_multi_interests_lookups_match_sequence(self, case_studies):
+        graph = case_studies["Multi-Interests"]
+        table = next(op for op in graph.forward if op.is_embedding)
+        # 2 passes x batch x seq x dim x 4 bytes.
+        assert table.memory_access_bytes == pytest.approx(
+            2 * 2048 * 115 * 64 * FP32_BYTES
+        )
+
+    def test_gcn_fanout_structure(self, case_studies):
+        from repro.graphs.builders.gcn import _MEMORY_AMPLIFICATION
+
+        graph = case_studies["GCN"]
+        table = next(op for op in graph.forward if op.is_embedding)
+        # 5210 sampled nodes per seed item (10 + 200 + 5000), scaled by
+        # the builder's Table V memory calibration.
+        assert table.memory_access_bytes == pytest.approx(
+            2 * 512 * 5210 * 128 * FP32_BYTES * _MEMORY_AMPLIFICATION
+        )
+
+    def test_gcn_hop_transforms_share_width(self, case_studies):
+        graph = case_studies["GCN"]
+        for hop in range(3):
+            transform = next(
+                op
+                for op in graph.forward
+                if op.name == f"gcn/hop{hop}/transform"
+            )
+            assert transform.param_bytes == 128 * 128 * FP32_BYTES
+
+    def test_gcn_tower_is_deep(self, case_studies):
+        graph = case_studies["GCN"]
+        tower = [op for op in ops_named(graph, "tower/") if op.matmul_like]
+        assert len(tower) == 4  # three hidden layers + similarity head
+
+
+class TestOpKindBalance:
+    @pytest.mark.parametrize(
+        "model", ["ResNet50", "NMT", "BERT", "Speech", "Multi-Interests", "GCN"]
+    )
+    def test_both_kinds_present(self, case_studies, model):
+        kinds = {op.kind for op in case_studies[model].forward}
+        assert kinds == {OpKind.COMPUTE_BOUND, OpKind.MEMORY_BOUND}
+
+    @pytest.mark.parametrize(
+        "model,compute_heavier",
+        [("ResNet50", True), ("Multi-Interests", False)],
+    )
+    def test_flops_vs_memory_profile(self, case_studies, model, compute_heavier):
+        """CV models are compute-dominant; recommenders memory-dominant
+        (the Sec. VI-A2 observation about XLA's applicability)."""
+        graph = case_studies[model]
+        compute_time_proxy = graph.flop_count / 15e12
+        memory_time_proxy = graph.memory_access_bytes / 0.9e12
+        if compute_heavier:
+            assert compute_time_proxy > memory_time_proxy
+        else:
+            assert memory_time_proxy > compute_time_proxy

@@ -1,0 +1,53 @@
+"""Model cards and layer-group aggregation."""
+
+import pytest
+
+from repro.graphs.cards import group_stats, render_model_card
+
+
+class TestGroupStats:
+    def test_groups_by_prefix(self, case_studies):
+        stats = group_stats(case_studies["BERT"], depth=1)
+        groups = [s.group for s in stats]
+        assert "encoder" in groups
+        assert "embeddings" in groups
+
+    def test_depth_two_splits_layers(self, case_studies):
+        stats = group_stats(case_studies["BERT"], depth=2)
+        layer_groups = [s.group for s in stats if s.group.startswith("encoder/")]
+        assert len(layer_groups) == 12
+
+    def test_totals_preserved(self, case_studies):
+        graph = case_studies["ResNet50"]
+        stats = group_stats(graph, depth=1)
+        assert sum(s.flops for s in stats) == pytest.approx(
+            graph.forward_totals.flops
+        )
+        assert sum(s.param_bytes for s in stats) == pytest.approx(
+            sum(op.param_bytes for op in graph.forward)
+        )
+        assert sum(s.op_count for s in stats) == len(graph.forward)
+
+    def test_depth_validation(self, case_studies):
+        with pytest.raises(ValueError):
+            group_stats(case_studies["BERT"], depth=0)
+
+
+class TestRenderModelCard:
+    def test_contains_headline_numbers(self, case_studies):
+        card = render_model_card(case_studies["BERT"])
+        assert "BERT" in card
+        assert "adam" in card
+        assert "GFLOPs" in card
+        assert "top layer groups by parameters" in card
+
+    def test_every_case_study_renders(self, case_studies):
+        for graph in case_studies.values():
+            card = render_model_card(graph, depth=2)
+            assert graph.name in card
+            assert len(card.splitlines()) > 8
+
+    def test_top_limit(self, case_studies):
+        short = render_model_card(case_studies["BERT"], depth=2, top=2)
+        long = render_model_card(case_studies["BERT"], depth=2, top=10)
+        assert len(long.splitlines()) > len(short.splitlines())

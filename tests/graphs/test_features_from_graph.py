@@ -1,0 +1,117 @@
+"""Graph -> deployment -> analytical features bridge."""
+
+import pytest
+
+from repro.core.architectures import Architecture
+from repro.graphs import Deployment, features_for, ring_sync_bytes, sync_traffic
+from repro.graphs.graph import ModelGraph
+from repro.graphs.ops import elementwise_op, embedding_lookup_op, matmul_op
+from repro.graphs.optimizers import SGD
+
+
+def graph_with(dense_param_bytes=100e6, embedding_access=40e6):
+    forward = (
+        matmul_op("fc", m=1, k=100, n=100, batch=8,
+                  param_bytes=dense_param_bytes),
+        elementwise_op("relu", 800),
+        embedding_lookup_op("emb", vocab_size=10000, embedding_dim=64,
+                            lookups=800),
+    )
+    return ModelGraph(
+        name="toy",
+        domain="test",
+        forward=forward,
+        batch_size=8,
+        input_bytes_per_sample=1000.0,
+        embedding_access_bytes=embedding_access,
+        optimizer=SGD,
+    )
+
+
+class TestRingSyncBytes:
+    def test_single_node_moves_nothing(self):
+        assert ring_sync_bytes(100.0, 1) == 0.0
+
+    def test_formula(self):
+        # 2 phases x 2 directions x (n-1)/n x S.
+        assert ring_sync_bytes(8.0, 8) == pytest.approx(4 * 7 / 8 * 8.0)
+
+    def test_resnet_reference_volume(self, case_studies):
+        # The Table V 357 MB figure: 4 * 7/8 * 102 MB of trainables.
+        graph = case_studies["ResNet50"]
+        assert ring_sync_bytes(
+            graph.dense_trainable_bytes, 8
+        ) == pytest.approx(357e6, rel=0.02)
+
+    def test_rejects_zero_nodes(self):
+        with pytest.raises(ValueError):
+            ring_sync_bytes(1.0, 0)
+
+
+class TestSyncTraffic:
+    def test_single_has_none(self):
+        total, embedding = sync_traffic(
+            graph_with(), Deployment(Architecture.SINGLE, 1)
+        )
+        assert total == 0.0 and embedding == 0.0
+
+    def test_ps_is_pull_plus_push_plus_sparse(self):
+        graph = graph_with(dense_param_bytes=100e6, embedding_access=40e6)
+        total, embedding = sync_traffic(
+            graph, Deployment(Architecture.PS_WORKER, 4)
+        )
+        assert total == pytest.approx(2 * 100e6 + 40e6)
+        assert embedding == 0.0
+
+    def test_allreduce_rings_dense(self):
+        graph = graph_with()
+        total, _ = sync_traffic(
+            graph, Deployment(Architecture.ALLREDUCE_LOCAL, 8)
+        )
+        assert total == pytest.approx(4 * 7 / 8 * 100e6 + 40e6)
+
+    def test_pearl_flags_embedding_part(self):
+        graph = graph_with()
+        total, embedding = sync_traffic(
+            graph, Deployment(Architecture.PEARL, 8)
+        )
+        assert embedding == pytest.approx(40e6)
+        assert total > embedding
+
+    def test_embedding_sync_dense_folds_table(self):
+        graph = graph_with()
+        dense_mode = Deployment(
+            Architecture.ALLREDUCE_LOCAL, 8, embedding_sync_dense=True
+        )
+        total, _ = sync_traffic(graph, dense_mode)
+        combined = 100e6 + graph.embedding_trainable_bytes
+        assert total == pytest.approx(4 * 7 / 8 * combined)
+
+
+class TestFeaturesFor:
+    def test_fields_carry_over(self):
+        graph = graph_with()
+        features = features_for(graph, Deployment(Architecture.PS_WORKER, 4))
+        assert features.name == "toy"
+        assert features.num_cnodes == 4
+        assert features.flop_count == graph.flop_count
+        assert features.memory_access_bytes == graph.memory_access_bytes
+        assert features.input_bytes == graph.input_bytes
+        assert features.dense_weight_bytes == graph.dense_weight_bytes
+
+    def test_features_valid_for_every_architecture(self):
+        graph = graph_with()
+        for arch, n in [
+            (Architecture.SINGLE, 1),
+            (Architecture.LOCAL_CENTRALIZED, 4),
+            (Architecture.PS_WORKER, 16),
+            (Architecture.ALLREDUCE_LOCAL, 8),
+            (Architecture.ALLREDUCE_CLUSTER, 16),
+            (Architecture.PEARL, 8),
+        ]:
+            features = features_for(graph, Deployment(arch, n))
+            assert features.architecture is arch
+
+    def test_deployment_validation(self):
+        with pytest.raises(ValueError):
+            Deployment(Architecture.PS_WORKER, 0)

@@ -1,0 +1,159 @@
+"""Op primitives: shape math and backward synthesis."""
+
+import pytest
+
+from repro.graphs.ops import (
+    FP32_BYTES,
+    Op,
+    OpKind,
+    activation_op,
+    backward_ops,
+    batchnorm_op,
+    conv2d_op,
+    conv2d_output_hw,
+    elementwise_op,
+    embedding_lookup_op,
+    layernorm_op,
+    lstm_layer_ops,
+    matmul_op,
+    pooling_op,
+    softmax_op,
+)
+
+
+class TestMatmul:
+    def test_flops(self):
+        op = matmul_op("mm", m=4, k=8, n=16, batch=2)
+        assert op.flops == 2 * 4 * 8 * 16 * 2
+        assert op.kind is OpKind.COMPUTE_BOUND
+        assert op.matmul_like
+
+    def test_default_params_are_weight_matrix(self):
+        op = matmul_op("mm", m=4, k=8, n=16)
+        assert op.param_bytes == 8 * 16 * FP32_BYTES
+
+    def test_explicit_zero_params(self):
+        op = matmul_op("scores", m=4, k=8, n=16, param_bytes=0.0)
+        assert op.param_bytes == 0.0
+
+
+class TestConv2d:
+    def test_output_shape_same_padding(self):
+        assert conv2d_output_hw(224, 224, 7, 2) == (112, 112)
+        assert conv2d_output_hw(14, 14, 3, 1) == (14, 14)
+
+    def test_output_shape_valid_padding(self):
+        assert conv2d_output_hw(224, 224, 7, 2, padding="valid") == (109, 109)
+
+    def test_unknown_padding(self):
+        with pytest.raises(ValueError):
+            conv2d_output_hw(8, 8, 3, 1, padding="circular")
+
+    def test_flops_count_macs_twice(self):
+        op = conv2d_op("c", batch=1, height=8, width=8, in_channels=4,
+                       out_channels=16, kernel=3)
+        assert op.flops == 2 * 8 * 8 * 16 * 4 * 9
+
+    def test_params_include_bias(self):
+        op = conv2d_op("c", batch=1, height=8, width=8, in_channels=4,
+                       out_channels=16, kernel=3)
+        assert op.param_bytes == (9 * 4 * 16 + 16) * FP32_BYTES
+
+    def test_stride_reduces_flops(self):
+        dense = conv2d_op("c", 1, 16, 16, 4, 8, 3, stride=1)
+        strided = conv2d_op("c", 1, 16, 16, 4, 8, 3, stride=2)
+        assert strided.flops == pytest.approx(dense.flops / 4)
+
+
+class TestElementwise:
+    def test_access_counts_reads_and_writes(self):
+        op = elementwise_op("ew", elements=100, reads=2, writes=1)
+        assert op.memory_access_bytes == 100 * 3 * FP32_BYTES
+        assert op.kind is OpKind.MEMORY_BOUND
+        assert op.fusible
+
+    def test_variants(self):
+        assert activation_op("a", 10).memory_access_bytes == 10 * 2 * FP32_BYTES
+        assert batchnorm_op("b", 10, 4).param_bytes == 8 * FP32_BYTES
+        assert layernorm_op("l", 10, 4).param_bytes == 8 * FP32_BYTES
+        assert softmax_op("s", 10).memory_access_bytes == 10 * 3 * FP32_BYTES
+
+    def test_pooling(self):
+        op = pooling_op("p", input_elements=100, output_elements=25)
+        assert op.memory_access_bytes == 125 * FP32_BYTES
+
+
+class TestEmbedding:
+    def test_only_accessed_rows_touch_memory(self):
+        op = embedding_lookup_op("e", vocab_size=1000000, embedding_dim=64,
+                                 lookups=50)
+        assert op.param_bytes == 1000000 * 64 * FP32_BYTES
+        assert op.memory_access_bytes == 2 * 50 * 64 * FP32_BYTES
+        assert op.is_embedding
+        assert not op.fusible
+
+    def test_embedding_without_params_rejected(self):
+        with pytest.raises(ValueError):
+            Op("bad", OpKind.MEMORY_BOUND, 0.0, 1.0, param_bytes=0.0,
+               is_embedding=True)
+
+
+class TestLstm:
+    def test_two_ops_per_layer(self):
+        ops = lstm_layer_ops("lstm", batch=2, seq_len=10, input_size=8,
+                             hidden_size=16)
+        assert len(ops) == 2
+        gate, cell = ops
+        assert gate.kind is OpKind.COMPUTE_BOUND
+        assert cell.kind is OpKind.MEMORY_BOUND
+
+    def test_gate_params(self):
+        gate = lstm_layer_ops("lstm", 1, 1, 8, 16)[0]
+        assert gate.param_bytes == ((8 + 16) * 64 + 64) * FP32_BYTES
+
+
+class TestValidation:
+    def test_negative_flops(self):
+        with pytest.raises(ValueError):
+            Op("bad", OpKind.COMPUTE_BOUND, -1.0, 0.0)
+
+    def test_negative_access(self):
+        with pytest.raises(ValueError):
+            Op("bad", OpKind.MEMORY_BOUND, 0.0, -1.0)
+
+    def test_unfused_factor_below_one(self):
+        with pytest.raises(ValueError):
+            Op("bad", OpKind.MEMORY_BOUND, 0.0, 1.0, unfused_factor=0.5)
+
+    def test_scaled(self):
+        op = elementwise_op("ew", 100)
+        doubled = op.scaled(memory_factor=2.0)
+        assert doubled.memory_access_bytes == 2 * op.memory_access_bytes
+
+
+class TestBackward:
+    def test_compute_backward_doubles_flops(self):
+        forward = [matmul_op("mm", 4, 4, 4)]
+        grads = backward_ops(forward)
+        assert len(grads) == 1
+        assert grads[0].flops == 2 * forward[0].flops
+        assert grads[0].is_backward
+
+    def test_memory_backward_factor(self):
+        forward = [elementwise_op("ew", 100)]
+        grads = backward_ops(forward)
+        assert grads[0].memory_access_bytes == pytest.approx(
+            1.5 * forward[0].memory_access_bytes
+        )
+
+    def test_backward_carries_no_params(self):
+        grads = backward_ops([matmul_op("mm", 4, 4, 4)])
+        assert grads[0].param_bytes == 0.0
+
+    def test_backward_propagates_fusion_metadata(self):
+        from dataclasses import replace
+
+        forward = [replace(elementwise_op("ew", 100), unfused_factor=3.0)]
+        grads = backward_ops(forward)
+        assert grads[0].unfused_factor == 3.0
+        assert grads[0].fusible

@@ -1,0 +1,32 @@
+"""Optimizer state accounting (Table IV footnote)."""
+
+import pytest
+
+from repro.graphs.optimizers import ADAGRAD, ADAM, MOMENTUM, SGD, Optimizer
+
+
+class TestMultipliers:
+    def test_sgd_keeps_only_variables(self):
+        assert SGD.state_multiplier == 1
+
+    def test_momentum_doubles(self):
+        # ResNet50: 102 MB trainable -> 204 MB at rest (Table IV).
+        assert MOMENTUM.state_multiplier == 2
+        assert MOMENTUM.at_rest_bytes(102e6) == pytest.approx(204e6)
+
+    def test_adam_triples(self):
+        # BERT: ~333 MB dense trainable -> ~1 GB at rest.
+        assert ADAM.state_multiplier == 3
+
+    def test_adagrad(self):
+        assert ADAGRAD.state_multiplier == 2
+
+
+class TestValidation:
+    def test_negative_slots_rejected(self):
+        with pytest.raises(ValueError):
+            Optimizer("bad", slots=-1)
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ValueError):
+            SGD.at_rest_bytes(-1.0)

@@ -1,0 +1,59 @@
+"""The ResNet depth family validates the convolution substrate."""
+
+import pytest
+
+from repro.graphs.builders.resnet import RESNET_CONFIGS, build_resnet
+
+#: Published trainable-parameter counts (torchvision, including BN
+#: affine parameters and the 1000-way head).
+REFERENCE_PARAMS = {
+    18: 11.69e6,
+    34: 21.80e6,
+    50: 25.56e6,
+    101: 44.55e6,
+    152: 60.19e6,
+}
+
+
+@pytest.mark.parametrize("depth", sorted(RESNET_CONFIGS))
+class TestParameterCounts:
+    def test_matches_published_counts(self, depth):
+        graph = build_resnet(depth)
+        params = graph.dense_trainable_bytes / 4
+        assert params == pytest.approx(REFERENCE_PARAMS[depth], rel=0.005)
+
+
+class TestFamilyShape:
+    def test_flops_grow_with_depth(self):
+        flops = [build_resnet(d).flop_count for d in (18, 34, 50, 101, 152)]
+        assert flops == sorted(flops)
+
+    def test_basic_vs_bottleneck_blocks(self):
+        shallow = build_resnet(18)
+        deep = build_resnet(50)
+        # Basic blocks have two 3x3 convs (a, b); bottlenecks three.
+        shallow_block = [
+            op.name for op in shallow.forward
+            if op.name.startswith("stage1/block1/") and op.name.endswith("/conv")
+        ]
+        deep_block = [
+            op.name for op in deep.forward
+            if op.name.startswith("stage1/block1/") and op.name.endswith("/conv")
+        ]
+        assert len(shallow_block) == 2
+        assert len(deep_block) == 4  # 3 + projection shortcut
+
+    def test_final_width(self):
+        assert build_resnet(18).forward[-2].param_bytes == (512 * 1000 + 1000) * 4
+        assert build_resnet(50).forward[-2].param_bytes == (2048 * 1000 + 1000) * 4
+
+    def test_unsupported_depth(self):
+        with pytest.raises(ValueError):
+            build_resnet(42)
+
+    def test_names(self):
+        assert build_resnet(101).name == "ResNet101"
+        assert build_resnet(50).name == "ResNet50"
+
+    def test_resnet50_wrapper_unchanged(self, case_studies):
+        assert build_resnet(50).summary() == case_studies["ResNet50"].summary()

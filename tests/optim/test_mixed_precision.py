@@ -1,0 +1,86 @@
+"""The mixed-precision (TensorCore) pass."""
+
+import pytest
+
+from repro.core.architectures import Architecture
+from repro.graphs import Deployment, build_bert
+from repro.graphs.ops import OpKind
+from repro.optim.mixed_precision import (
+    NET_MATMUL_SPEEDUP,
+    TENSOR_CORE_PEAK_RATIO,
+    TENSOR_CORE_UTILIZATION,
+    mixed_precision_pass,
+)
+from repro.sim.executor import simulate_step
+
+
+@pytest.fixture(scope="module")
+def bert():
+    return build_bert()
+
+
+class TestConstants:
+    def test_net_speedup_matches_paper(self):
+        # 8x TensorCore peak at 35% relative utilization = 2.8x.
+        assert NET_MATMUL_SPEEDUP == pytest.approx(2.8)
+        assert TENSOR_CORE_PEAK_RATIO == 8.0
+        assert 0 < TENSOR_CORE_UTILIZATION < 1
+
+
+class TestPass:
+    def test_marks_matmuls(self, bert):
+        transformed = mixed_precision_pass(bert)
+        for original, new in zip(bert.forward, transformed.forward):
+            if original.matmul_like and original.kind is OpKind.COMPUTE_BOUND:
+                assert new.tensor_core
+            else:
+                assert not new.tensor_core
+
+    def test_halves_matmul_activation_traffic(self, bert):
+        transformed = mixed_precision_pass(bert)
+        for original, new in zip(bert.forward, transformed.forward):
+            if new.tensor_core:
+                assert new.memory_access_bytes == pytest.approx(
+                    original.memory_access_bytes / 2
+                )
+
+    def test_flop_counts_unchanged(self, bert):
+        # FLOPs are a workload property; only the execution rate changes.
+        transformed = mixed_precision_pass(bert)
+        assert transformed.flop_count == bert.flop_count
+
+    def test_leaves_memory_bound_ops_alone(self, bert):
+        transformed = mixed_precision_pass(bert)
+        for original, new in zip(bert.forward, transformed.forward):
+            if original.kind is OpKind.MEMORY_BOUND:
+                assert new == original
+
+    def test_pass_is_idempotent(self, bert):
+        once = mixed_precision_pass(bert)
+        twice = mixed_precision_pass(once)
+        assert [op.tensor_core for op in twice.forward] == [
+            op.tensor_core for op in once.forward
+        ]
+
+
+class TestEndToEnd:
+    def test_compute_time_speedup_is_2_8x(self, bert, testbed):
+        deployment = Deployment(
+            Architecture.ALLREDUCE_LOCAL, 8, embedding_sync_dense=True
+        )
+        base = simulate_step(bert, deployment, testbed)
+        mp = simulate_step(mixed_precision_pass(bert), deployment, testbed)
+        assert base.compute_time / mp.compute_time == pytest.approx(2.8, rel=0.01)
+
+    def test_end_to_end_speedup_in_paper_band(self, bert, testbed):
+        # Paper: 1.44x end-to-end for the BERT-class model.
+        from repro.core.efficiency import TABLE_VI_EFFICIENCIES
+
+        deployment = Deployment(
+            Architecture.ALLREDUCE_LOCAL, 8, embedding_sync_dense=True
+        )
+        eff = TABLE_VI_EFFICIENCIES["BERT"]
+        base = simulate_step(bert, deployment, testbed, eff)
+        mp = simulate_step(mixed_precision_pass(bert), deployment, testbed, eff)
+        speedup = base.serial_total / mp.serial_total
+        assert 1.3 <= speedup <= 1.6

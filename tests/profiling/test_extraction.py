@@ -1,0 +1,85 @@
+"""Feature extraction closes the Fig. 4 loop: profile -> features."""
+
+import pytest
+
+from repro.core.architectures import Architecture
+from repro.graphs import Deployment, build_resnet50, features_for
+from repro.profiling.extraction import (
+    extract_features,
+    extract_weight_traffic_by_medium,
+)
+from repro.profiling.runmeta import JobMetadata, RunMetadata
+from repro.sim.executor import simulate_step
+
+
+@pytest.fixture(scope="module")
+def resnet():
+    return build_resnet50()
+
+
+def profile(graph, deployment, testbed):
+    measurement = simulate_step(graph, deployment, testbed)
+    return RunMetadata.from_measurement(measurement)
+
+
+class TestRoundTrip:
+    """Extracted features must agree with the graph-derived ones."""
+
+    def test_compute_features_roundtrip(self, resnet, testbed):
+        deployment = Deployment(Architecture.PS_WORKER, 4)
+        metadata = profile(resnet, deployment, testbed)
+        job = JobMetadata(
+            "resnet", Architecture.PS_WORKER, num_workers=4,
+            batch_size=resnet.batch_size,
+        )
+        extracted = extract_features(metadata, job)
+        expected = features_for(resnet, deployment)
+        assert extracted.flop_count == pytest.approx(expected.flop_count, rel=0.01)
+        assert extracted.memory_access_bytes == pytest.approx(
+            expected.memory_access_bytes, rel=0.01
+        )
+        assert extracted.input_bytes == pytest.approx(
+            expected.input_bytes, rel=0.01
+        )
+
+    def test_ps_weight_traffic_roundtrip(self, resnet, testbed):
+        deployment = Deployment(Architecture.PS_WORKER, 4)
+        metadata = profile(resnet, deployment, testbed)
+        job = JobMetadata("resnet", Architecture.PS_WORKER, num_workers=4)
+        extracted = extract_features(metadata, job)
+        expected = features_for(resnet, deployment)
+        assert extracted.weight_traffic_bytes == pytest.approx(
+            expected.weight_traffic_bytes, rel=0.01
+        )
+
+    def test_single_gpu_has_no_traffic(self, resnet, testbed):
+        metadata = profile(resnet, Deployment(Architecture.SINGLE, 1), testbed)
+        job = JobMetadata("resnet", Architecture.SINGLE, num_workers=1)
+        extracted = extract_features(metadata, job)
+        assert extracted.weight_traffic_bytes == 0.0
+
+
+class TestWeightByMedium:
+    def test_ps_traffic_crosses_both_hops(self, resnet, testbed):
+        metadata = profile(resnet, Deployment(Architecture.PS_WORKER, 4), testbed)
+        volumes = extract_weight_traffic_by_medium(metadata)
+        assert set(volumes) == {"Ethernet", "PCIe"}
+        # The same logical volume crosses each hop once.
+        assert volumes["Ethernet"] == pytest.approx(volumes["PCIe"])
+
+    def test_allreduce_uses_nvlink(self, resnet, testbed):
+        metadata = profile(
+            resnet, Deployment(Architecture.ALLREDUCE_LOCAL, 8), testbed
+        )
+        volumes = extract_weight_traffic_by_medium(metadata)
+        assert set(volumes) == {"NVLink"}
+
+
+class TestAtRestSizes:
+    def test_supplied_from_job_metadata(self, resnet, testbed):
+        metadata = profile(resnet, Deployment(Architecture.SINGLE, 1), testbed)
+        job = JobMetadata("resnet", Architecture.SINGLE, num_workers=1)
+        extracted = extract_features(
+            metadata, job, dense_weight_bytes=204e6
+        )
+        assert extracted.dense_weight_bytes == 204e6

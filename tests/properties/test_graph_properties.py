@@ -1,0 +1,171 @@
+"""Property-based invariants of the op/graph substrate and passes."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.graphs.graph import ModelGraph
+from repro.graphs.ops import (
+    backward_ops,
+    conv2d_op,
+    conv2d_output_hw,
+    elementwise_op,
+    embedding_lookup_op,
+    matmul_op,
+)
+from repro.optim.mixed_precision import mixed_precision_pass
+from repro.optim.xla import xla_fusion_pass
+from repro.sim.collectives import (
+    allgatherv_time,
+    reduce_scatter_time,
+    ring_allreduce_time,
+)
+
+dims = st.integers(min_value=1, max_value=512)
+
+
+class TestOpMath:
+    @given(m=dims, k=dims, n=dims, batch=st.integers(1, 64))
+    def test_matmul_flops_linear_in_batch(self, m, k, n, batch):
+        single = matmul_op("a", m, k, n, batch=1)
+        batched = matmul_op("a", m, k, n, batch=batch)
+        assert batched.flops == single.flops * batch
+
+    @given(
+        hw=st.integers(4, 256),
+        kernel=st.sampled_from([1, 3, 5, 7]),
+        stride=st.sampled_from([1, 2]),
+    )
+    def test_conv_output_never_larger(self, hw, kernel, stride):
+        out_h, out_w = conv2d_output_hw(hw, hw, kernel, stride)
+        assert 1 <= out_h <= hw
+        assert out_h == (hw + stride - 1) // stride
+
+    @given(
+        elements=st.floats(min_value=1, max_value=1e9),
+        reads=st.integers(1, 5),
+        writes=st.integers(1, 3),
+    )
+    def test_elementwise_access_formula(self, elements, reads, writes):
+        op = elementwise_op("e", elements, reads=reads, writes=writes)
+        assert op.memory_access_bytes == elements * (reads + writes) * 4
+
+    @given(vocab=st.integers(10, 10**8), dim=dims, lookups=st.integers(1, 10**6))
+    def test_embedding_access_independent_of_vocab(self, vocab, dim, lookups):
+        small = embedding_lookup_op("e", vocab, dim, lookups)
+        large = embedding_lookup_op("e", vocab * 2, dim, lookups)
+        assert small.memory_access_bytes == large.memory_access_bytes
+        assert large.param_bytes == 2 * small.param_bytes
+
+
+class TestBackward:
+    @given(m=dims, k=dims, n=dims)
+    def test_backward_never_cheaper(self, m, k, n):
+        forward = [matmul_op("mm", m, k, n)]
+        grads = backward_ops(forward)
+        assert grads[0].flops >= forward[0].flops
+
+
+def graph_of(ops):
+    return ModelGraph(
+        name="prop",
+        domain="test",
+        forward=tuple(ops),
+        batch_size=1,
+        input_bytes_per_sample=1.0,
+    )
+
+
+@st.composite
+def random_graphs(draw):
+    count = draw(st.integers(min_value=1, max_value=12))
+    ops = []
+    for index in range(count):
+        kind = draw(st.sampled_from(["matmul", "conv", "elementwise"]))
+        if kind == "matmul":
+            ops.append(
+                matmul_op(
+                    f"mm{index}",
+                    draw(dims),
+                    draw(dims),
+                    draw(dims),
+                )
+            )
+        elif kind == "conv":
+            ops.append(
+                conv2d_op(
+                    f"c{index}",
+                    batch=1,
+                    height=draw(st.integers(4, 64)),
+                    width=draw(st.integers(4, 64)),
+                    in_channels=draw(st.integers(1, 16)),
+                    out_channels=draw(st.integers(1, 16)),
+                    kernel=draw(st.sampled_from([1, 3])),
+                )
+            )
+        else:
+            ops.append(
+                elementwise_op(
+                    f"e{index}",
+                    draw(st.floats(min_value=1, max_value=1e6)),
+                    reads=draw(st.integers(1, 3)),
+                )
+            )
+    return graph_of(ops)
+
+
+class TestPassInvariants:
+    @given(graph=random_graphs())
+    def test_xla_never_increases_memory_traffic(self, graph):
+        fused = xla_fusion_pass(graph)
+        assert fused.memory_access_bytes <= graph.memory_access_bytes + 1e-6
+
+    @given(graph=random_graphs())
+    def test_xla_never_increases_op_count(self, graph):
+        fused = xla_fusion_pass(graph)
+        assert len(fused.forward) <= len(graph.forward)
+
+    @given(graph=random_graphs())
+    def test_xla_preserves_params(self, graph):
+        fused = xla_fusion_pass(graph)
+        assert abs(
+            fused.dense_trainable_bytes - graph.dense_trainable_bytes
+        ) < 1e-6
+
+    @given(graph=random_graphs())
+    def test_mp_preserves_flops_and_halves_matmul_traffic(self, graph):
+        transformed = mixed_precision_pass(graph)
+        assert transformed.flop_count == graph.flop_count
+        for original, new in zip(graph.forward, transformed.forward):
+            assert new.memory_access_bytes <= original.memory_access_bytes
+
+    @given(graph=random_graphs())
+    def test_passes_commute_on_totals(self, graph):
+        mp_then_xla = xla_fusion_pass(mixed_precision_pass(graph))
+        xla_then_mp = mixed_precision_pass(xla_fusion_pass(graph))
+        assert mp_then_xla.flop_count == xla_then_mp.flop_count
+        assert abs(
+            mp_then_xla.memory_access_bytes - xla_then_mp.memory_access_bytes
+        ) <= 1e-6 * max(mp_then_xla.memory_access_bytes, 1.0)
+
+
+class TestCollectiveBounds:
+    @given(
+        num_bytes=st.floats(min_value=1, max_value=1e12),
+        nodes=st.integers(min_value=2, max_value=1024),
+    )
+    def test_ring_volume_bounded_by_2s(self, num_bytes, nodes):
+        cost = ring_allreduce_time(num_bytes, nodes, 1e9, efficiency=1.0)
+        assert cost.volume_per_node <= 2 * num_bytes
+        assert cost.volume_per_node >= num_bytes  # at least S for n >= 2
+
+    @given(
+        num_bytes=st.floats(min_value=1, max_value=1e12),
+        nodes=st.integers(min_value=2, max_value=64),
+    )
+    def test_mesh_never_slower_than_ring(self, num_bytes, nodes):
+        ring = allgatherv_time(num_bytes, nodes, 1e9, topology="ring")
+        mesh = allgatherv_time(num_bytes, nodes, 1e9, topology="mesh")
+        assert mesh.seconds <= ring.seconds
+        ring_rs = reduce_scatter_time(num_bytes, nodes, 1e9, topology="ring")
+        mesh_rs = reduce_scatter_time(num_bytes, nodes, 1e9, topology="mesh")
+        assert mesh_rs.seconds <= ring_rs.seconds

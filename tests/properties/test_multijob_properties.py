@@ -1,0 +1,103 @@
+"""Scheduler safety invariants, property-tested.
+
+The central guarantee of the multi-job scheduler: at no instant does
+the placed GPU count exceed the cluster capacity, for *any* job mix.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.architectures import Architecture
+from repro.core.features import WorkloadFeatures
+from repro.sim.multijob import ClusterScheduler
+from repro.trace.schema import JobRecord
+
+
+@st.composite
+def job_lists(draw):
+    count = draw(st.integers(min_value=1, max_value=40))
+    jobs = []
+    for index in range(count):
+        architecture = draw(
+            st.sampled_from(
+                [
+                    Architecture.SINGLE,
+                    Architecture.LOCAL_CENTRALIZED,
+                    Architecture.ALLREDUCE_LOCAL,
+                    Architecture.ALLREDUCE_CLUSTER,
+                ]
+            )
+        )
+        if architecture is Architecture.SINGLE:
+            cnodes = 1
+        elif architecture.is_local:
+            cnodes = draw(st.integers(2, 8))
+        else:
+            cnodes = draw(st.integers(2, 40))
+        features = WorkloadFeatures(
+            name=f"job-{index}",
+            architecture=architecture,
+            num_cnodes=cnodes,
+            batch_size=32,
+            flop_count=1e9,
+            memory_access_bytes=1e6,
+            input_bytes=1e3,
+            weight_traffic_bytes=0.0
+            if architecture is Architecture.SINGLE
+            else 1e6,
+            dense_weight_bytes=1e6,
+        )
+        jobs.append(
+            JobRecord(
+                job_id=index,
+                features=features,
+                submit_day=draw(st.integers(0, 5)),
+            )
+        )
+    return jobs
+
+
+def gpu_usage_at(executions, instant):
+    return sum(
+        e.job.num_cnodes
+        for e in executions
+        if e.start_hour <= instant < e.end_hour
+    )
+
+
+class TestSchedulerSafety:
+    @settings(max_examples=40, deadline=None)
+    @given(jobs=job_lists(), seed=st.integers(0, 100))
+    def test_never_oversubscribed(self, jobs, seed):
+        scheduler = ClusterScheduler(num_servers=6, gpus_per_server=8)
+        durations = {j.job_id: 1.0 + (j.job_id % 5) for j in jobs}
+        result = scheduler.schedule(jobs, durations)
+        # Check occupancy at every start instant (usage only changes there).
+        for execution in result.executions:
+            usage = gpu_usage_at(result.executions, execution.start_hour)
+            assert usage <= scheduler.total_gpus
+
+    @settings(max_examples=40, deadline=None)
+    @given(jobs=job_lists())
+    def test_every_job_placed_or_rejected(self, jobs):
+        scheduler = ClusterScheduler(num_servers=6, gpus_per_server=8)
+        durations = {j.job_id: 2.0 for j in jobs}
+        result = scheduler.schedule(jobs, durations)
+        assert len(result.executions) + len(result.rejected) == len(jobs)
+
+    @settings(max_examples=40, deadline=None)
+    @given(jobs=job_lists())
+    def test_no_job_starts_before_arrival(self, jobs):
+        scheduler = ClusterScheduler(num_servers=6, gpus_per_server=8)
+        durations = {j.job_id: 0.5 for j in jobs}
+        result = scheduler.schedule(jobs, durations)
+        for execution in result.executions:
+            assert execution.start_hour >= execution.arrival_hour - 1e-9
+
+    @settings(max_examples=20, deadline=None)
+    @given(jobs=job_lists())
+    def test_deterministic(self, jobs):
+        durations = {j.job_id: 1.5 for j in jobs}
+        first = ClusterScheduler(6, 8).schedule(jobs, durations)
+        second = ClusterScheduler(6, 8).schedule(jobs, durations)
+        assert first.executions == second.executions

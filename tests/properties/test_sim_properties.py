@@ -1,0 +1,75 @@
+"""Property-based invariants of the simulator resources."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.sim.resources import Channel, Device
+
+volumes = st.lists(
+    st.floats(min_value=1.0, max_value=1e10), min_size=1, max_size=30
+)
+
+
+class TestChannelFIFO:
+    @given(transfers=volumes)
+    def test_completions_monotone_in_request_order(self, transfers):
+        channel = Channel("c", bandwidth=1e9, efficiency=1.0)
+        ends = [
+            channel.reserve(0.0, volume, f"t{i}", "input")
+            for i, volume in enumerate(transfers)
+        ]
+        assert ends == sorted(ends)
+
+    @given(transfers=volumes)
+    def test_total_time_is_sum_of_durations(self, transfers):
+        channel = Channel("c", bandwidth=1e9, efficiency=1.0)
+        last = 0.0
+        for i, volume in enumerate(transfers):
+            last = channel.reserve(0.0, volume, f"t{i}", "input")
+        assert abs(last - sum(transfers) / 1e9) < 1e-6 * max(last, 1.0)
+
+    @given(transfers=volumes)
+    def test_records_never_overlap(self, transfers):
+        channel = Channel("c", bandwidth=1e9, efficiency=1.0)
+        for i, volume in enumerate(transfers):
+            channel.reserve(0.0, volume, f"t{i}", "input")
+        records = sorted(channel.records, key=lambda r: r.start)
+        for earlier, later in zip(records, records[1:]):
+            assert later.start >= earlier.end - 1e-12
+
+
+class TestDeviceSerial:
+    @given(kernels=volumes)
+    def test_device_executes_serially(self, kernels):
+        gpu = Device(
+            "g",
+            peak_flops=1e12,
+            memory_bandwidth=1e12,
+            compute_efficiency=1.0,
+            memory_efficiency=1.0,
+            launch_overhead=0.0,
+        )
+        last = 0.0
+        for i, seconds in enumerate(k / 1e10 for k in kernels):
+            last = gpu.run_kernel(0.0, f"k{i}", seconds, "compute")
+        assert abs(last - sum(k / 1e10 for k in kernels)) < 1e-9 * max(last, 1.0)
+
+    @given(
+        kernels=volumes,
+        overhead=st.floats(min_value=0.0, max_value=1e-3),
+    )
+    def test_overhead_adds_per_kernel(self, kernels, overhead):
+        def total(launch):
+            gpu = Device(
+                "g",
+                peak_flops=1e12,
+                memory_bandwidth=1e12,
+                launch_overhead=launch,
+            )
+            last = 0.0
+            for i, volume in enumerate(kernels):
+                last = gpu.run_kernel(0.0, f"k{i}", volume / 1e12, "compute")
+            return last
+
+        difference = total(overhead) - total(0.0)
+        assert abs(difference - overhead * len(kernels)) < 1e-9

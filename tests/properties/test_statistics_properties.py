@@ -1,0 +1,69 @@
+"""Property-based invariants of the statistics toolkit."""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.trace.statistics import EmpiricalCDF, fraction_above, fraction_below
+
+samples = st.lists(
+    st.floats(min_value=-1e9, max_value=1e9, allow_nan=False),
+    min_size=1,
+    max_size=200,
+)
+
+
+class TestEmpiricalCDF:
+    @given(data=samples)
+    def test_cumulative_monotone_and_normalized(self, data):
+        cdf = EmpiricalCDF.from_samples(data)
+        assert list(cdf.cumulative) == sorted(cdf.cumulative)
+        assert abs(cdf.cumulative[-1] - 1.0) < 1e-9
+
+    @given(data=samples)
+    def test_values_sorted(self, data):
+        cdf = EmpiricalCDF.from_samples(data)
+        assert list(cdf.values) == sorted(cdf.values)
+
+    @given(data=samples, x=st.floats(allow_nan=False, min_value=-2e9, max_value=2e9))
+    def test_probability_bounds(self, data, x):
+        cdf = EmpiricalCDF.from_samples(data)
+        assert 0.0 <= cdf.probability_at(x) <= 1.0
+
+    @given(data=samples, q=st.floats(min_value=0.0, max_value=1.0))
+    def test_quantile_is_a_sample(self, data, q):
+        cdf = EmpiricalCDF.from_samples(data)
+        assert cdf.quantile(q) in cdf.values
+
+    @given(data=samples)
+    def test_quantile_probability_galois(self, data):
+        """P(X <= quantile(q)) >= q for every sample q on the grid."""
+        cdf = EmpiricalCDF.from_samples(data)
+        for q in (0.1, 0.5, 0.9):
+            assert cdf.probability_at(cdf.quantile(q)) >= q - 1e-9
+
+    @given(data=samples)
+    def test_extremes(self, data):
+        cdf = EmpiricalCDF.from_samples(data)
+        assert cdf.probability_at(min(data) - 1.0) == 0.0
+        assert cdf.probability_at(max(data) + 1.0) == 1.0
+
+    @given(
+        data=samples,
+        weights_seed=st.integers(min_value=0, max_value=2**31),
+    )
+    def test_weighted_cdf_normalized(self, data, weights_seed):
+        import numpy as np
+
+        rng = np.random.default_rng(weights_seed)
+        weights = rng.uniform(0.1, 10.0, size=len(data)).tolist()
+        cdf = EmpiricalCDF.from_samples(data, weights)
+        assert abs(cdf.cumulative[-1] - 1.0) < 1e-9
+
+
+class TestFractions:
+    @given(data=samples, threshold=st.floats(allow_nan=False, min_value=-2e9, max_value=2e9))
+    def test_partition(self, data, threshold):
+        below = fraction_below(data, threshold)
+        above = fraction_above(data, threshold)
+        at = sum(1 for s in data if s == threshold) / len(data)
+        assert abs(below + above + at - 1.0) < 1e-9

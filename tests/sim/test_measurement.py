@@ -1,0 +1,96 @@
+"""StepMeasurement aggregation."""
+
+import pytest
+
+from repro.sim.events import TimelineRecord
+from repro.sim.measurement import StepMeasurement, medium_of_resource
+
+
+def measurement(records, num_cnodes=1, step_time=None):
+    if step_time is None:
+        step_time = max((r.end for r in records), default=0.0)
+    return StepMeasurement(
+        workload="toy",
+        records=tuple(records),
+        step_time=step_time,
+        num_cnodes=num_cnodes,
+    )
+
+
+class TestMediumMapping:
+    def test_known_resources(self):
+        assert medium_of_resource("server0/nic") == "Ethernet"
+        assert medium_of_resource("server1/nvlink") == "NVLink"
+        assert medium_of_resource("server0/pcie") == "PCIe"
+        assert medium_of_resource("server0/gpu3") == "local"
+
+
+class TestAggregation:
+    def test_per_cnode_averaging(self):
+        records = [
+            TimelineRecord("a", "server0/gpu0", 0.0, 1.0, "compute"),
+            TimelineRecord("b", "server0/gpu1", 0.0, 3.0, "compute"),
+        ]
+        m = measurement(records, num_cnodes=2)
+        assert m.compute_time == pytest.approx(2.0)
+
+    def test_input_elapsed_includes_queueing(self):
+        # Two GPUs behind one PCIe complex: ends at 1s and 2s.
+        records = [
+            TimelineRecord("i0", "server0/pcie", 0.0, 1.0, "input"),
+            TimelineRecord("i1", "server0/pcie", 1.0, 2.0, "input"),
+        ]
+        m = measurement(records, num_cnodes=2)
+        assert m.data_io_time == pytest.approx(1.5)
+
+    def test_weight_times_keyed_by_medium(self):
+        records = [
+            TimelineRecord("w0", "server0/nic", 0.0, 2.0, "weight"),
+            TimelineRecord("w1", "server0/pcie", 2.0, 3.0, "weight"),
+        ]
+        m = measurement(records)
+        times = m.weight_times()
+        assert times["Ethernet"] == pytest.approx(2.0)
+        assert times["PCIe"] == pytest.approx(1.0)
+        assert m.weight_time == pytest.approx(3.0)
+
+    def test_breakdown_matches_components(self):
+        records = [
+            TimelineRecord("i", "server0/pcie", 0.0, 0.5, "input"),
+            TimelineRecord("c", "server0/gpu0", 0.5, 1.5, "compute"),
+            TimelineRecord("m", "server0/gpu0", 1.5, 2.0, "memory"),
+            TimelineRecord("w", "server0/nic", 2.0, 3.0, "weight"),
+        ]
+        m = measurement(records)
+        breakdown = m.breakdown()
+        assert breakdown.data_io == pytest.approx(0.5)
+        assert breakdown.compute_flops == pytest.approx(1.0)
+        assert breakdown.compute_memory == pytest.approx(0.5)
+        assert breakdown.weight_total == pytest.approx(1.0)
+        assert breakdown.total == pytest.approx(3.0)
+
+    def test_overhead_excluded_from_breakdown_but_in_serial_total(self):
+        records = [
+            TimelineRecord("launch", "server0/gpu0", 0.0, 0.1, "overhead"),
+            TimelineRecord("c", "server0/gpu0", 0.1, 1.1, "compute"),
+        ]
+        m = measurement(records)
+        assert m.breakdown().total == pytest.approx(1.0)
+        assert m.serial_total == pytest.approx(1.1)
+
+    def test_summary_keys(self):
+        m = measurement(
+            [TimelineRecord("c", "gpu", 0.0, 1.0, "compute")]
+        )
+        summary = m.summary()
+        assert summary["workload"] == "toy"
+        assert summary["compute_bound"] == pytest.approx(1.0)
+
+    def test_empty_measurement(self):
+        m = measurement([])
+        assert m.data_io_time == 0.0
+        assert m.weight_times() == {}
+
+    def test_rejects_negative_step_time(self):
+        with pytest.raises(ValueError):
+            StepMeasurement("x", (), step_time=-1.0, num_cnodes=1)

@@ -1,0 +1,74 @@
+"""PS-fleet provisioning wired into the step executor."""
+
+import pytest
+
+from repro.core.architectures import Architecture
+from repro.graphs import Deployment, build_multi_interests
+from repro.sim.executor import simulate_step
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return build_multi_interests()
+
+
+class TestPsFleetInExecutor:
+    def test_default_is_well_provisioned(self, graph, testbed):
+        implicit = simulate_step(
+            graph, Deployment(Architecture.PS_WORKER, 8), testbed
+        )
+        explicit = simulate_step(
+            graph,
+            Deployment(Architecture.PS_WORKER, 8, num_parameter_servers=8),
+            testbed,
+        )
+        assert implicit.weight_time == pytest.approx(explicit.weight_time)
+
+    def test_underprovisioned_fleet_slows_sync(self, graph, testbed):
+        healthy = simulate_step(
+            graph,
+            Deployment(Architecture.PS_WORKER, 16, num_parameter_servers=16),
+            testbed,
+        )
+        starved = simulate_step(
+            graph,
+            Deployment(Architecture.PS_WORKER, 16, num_parameter_servers=2),
+            testbed,
+        )
+        assert starved.weight_time > 3 * healthy.weight_time
+
+    def test_overprovisioning_does_not_help(self, graph, testbed):
+        at_w = simulate_step(
+            graph,
+            Deployment(Architecture.PS_WORKER, 8, num_parameter_servers=8),
+            testbed,
+        )
+        at_4w = simulate_step(
+            graph,
+            Deployment(Architecture.PS_WORKER, 8, num_parameter_servers=32),
+            testbed,
+        )
+        assert at_4w.weight_time == pytest.approx(at_w.weight_time)
+
+    def test_only_ethernet_hop_is_throttled(self, graph, testbed):
+        healthy = simulate_step(
+            graph,
+            Deployment(Architecture.PS_WORKER, 16, num_parameter_servers=16),
+            testbed,
+        )
+        starved = simulate_step(
+            graph,
+            Deployment(Architecture.PS_WORKER, 16, num_parameter_servers=4),
+            testbed,
+        )
+        assert starved.weight_times()["PCIe"] == pytest.approx(
+            healthy.weight_times()["PCIe"]
+        )
+        # 4x the wire time, modulo the fixed per-transfer NIC latency.
+        assert starved.weight_times()["Ethernet"] == pytest.approx(
+            4 * healthy.weight_times()["Ethernet"], rel=1e-3
+        )
+
+    def test_fleet_size_validation(self):
+        with pytest.raises(ValueError):
+            Deployment(Architecture.PS_WORKER, 8, num_parameter_servers=0)

@@ -1,0 +1,107 @@
+"""Straggler modeling for synchronous training."""
+
+import pytest
+
+from repro.core.architectures import Architecture
+from repro.core.features import WorkloadFeatures
+from repro.core.timemodel import estimate_breakdown
+from repro.sim.stragglers import (
+    JitterModel,
+    expected_straggler_factor,
+    straggled_step_time,
+    synchronization_penalty_curve,
+)
+
+
+def ps_job(num_cnodes=16):
+    return WorkloadFeatures(
+        name="job",
+        architecture=Architecture.PS_WORKER,
+        num_cnodes=num_cnodes,
+        batch_size=128,
+        flop_count=2e12,
+        memory_access_bytes=20e9,
+        input_bytes=10e6,
+        weight_traffic_bytes=500e6,
+        dense_weight_bytes=500e6,
+    )
+
+
+class TestStragglerFactor:
+    def test_single_replica_is_one(self):
+        assert expected_straggler_factor(1) == 1.0
+
+    def test_zero_jitter_is_one(self):
+        assert expected_straggler_factor(64, JitterModel(sigma=0.0)) == 1.0
+
+    def test_grows_with_cluster_size(self):
+        factors = [
+            expected_straggler_factor(n, JitterModel(sigma=0.1))
+            for n in (2, 8, 32, 128)
+        ]
+        assert factors == sorted(factors)
+        assert factors[0] > 1.0
+
+    def test_grows_with_jitter(self):
+        calm = expected_straggler_factor(32, JitterModel(sigma=0.05))
+        noisy = expected_straggler_factor(32, JitterModel(sigma=0.2))
+        assert noisy > calm
+
+    def test_reproducible(self):
+        jitter = JitterModel(sigma=0.1, seed=42)
+        assert expected_straggler_factor(16, jitter) == (
+            expected_straggler_factor(16, jitter)
+        )
+
+    def test_magnitude_sane(self):
+        # 10% jitter over 128 replicas: tens of percent, not multiples.
+        factor = expected_straggler_factor(128, JitterModel(sigma=0.1))
+        assert 1.2 < factor < 1.6
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            expected_straggler_factor(0)
+        with pytest.raises(ValueError):
+            JitterModel(sigma=-0.1)
+        with pytest.raises(ValueError):
+            JitterModel(samples=0)
+
+
+class TestStraggledStepTime:
+    def test_never_faster_than_baseline(self, hardware):
+        features = ps_job()
+        baseline = estimate_breakdown(features, hardware).total
+        assert straggled_step_time(features, hardware) >= baseline
+
+    def test_only_compute_stretches(self, hardware):
+        features = ps_job()
+        breakdown = estimate_breakdown(features, hardware)
+        straggled = straggled_step_time(
+            features, hardware, JitterModel(sigma=0.15)
+        )
+        factor = expected_straggler_factor(16, JitterModel(sigma=0.15))
+        expected = (
+            breakdown.data_io
+            + breakdown.computation * factor
+            + breakdown.weight_total
+        )
+        assert straggled == pytest.approx(expected)
+
+
+class TestPenaltyCurve:
+    def test_inflation_monotone_in_cnodes(self, hardware):
+        rows = synchronization_penalty_curve(
+            ps_job(), hardware, cnode_counts=[1, 4, 16, 64]
+        )
+        inflations = [row["step_inflation"] for row in rows]
+        assert inflations == sorted(inflations)
+        assert inflations[0] == pytest.approx(1.0)
+
+    def test_inflation_bounded_by_factor(self, hardware):
+        # The step inflates less than the compute factor because the
+        # communication part does not jitter.
+        rows = synchronization_penalty_curve(
+            ps_job(), hardware, cnode_counts=[64]
+        )
+        row = rows[0]
+        assert 1.0 < row["step_inflation"] < row["straggler_factor"]

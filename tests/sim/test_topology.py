@@ -1,0 +1,59 @@
+"""Simulated cluster construction."""
+
+import pytest
+
+from repro.core.efficiency import EfficiencyModel
+from repro.sim.topology import build_cluster
+
+
+class TestBuildCluster:
+    def test_default_shape(self, testbed):
+        cluster = build_cluster(2, testbed)
+        assert len(cluster.servers) == 2
+        assert len(cluster.servers[0].gpus) == 8
+        assert cluster.servers[0].nvlink is not None
+
+    def test_no_nvlink_servers(self, hardware):
+        cluster = build_cluster(1, hardware, with_nvlink=False)
+        assert cluster.servers[0].nvlink is None
+
+    def test_efficiency_propagates(self, testbed):
+        eff = EfficiencyModel(compute=0.9, memory=0.3, pcie=0.5, network=0.4)
+        cluster = build_cluster(1, testbed, efficiency=eff)
+        gpu = cluster.servers[0].gpus[0]
+        assert gpu.compute_efficiency == 0.9
+        assert gpu.memory_efficiency == 0.3
+        assert cluster.servers[0].pcie.efficiency == 0.5
+        assert cluster.servers[0].nic.efficiency == 0.4
+        assert cluster.servers[0].nvlink.efficiency == 0.4
+
+    def test_gpu_specs_propagate(self, testbed):
+        cluster = build_cluster(1, testbed)
+        gpu = cluster.servers[0].gpus[0]
+        assert gpu.peak_flops == testbed.gpu.peak_flops
+        assert gpu.tensor_core_flops == testbed.gpu.tensor_core_flops
+
+    def test_flat_gpu_indexing(self, testbed):
+        cluster = build_cluster(2, testbed, gpus_per_server=4)
+        assert len(cluster.all_gpus()) == 8
+        assert cluster.gpu(5).name == "server1/gpu1"
+        assert cluster.server_of_gpu(5).index == 1
+
+    def test_reset_clears_state(self, testbed):
+        cluster = build_cluster(1, testbed)
+        cluster.servers[0].pcie.reserve(0.0, 1e9, "x", "input")
+        cluster.servers[0].gpus[0].run_kernel(0.0, "k", 1.0, "compute")
+        cluster.reset()
+        assert cluster.records() == []
+
+    def test_rejects_zero_servers(self, testbed):
+        with pytest.raises(ValueError):
+            build_cluster(0, testbed)
+
+    def test_records_aggregates_all_resources(self, testbed):
+        cluster = build_cluster(1, testbed, gpus_per_server=2)
+        cluster.servers[0].pcie.reserve(0.0, 1e6, "x", "input")
+        cluster.servers[0].gpus[1].run_kernel(0.0, "k", 1.0, "compute")
+        names = {r.resource for r in cluster.records()}
+        assert "server0/pcie" in names
+        assert "server0/gpu1" in names

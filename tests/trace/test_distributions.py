@@ -1,0 +1,95 @@
+"""Parametric samplers."""
+
+import numpy as np
+import pytest
+
+from repro.trace.distributions import (
+    beta_with_mean,
+    clipped_lognormal_int,
+    lognormal,
+    loguniform,
+    power_of_two,
+)
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(42)
+
+
+class TestLognormal:
+    def test_median(self, rng):
+        samples = [lognormal(rng, 8.0, 1.0) for _ in range(4000)]
+        assert np.median(samples) == pytest.approx(8.0, rel=0.1)
+
+    def test_zero_sigma_is_deterministic(self, rng):
+        assert lognormal(rng, 5.0, 0.0) == pytest.approx(5.0)
+
+    def test_rejects_nonpositive_median(self, rng):
+        with pytest.raises(ValueError):
+            lognormal(rng, 0.0, 1.0)
+
+    def test_rejects_negative_sigma(self, rng):
+        with pytest.raises(ValueError):
+            lognormal(rng, 1.0, -0.5)
+
+
+class TestLoguniform:
+    def test_range(self, rng):
+        samples = [loguniform(rng, 10.0, 1000.0) for _ in range(500)]
+        assert all(10.0 <= s <= 1000.0 for s in samples)
+
+    def test_log_median(self, rng):
+        samples = [loguniform(rng, 1.0, 10000.0) for _ in range(4000)]
+        assert np.median(samples) == pytest.approx(100.0, rel=0.3)
+
+    def test_rejects_bad_bounds(self, rng):
+        with pytest.raises(ValueError):
+            loguniform(rng, 0.0, 1.0)
+        with pytest.raises(ValueError):
+            loguniform(rng, 2.0, 1.0)
+
+
+class TestBetaWithMean:
+    def test_mean(self, rng):
+        samples = [beta_with_mean(rng, 0.62, 7.0) for _ in range(4000)]
+        assert np.mean(samples) == pytest.approx(0.62, abs=0.02)
+
+    def test_range(self, rng):
+        samples = [beta_with_mean(rng, 0.3) for _ in range(100)]
+        assert all(0.0 < s < 1.0 for s in samples)
+
+    def test_rejects_bad_mean(self, rng):
+        with pytest.raises(ValueError):
+            beta_with_mean(rng, 0.0)
+        with pytest.raises(ValueError):
+            beta_with_mean(rng, 1.0)
+
+    def test_rejects_bad_concentration(self, rng):
+        with pytest.raises(ValueError):
+            beta_with_mean(rng, 0.5, 0.0)
+
+
+class TestClippedLognormalInt:
+    def test_clipping(self, rng):
+        samples = [
+            clipped_lognormal_int(rng, 8.0, 2.0, low=1, high=100)
+            for _ in range(1000)
+        ]
+        assert all(1 <= s <= 100 for s in samples)
+        assert all(isinstance(s, int) for s in samples)
+
+    def test_rejects_inverted_bounds(self, rng):
+        with pytest.raises(ValueError):
+            clipped_lognormal_int(rng, 8.0, 1.0, low=10, high=1)
+
+
+class TestPowerOfTwo:
+    def test_values(self, rng):
+        samples = {power_of_two(rng, 4, 10) for _ in range(500)}
+        assert samples <= {16, 32, 64, 128, 256, 512, 1024}
+        assert len(samples) > 3
+
+    def test_rejects_inverted(self, rng):
+        with pytest.raises(ValueError):
+            power_of_two(rng, 5, 4)

@@ -1,0 +1,111 @@
+"""Trace query helpers."""
+
+import pytest
+
+from repro.core.architectures import Architecture
+from repro.trace.filters import (
+    by_cnode_band,
+    by_day_window,
+    by_tenant,
+    by_type,
+    by_weight_band,
+    filter_jobs,
+    split_by,
+)
+
+
+class TestByType:
+    def test_single_type(self, small_trace):
+        ps = filter_jobs(small_trace, by_type(Architecture.PS_WORKER))
+        assert ps
+        assert all(j.workload_type is Architecture.PS_WORKER for j in ps)
+
+    def test_multiple_types(self, small_trace):
+        local = filter_jobs(
+            small_trace,
+            by_type(Architecture.SINGLE, Architecture.LOCAL_CENTRALIZED),
+        )
+        assert {j.workload_type for j in local} <= {
+            Architecture.SINGLE,
+            Architecture.LOCAL_CENTRALIZED,
+        }
+
+    def test_requires_a_type(self):
+        with pytest.raises(ValueError):
+            by_type()
+
+
+class TestByWeightBand:
+    def test_band(self, small_trace):
+        medium = filter_jobs(small_trace, by_weight_band(10e6, 1e9))
+        assert medium
+        assert all(
+            10e6 <= j.features.weight_bytes < 1e9 for j in medium
+        )
+
+    def test_open_upper_bound(self, small_trace):
+        big = filter_jobs(small_trace, by_weight_band(min_bytes=10e9))
+        assert all(j.features.weight_bytes >= 10e9 for j in big)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            by_weight_band(-1.0)
+        with pytest.raises(ValueError):
+            by_weight_band(10.0, 5.0)
+
+
+class TestByCnodeBand:
+    def test_band_inclusive(self, small_trace):
+        mid = filter_jobs(small_trace, by_cnode_band(2, 8))
+        assert all(2 <= j.num_cnodes <= 8 for j in mid)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            by_cnode_band(0)
+        with pytest.raises(ValueError):
+            by_cnode_band(8, 2)
+
+
+class TestByDayAndTenant:
+    def test_day_window(self, small_trace):
+        early = filter_jobs(small_trace, by_day_window(0, 6))
+        assert all(j.submit_day <= 6 for j in early)
+
+    def test_day_validation(self):
+        with pytest.raises(ValueError):
+            by_day_window(5, 3)
+
+    def test_tenant(self, small_trace):
+        group = small_trace[0].user_group
+        jobs = filter_jobs(small_trace, by_tenant(group))
+        assert jobs
+        assert all(j.user_group == group for j in jobs)
+
+    def test_tenant_validation(self):
+        with pytest.raises(ValueError):
+            by_tenant()
+
+
+class TestComposition:
+    def test_and_composition(self, small_trace):
+        result = filter_jobs(
+            small_trace,
+            by_type(Architecture.PS_WORKER),
+            by_cnode_band(9),
+        )
+        assert all(
+            j.workload_type is Architecture.PS_WORKER and j.num_cnodes >= 9
+            for j in result
+        )
+
+    def test_no_predicates_keeps_everything(self, small_trace):
+        assert filter_jobs(small_trace) == list(small_trace)
+
+    def test_split_partitions(self, small_trace):
+        matching, rest = split_by(
+            small_trace, by_type(Architecture.SINGLE)
+        )
+        assert len(matching) + len(rest) == len(small_trace)
+        assert not set(j.job_id for j in matching) & set(
+            j.job_id for j in rest
+        )

@@ -1,0 +1,57 @@
+"""JobRecord schema and type filters."""
+
+import pytest
+
+from repro.core.architectures import Architecture
+from repro.core.features import WorkloadFeatures
+from repro.trace.schema import JobRecord, features_of_type, jobs_of_type
+
+
+def record(job_id=0, architecture=Architecture.SINGLE, num_cnodes=1):
+    features = WorkloadFeatures(
+        name=f"job-{job_id}",
+        architecture=architecture,
+        num_cnodes=num_cnodes,
+        batch_size=32,
+        flop_count=1e9,
+        memory_access_bytes=1e6,
+        input_bytes=1e3,
+        weight_traffic_bytes=0.0 if architecture is Architecture.SINGLE else 1e6,
+        dense_weight_bytes=1e6,
+    )
+    return JobRecord(job_id=job_id, features=features)
+
+
+class TestJobRecord:
+    def test_workload_type_delegates(self):
+        job = record(architecture=Architecture.PS_WORKER, num_cnodes=4)
+        assert job.workload_type is Architecture.PS_WORKER
+        assert job.num_cnodes == 4
+
+    def test_rejects_negative_id(self):
+        with pytest.raises(ValueError):
+            JobRecord(job_id=-1, features=record().features)
+
+    def test_rejects_negative_day(self):
+        with pytest.raises(ValueError):
+            JobRecord(job_id=0, features=record().features, submit_day=-1)
+
+
+class TestFilters:
+    def test_jobs_of_type(self):
+        jobs = [
+            record(0),
+            record(1, Architecture.PS_WORKER, 4),
+            record(2, Architecture.PS_WORKER, 8),
+        ]
+        ps = jobs_of_type(jobs, Architecture.PS_WORKER)
+        assert [j.job_id for j in ps] == [1, 2]
+
+    def test_features_of_type(self):
+        jobs = [record(0), record(1, Architecture.PS_WORKER, 4)]
+        features = features_of_type(jobs, Architecture.SINGLE)
+        assert len(features) == 1
+        assert features[0].architecture is Architecture.SINGLE
+
+    def test_empty_result(self):
+        assert jobs_of_type([], Architecture.PS_WORKER) == []

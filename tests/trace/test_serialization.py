@@ -1,0 +1,82 @@
+"""JSONL trace persistence."""
+
+import json
+
+import pytest
+
+from repro.trace import generate_trace
+from repro.trace.serialization import (
+    SCHEMA_VERSION,
+    job_from_dict,
+    job_to_dict,
+    load_trace,
+    save_trace,
+)
+
+
+class TestRoundTrip:
+    def test_exact_round_trip(self, tmp_path, small_trace):
+        path = tmp_path / "trace.jsonl"
+        count = save_trace(small_trace, path)
+        assert count == len(small_trace)
+        loaded = load_trace(path)
+        assert loaded == list(small_trace)
+
+    def test_dict_round_trip(self, small_trace):
+        job = small_trace[0]
+        assert job_from_dict(job_to_dict(job)) == job
+
+    def test_json_serializable(self, small_trace):
+        # Every payload must survive a real JSON encode/decode.
+        payload = json.loads(json.dumps(job_to_dict(small_trace[0])))
+        assert job_from_dict(payload) == small_trace[0]
+
+    def test_schema_version_stamped(self, small_trace):
+        assert job_to_dict(small_trace[0])["schema_version"] == SCHEMA_VERSION
+
+
+class TestRobustness:
+    def test_rejects_wrong_schema_version(self, small_trace):
+        payload = job_to_dict(small_trace[0])
+        payload["schema_version"] = 999
+        with pytest.raises(ValueError):
+            job_from_dict(payload)
+
+    def test_rejects_corrupt_json(self, tmp_path):
+        path = tmp_path / "bad.jsonl"
+        path.write_text("{not json}\n")
+        with pytest.raises(ValueError, match="invalid JSON"):
+            load_trace(path)
+
+    def test_rejects_invalid_record(self, tmp_path, small_trace):
+        payload = job_to_dict(small_trace[0])
+        payload["features"]["num_cnodes"] = -1
+        path = tmp_path / "bad.jsonl"
+        path.write_text(json.dumps(payload) + "\n")
+        with pytest.raises(ValueError, match="invalid job record"):
+            load_trace(path)
+
+    def test_reports_line_numbers(self, tmp_path, small_trace):
+        good = json.dumps(job_to_dict(small_trace[0]))
+        path = tmp_path / "mixed.jsonl"
+        path.write_text(good + "\n" + "oops\n")
+        with pytest.raises(ValueError, match=":2:"):
+            load_trace(path)
+
+    def test_skips_blank_lines(self, tmp_path, small_trace):
+        good = json.dumps(job_to_dict(small_trace[0]))
+        path = tmp_path / "gaps.jsonl"
+        path.write_text("\n" + good + "\n\n")
+        assert len(load_trace(path)) == 1
+
+    def test_large_trace_round_trip_preserves_statistics(self, tmp_path):
+        from repro.trace.calibration import evaluate_targets
+
+        jobs = generate_trace(num_jobs=3000)
+        path = tmp_path / "big.jsonl"
+        save_trace(jobs, path)
+        loaded = load_trace(path)
+        # Identical population => identical calibration measurements.
+        original = {r["name"]: r["measured"] for r in evaluate_targets(jobs)}
+        reloaded = {r["name"]: r["measured"] for r in evaluate_targets(loaded)}
+        assert original == reloaded

@@ -1,0 +1,103 @@
+"""Empirical CDFs and weighted aggregates."""
+
+import pytest
+
+from repro.trace.statistics import (
+    EmpiricalCDF,
+    fraction_above,
+    fraction_below,
+    weighted_fraction,
+    weighted_mean,
+)
+
+
+class TestEmpiricalCDF:
+    def test_basic_probabilities(self):
+        cdf = EmpiricalCDF.from_samples([1.0, 2.0, 3.0, 4.0])
+        assert cdf.probability_at(0.5) == 0.0
+        assert cdf.probability_at(2.0) == pytest.approx(0.5)
+        assert cdf.probability_at(10.0) == pytest.approx(1.0)
+
+    def test_median(self):
+        cdf = EmpiricalCDF.from_samples([5.0, 1.0, 3.0])
+        assert cdf.median == 3.0
+
+    def test_quantiles(self):
+        cdf = EmpiricalCDF.from_samples(list(range(1, 101)))
+        assert cdf.quantile(0.9) == 90
+        assert cdf.quantile(0.0) == 1
+        assert cdf.quantile(1.0) == 100
+
+    def test_quantile_out_of_range(self):
+        cdf = EmpiricalCDF.from_samples([1.0])
+        with pytest.raises(ValueError):
+            cdf.quantile(1.5)
+
+    def test_weighted(self):
+        cdf = EmpiricalCDF.from_samples([1.0, 2.0], weights=[1.0, 9.0])
+        assert cdf.probability_at(1.0) == pytest.approx(0.1)
+
+    def test_weight_length_mismatch(self):
+        with pytest.raises(ValueError):
+            EmpiricalCDF.from_samples([1.0, 2.0], weights=[1.0])
+
+    def test_negative_weights_rejected(self):
+        with pytest.raises(ValueError):
+            EmpiricalCDF.from_samples([1.0], weights=[-1.0])
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            EmpiricalCDF.from_samples([])
+
+    def test_series_downsamples(self):
+        cdf = EmpiricalCDF.from_samples(list(range(1000)))
+        series = cdf.series(points=10)
+        assert len(series) == 10
+        assert series[0][0] == 0
+        assert series[-1][1] == pytest.approx(1.0)
+
+    def test_series_small_population(self):
+        cdf = EmpiricalCDF.from_samples([1.0, 2.0])
+        assert len(cdf.series(points=10)) == 2
+
+    def test_series_rejects_one_point(self):
+        cdf = EmpiricalCDF.from_samples([1.0])
+        with pytest.raises(ValueError):
+            cdf.series(points=1)
+
+    def test_cumulative_is_monotone(self):
+        cdf = EmpiricalCDF.from_samples([3.0, 1.0, 4.0, 1.0, 5.0])
+        assert list(cdf.cumulative) == sorted(cdf.cumulative)
+        assert cdf.cumulative[-1] == pytest.approx(1.0)
+
+
+class TestFractions:
+    def test_below_and_above(self):
+        samples = [1.0, 2.0, 3.0, 4.0]
+        assert fraction_below(samples, 3.0) == pytest.approx(0.5)
+        assert fraction_above(samples, 3.0) == pytest.approx(0.25)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            fraction_below([], 1.0)
+        with pytest.raises(ValueError):
+            fraction_above([], 1.0)
+
+
+class TestWeighted:
+    def test_weighted_mean(self):
+        assert weighted_mean([1.0, 3.0], [3.0, 1.0]) == pytest.approx(1.5)
+
+    def test_weighted_fraction(self):
+        result = weighted_fraction(
+            [1.0, 2.0, 3.0], [1.0, 1.0, 8.0], lambda s: s > 1.5
+        )
+        assert result == pytest.approx(0.9)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            weighted_mean([1.0], [1.0, 2.0])
+
+    def test_zero_weight_rejected(self):
+        with pytest.raises(ValueError):
+            weighted_mean([1.0], [0.0])
