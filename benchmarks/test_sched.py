@@ -1,0 +1,54 @@
+"""Extension study: scheduling policies and the fleet what-if."""
+
+import pytest
+
+from conftest import report
+
+from repro.analysis.sched_policies import run as run_policies_experiment
+from repro.analysis.sched_whatif import run as run_whatif_experiment
+from repro.sched import Fleet, FifoPolicy, ModelRuntimePredictor, run_schedule
+
+
+def test_sched_policies(benchmark):
+    result = benchmark.pedantic(
+        run_policies_experiment, rounds=1, iterations=1
+    )
+    report(result)
+    by_policy = {row["policy"]: row for row in result.rows}
+    # Knowing predicted runtimes pays: SJF and EASY backfill beat FIFO
+    # on mean queueing delay.
+    assert by_policy["sjf"]["mean_wait_h"] < by_policy["fifo"]["mean_wait_h"]
+    assert (
+        by_policy["backfill"]["mean_wait_h"] < by_policy["fifo"]["mean_wait_h"]
+    )
+
+
+def test_sched_whatif(benchmark):
+    result = benchmark.pedantic(run_whatif_experiment, rounds=1, iterations=1)
+    report(result)
+    baseline, projected = result.rows
+    assert projected["mean_wait_h"] <= baseline["mean_wait_h"]
+    assert projected["gpu_hours"] < baseline["gpu_hours"]
+
+
+@pytest.mark.slow
+def test_fifo_engine_at_fleet_scale(benchmark, jobs):
+    """The engine chews through an 8000-job trace on a 512-server fleet."""
+    trace = list(jobs)
+    predictor = ModelRuntimePredictor()
+    durations = predictor.durations(trace)
+
+    def schedule():
+        return run_schedule(
+            trace, Fleet(512), FifoPolicy(), durations=durations
+        )
+
+    outcome = benchmark.pedantic(schedule, rounds=1, iterations=1)
+    placed = len(outcome.outcomes)
+    print(
+        f"\n{placed} jobs placed, {len(outcome.rejected)} rejected; "
+        f"mean wait {outcome.mean_queueing_delay_hours:.2f} h, "
+        f"utilization {outcome.utilization():.2f}, "
+        f"energy {outcome.telemetry.energy_kwh() / 1000:.1f} MWh"
+    )
+    assert placed + len(outcome.rejected) == len(trace)

@@ -24,6 +24,8 @@ from .census import run as run_census
 from .inference_report import run as run_inference
 from .observations import run as run_observations
 from .pipeline_check import run as run_pipeline
+from .sched_policies import run as run_sched_policies
+from .sched_whatif import run as run_sched_whatif
 from .tenants import run as run_tenants
 from .result import ExperimentResult
 
@@ -58,6 +60,8 @@ EXPERIMENTS: Dict[str, Callable[[], ExperimentResult]] = {
     "batch_scaling": run_batch_scaling,
     "census": run_census,
     "pipeline": run_pipeline,
+    "sched_policies": run_sched_policies,
+    "sched_whatif": run_sched_whatif,
 }
 
 

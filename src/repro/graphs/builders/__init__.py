@@ -1,0 +1,43 @@
+"""The six Table IV case-study model builders.
+
+Each builder constructs the op-level :class:`~repro.graphs.graph.ModelGraph`
+of one production workload the paper characterizes in depth (Sec. IV):
+ResNet50, Transformer NMT, BERT-Base, a DeepSpeech-style LSTM stack,
+the Multi-Interests recommender, and a GraphSAGE-style GCN.  The graphs
+are calibrated so their aggregate weights/FLOPs/memory/traffic match
+Tables IV and V; :func:`all_case_studies` returns them keyed by their
+Table IV row names.
+"""
+
+from __future__ import annotations
+
+from .bert import build_bert
+from .gcn import build_gcn
+from .multi_interests import build_multi_interests
+from .nmt import build_nmt
+from .resnet import RESNET_CONFIGS, build_resnet, build_resnet50
+from .speech import build_speech
+
+__all__ = [
+    "RESNET_CONFIGS",
+    "all_case_studies",
+    "build_bert",
+    "build_gcn",
+    "build_multi_interests",
+    "build_nmt",
+    "build_resnet",
+    "build_resnet50",
+    "build_speech",
+]
+
+
+def all_case_studies() -> dict:
+    """All six case-study graphs, keyed by their Table IV names."""
+    return {
+        "ResNet50": build_resnet50(),
+        "NMT": build_nmt(),
+        "BERT": build_bert(),
+        "Speech": build_speech(),
+        "Multi-Interests": build_multi_interests(),
+        "GCN": build_gcn(),
+    }

@@ -1,0 +1,146 @@
+"""BERT-Base masked-LM pre-training (Table IV "BERT", QA domain).
+
+The PAI workload is BERT-Base (12 layers, hidden 768, FFN 3072, 12
+heads) trained with Adam at batch 12 x sequence 256: Adam's two slot
+variables triple the at-rest footprint, which is what takes 85M dense
+parameters to the reported ~1GB.  The MLM logits are tied to the token
+embedding, so the output projection carries no parameters of its own.
+
+The Table V memory-access column reflects TensorFlow's unfused graph:
+every attention/FFN element-wise op materializes broadcast and
+transpose temporaries.  :data:`_MEMORY_AMPLIFICATION` calibrates that
+inflation (recoverable by the XLA pass, Sec. IV-D).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..graph import ModelGraph
+from ..ops import (
+    FP32_BYTES,
+    Op,
+    activation_op,
+    elementwise_op,
+    embedding_lookup_op,
+    layernorm_op,
+    matmul_op,
+    softmax_op,
+)
+from ..optimizers import ADAM
+from .common import amplify_memory
+
+__all__ = ["build_bert"]
+
+_BATCH = 12
+_SEQ = 256
+_HIDDEN = 768
+_FFN = 3072
+_LAYERS = 12
+_HEADS = 12
+_VOCAB = 30522
+_POSITIONS = 512
+_SEGMENTS = 2
+
+#: Unfused-materialization factor calibrating Table V's 107.3 GB of
+#: per-step memory access (the algorithmic traffic is ~9x smaller).
+_MEMORY_AMPLIFICATION = 9.0
+
+
+def _attention(ops: List[Op], prefix: str, batch: int, seq: int, hidden: int) -> None:
+    ops.append(
+        matmul_op(
+            f"{prefix}/qkv",
+            m=seq,
+            k=hidden,
+            n=3 * hidden,
+            batch=batch,
+            param_bytes=float(3 * hidden * hidden * FP32_BYTES),
+        )
+    )
+    ops.append(
+        matmul_op(f"{prefix}/scores", m=seq, k=hidden, n=seq, batch=batch, param_bytes=0.0)
+    )
+    ops.append(softmax_op(f"{prefix}/softmax", float(batch) * _HEADS * seq * seq))
+    ops.append(
+        matmul_op(f"{prefix}/context", m=seq, k=seq, n=hidden, batch=batch, param_bytes=0.0)
+    )
+    ops.append(
+        matmul_op(
+            f"{prefix}/out_proj",
+            m=seq,
+            k=hidden,
+            n=hidden,
+            batch=batch,
+            param_bytes=float(hidden * hidden * FP32_BYTES),
+        )
+    )
+
+
+def _ffn(ops: List[Op], prefix: str, batch: int, seq: int, hidden: int, ffn: int) -> None:
+    tokens = float(batch) * seq
+    ops.append(
+        matmul_op(
+            f"{prefix}/ffn/in",
+            m=seq,
+            k=hidden,
+            n=ffn,
+            batch=batch,
+            param_bytes=float((hidden * ffn + ffn) * FP32_BYTES),
+        )
+    )
+    ops.append(activation_op(f"{prefix}/ffn/gelu", tokens * ffn))
+    ops.append(
+        matmul_op(
+            f"{prefix}/ffn/out",
+            m=seq,
+            k=ffn,
+            n=hidden,
+            batch=batch,
+            param_bytes=float((ffn * hidden + hidden) * FP32_BYTES),
+        )
+    )
+
+
+def build_bert() -> ModelGraph:
+    """The Table IV/V BERT case study (batch 12, seq 256)."""
+    tokens = float(_BATCH) * _SEQ
+    ops: List[Op] = [
+        embedding_lookup_op("embeddings/tokens", _VOCAB, _HIDDEN, tokens),
+        embedding_lookup_op("embeddings/positions", _POSITIONS, _HIDDEN, tokens),
+        embedding_lookup_op("embeddings/segments", _SEGMENTS, _HIDDEN, tokens),
+        layernorm_op("embeddings/layernorm", tokens * _HIDDEN, _HIDDEN),
+    ]
+    for layer in range(_LAYERS):
+        prefix = f"encoder/layer{layer}"
+        _attention(ops, f"{prefix}/self_attn", _BATCH, _SEQ, _HIDDEN)
+        ops.append(
+            elementwise_op(f"{prefix}/attn_add", tokens * _HIDDEN, reads=2)
+        )
+        ops.append(
+            layernorm_op(f"{prefix}/attn_layernorm", tokens * _HIDDEN, _HIDDEN)
+        )
+        _ffn(ops, prefix, _BATCH, _SEQ, _HIDDEN, _FFN)
+        ops.append(
+            elementwise_op(f"{prefix}/ffn_add", tokens * _HIDDEN, reads=2)
+        )
+        ops.append(
+            layernorm_op(f"{prefix}/ffn_layernorm", tokens * _HIDDEN, _HIDDEN)
+        )
+    # Tied output projection: reuses the token table, no extra weights.
+    ops.append(
+        matmul_op("mlm/logits", m=_SEQ, k=_HIDDEN, n=_VOCAB, batch=_BATCH, param_bytes=0.0)
+    )
+    ops.append(softmax_op("mlm/softmax", tokens * _VOCAB))
+
+    return ModelGraph(
+        name="BERT",
+        domain="QA",
+        forward=tuple(amplify_memory(ops, _MEMORY_AMPLIFICATION)),
+        batch_size=_BATCH,
+        # Token ids, attention mask, segment ids and MLM labels: four
+        # int32 streams per sequence position.
+        input_bytes_per_sample=float(_SEQ * 4 * 4),
+        embedding_access_bytes=3 * 2.0 * tokens * _HIDDEN * FP32_BYTES,
+        optimizer=ADAM,
+    )

@@ -1,0 +1,43 @@
+"""Shared calibration helpers for the case-study builders.
+
+The op constructors in :mod:`repro.graphs.ops` count the *algorithmic*
+memory traffic of each layer: one read of every input tensor, one write
+of the output.  Real TensorFlow graphs materialize far more than that —
+broadcasts, transposes, gradient temporaries, unfused optimizer slices —
+which is exactly the inflation the paper's XLA experiments recover
+(Sec. IV-D).  Builders express that gap with :func:`amplify_memory`:
+the amplified traffic reproduces the Table V "GPU Memory Access"
+column, and the recorded ``unfused_factor`` lets the XLA fusion pass
+de-materialize it again.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Iterable, List
+
+from ..ops import Op, OpKind
+
+__all__ = ["amplify_memory"]
+
+
+def amplify_memory(ops: Iterable[Op], factor: float) -> List[Op]:
+    """Inflate memory-bound ops by an unfused-materialization factor.
+
+    Every memory-bound op in ``ops`` gets its ``memory_access_bytes``
+    multiplied by ``factor`` and its ``unfused_factor`` raised by the
+    same amount (so an XLA-style fusion pass can recover the inflation);
+    compute-bound ops pass through untouched.
+    """
+    if factor < 1.0:
+        raise ValueError("amplification factor must be at least 1")
+    amplified: List[Op] = []
+    for op in ops:
+        if op.kind is OpKind.MEMORY_BOUND:
+            op = replace(
+                op,
+                memory_access_bytes=op.memory_access_bytes * factor,
+                unfused_factor=op.unfused_factor * factor,
+            )
+        amplified.append(op)
+    return amplified

@@ -1,0 +1,116 @@
+"""GraphSAGE-style GCN recommender (Table IV "GCN").
+
+Item-to-item matching over a 52.7M-node graph with 128-dim node
+embeddings (54 GB at rest with momentum).  Each of the 512 seed items
+per step samples a three-hop neighborhood with fanout 10 x 20 x 25
+(10 + 200 + 5000 = 5210 nodes); every hop transforms its nodes with a
+shared 128x128 projection and mean-aggregates them one level up.  The
+pooled representation feeds a deep matching tower (8192/2304/1024 plus
+a similarity head).
+
+The gathered neighborhoods dominate memory traffic.  TensorFlow's
+ragged gather materializes the sampled rows several times (gather,
+degree-normalize, concat); :data:`_MEMORY_AMPLIFICATION` calibrates
+that against Table V.  The *algorithmic* round trip (what PEARL ships
+across NVLink) stays at two passes over the accessed rows and is
+recorded in ``embedding_access_bytes``.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..graph import ModelGraph
+from ..ops import (
+    FP32_BYTES,
+    Op,
+    activation_op,
+    embedding_lookup_op,
+    matmul_op,
+    pooling_op,
+)
+from .common import amplify_memory
+
+__all__ = ["build_gcn"]
+
+_BATCH = 512
+_NODES = 52_700_000
+_DIM = 128
+#: Sampled nodes per hop for one seed item, leaves first.
+_FANOUT = (5000, 200, 10)
+_TOWER = (8192, 2304, 1024)
+
+#: Ragged-gather materialization factor on the embedding lookup,
+#: calibrating the Table V memory-access column.
+_MEMORY_AMPLIFICATION = 3.0
+
+
+def build_gcn() -> ModelGraph:
+    """The Table IV/V GCN case study (batch 512, PEARL on 8 GPUs)."""
+    sampled = sum(_FANOUT)
+    lookups = float(_BATCH) * sampled
+    table = amplify_memory(
+        [embedding_lookup_op("embedding/nodes", _NODES, _DIM, lookups)],
+        _MEMORY_AMPLIFICATION,
+    )[0]
+    ops: List[Op] = [table]
+
+    for hop, nodes in enumerate(_FANOUT):
+        pooled = _FANOUT[hop + 1] if hop + 1 < len(_FANOUT) else 1
+        ops.append(
+            matmul_op(
+                f"gcn/hop{hop}/transform",
+                m=nodes,
+                k=_DIM,
+                n=_DIM,
+                batch=_BATCH,
+                param_bytes=float(_DIM * _DIM * FP32_BYTES),
+            )
+        )
+        ops.append(
+            pooling_op(
+                f"gcn/hop{hop}/aggregate",
+                input_elements=float(_BATCH) * nodes * _DIM,
+                output_elements=float(_BATCH) * pooled * _DIM,
+            )
+        )
+        ops.append(
+            activation_op(f"gcn/hop{hop}/relu", float(_BATCH) * pooled * _DIM)
+        )
+
+    # Matching tower over [source || target || product || difference].
+    width = 4 * _DIM
+    for index, hidden in enumerate(_TOWER, start=1):
+        ops.append(
+            matmul_op(
+                f"tower/fc{index}",
+                m=1,
+                k=width,
+                n=hidden,
+                batch=_BATCH,
+                param_bytes=float((width * hidden + hidden) * FP32_BYTES),
+            )
+        )
+        ops.append(activation_op(f"tower/relu{index}", float(_BATCH) * hidden))
+        width = hidden
+    ops.append(
+        matmul_op(
+            "tower/similarity",
+            m=1,
+            k=width,
+            n=1,
+            batch=_BATCH,
+            param_bytes=float((width + 1) * FP32_BYTES),
+        )
+    )
+    ops.append(activation_op("tower/sigmoid", float(_BATCH)))
+
+    return ModelGraph(
+        name="GCN",
+        domain="Recommender",
+        forward=tuple(ops),
+        batch_size=_BATCH,
+        # Seed-pair ids plus a 584-dim fp32 context-feature vector.
+        input_bytes_per_sample=2344.0,
+        embedding_access_bytes=2.0 * lookups * _DIM * FP32_BYTES,
+    )

@@ -1,0 +1,185 @@
+"""Multi-Interests recommender (Table IV "Multi-Interests").
+
+The paper's extreme-embedding case study: a 467.5M-row x 64 item table
+(239 GB at rest with momentum) behind a tiny dense network -- ~150K
+dense parameters of self-attention over the 115-item behavior sequence
+plus an interest-matching tower.  That asymmetry is why it trains
+PS/Worker on 32 cNodes: only the accessed rows ever move.
+
+Each sequence position also carries a 277-dim dense side-feature
+vector, which is what the 261 MB per-step PCIe copy corresponds to.
+Feature processing dominates the Table V memory column: decoding,
+normalizing and regularizing the ragged [embedding || side-feature]
+sequence materializes masks, broadcasts and tiling temporaries, so
+those fixed pipeline ops carry a much larger unfused-materialization
+factor than the attention blocks (Fig. 13(c)'s observation that the
+element-wise share stays dominant as the batch grows, while extra
+attention layers move time toward compute).  The embedding gather
+itself is left at its algorithmic volume -- two passes over the
+accessed rows.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..graph import ModelGraph
+from ..ops import (
+    FP32_BYTES,
+    Op,
+    activation_op,
+    elementwise_op,
+    embedding_lookup_op,
+    layernorm_op,
+    matmul_op,
+    softmax_op,
+)
+from .common import amplify_memory
+
+__all__ = ["build_multi_interests"]
+
+_SEQ = 115
+_DIM = 64
+_HEADS = 4
+_FFN = 48
+_VOCAB = 467_500_000
+_TOWER_IN = 2 * _DIM  # user interest vector || candidate item vector
+_TOWER_HIDDEN = 384
+_SIDE_FEATURES = 277
+
+#: Unfused-materialization factor for the ragged feature-processing
+#: pipeline (the dominant inflation; see the module docstring).
+_FEATURE_AMPLIFICATION = 11.75
+
+#: Unfused-materialization factor for the attention/tower element-wise
+#: ops (the embedding gather is excluded; see the module docstring).
+_ATTN_AMPLIFICATION = 2.75
+
+
+def build_multi_interests(
+    batch_size: int = 2048, attention_layers: int = 2
+) -> ModelGraph:
+    """The Table IV/V Multi-Interests case study.
+
+    Args:
+        batch_size: Training examples per step (Table V uses 2048).
+        attention_layers: Self-attention blocks over the behavior
+            sequence (the production model uses 2).
+    """
+    if attention_layers < 1:
+        raise ValueError("attention_layers must be at least 1")
+    lookups = float(batch_size) * _SEQ
+    table = embedding_lookup_op("embedding/table", _VOCAB, _DIM, lookups)
+
+    # The ragged feature pipeline over [embedding || side features].
+    width = _DIM + _SIDE_FEATURES
+    positions = float(batch_size) * _SEQ
+    features: List[Op] = [
+        elementwise_op("features/decode", positions * width, reads=2),
+        elementwise_op("features/normalize", positions * width, reads=2),
+        elementwise_op("features/dropout", positions * width),
+    ]
+
+    dense: List[Op] = []
+    for layer in range(attention_layers):
+        prefix = f"attn/layer{layer}"
+        dense.append(
+            matmul_op(
+                f"{prefix}/qkv", m=_SEQ, k=_DIM, n=3 * _DIM, batch=batch_size,
+                param_bytes=float(3 * _DIM * _DIM * FP32_BYTES),
+            )
+        )
+        dense.append(
+            matmul_op(
+                f"{prefix}/scores", m=_SEQ, k=_DIM, n=_SEQ, batch=batch_size,
+                param_bytes=0.0,
+            )
+        )
+        dense.append(
+            softmax_op(
+                f"{prefix}/softmax", float(batch_size) * _HEADS * _SEQ * _SEQ
+            )
+        )
+        dense.append(
+            matmul_op(
+                f"{prefix}/context", m=_SEQ, k=_SEQ, n=_DIM, batch=batch_size,
+                param_bytes=0.0,
+            )
+        )
+        dense.append(
+            matmul_op(
+                f"{prefix}/out_proj", m=_SEQ, k=_DIM, n=_DIM, batch=batch_size,
+                param_bytes=float(_DIM * _DIM * FP32_BYTES),
+            )
+        )
+        dense.append(
+            elementwise_op(
+                f"{prefix}/attn_add", float(batch_size) * _SEQ * _DIM, reads=2
+            )
+        )
+        dense.append(
+            layernorm_op(
+                f"{prefix}/attn_layernorm", float(batch_size) * _SEQ * _DIM, _DIM
+            )
+        )
+        dense.append(
+            matmul_op(
+                f"{prefix}/ffn/in", m=_SEQ, k=_DIM, n=_FFN, batch=batch_size,
+                param_bytes=float((_DIM * _FFN + _FFN) * FP32_BYTES),
+            )
+        )
+        dense.append(
+            activation_op(f"{prefix}/ffn/relu", float(batch_size) * _SEQ * _FFN)
+        )
+        dense.append(
+            matmul_op(
+                f"{prefix}/ffn/out", m=_SEQ, k=_FFN, n=_DIM, batch=batch_size,
+                param_bytes=float((_FFN * _DIM + _DIM) * FP32_BYTES),
+            )
+        )
+    # Pool the attended sequence into the user's interest vector.
+    dense.append(
+        elementwise_op(
+            "interests/pool", float(batch_size) * _SEQ * _DIM, reads=1, writes=0,
+        )
+    )
+    # Matching tower over [interests || candidate].
+    dense.append(
+        matmul_op(
+            "tower/fc1", m=1, k=_TOWER_IN, n=_TOWER_HIDDEN, batch=batch_size,
+            param_bytes=float(
+                (_TOWER_IN * _TOWER_HIDDEN + _TOWER_HIDDEN) * FP32_BYTES
+            ),
+        )
+    )
+    dense.append(activation_op("tower/relu1", float(batch_size) * _TOWER_HIDDEN))
+    dense.append(
+        matmul_op(
+            "tower/fc2", m=1, k=_TOWER_HIDDEN, n=_TOWER_IN, batch=batch_size,
+            param_bytes=float(
+                (_TOWER_HIDDEN * _TOWER_IN + _TOWER_IN) * FP32_BYTES
+            ),
+        )
+    )
+    dense.append(activation_op("tower/relu2", float(batch_size) * _TOWER_IN))
+    dense.append(
+        matmul_op(
+            "tower/score", m=1, k=_TOWER_IN, n=1, batch=batch_size,
+            param_bytes=float((_TOWER_IN + 1) * FP32_BYTES),
+        )
+    )
+
+    forward = (
+        (table,)
+        + tuple(amplify_memory(features, _FEATURE_AMPLIFICATION))
+        + tuple(amplify_memory(dense, _ATTN_AMPLIFICATION))
+    )
+    return ModelGraph(
+        name="Multi-Interests",
+        domain="Recommender",
+        forward=forward,
+        batch_size=batch_size,
+        # Item ids plus the per-position dense side features.
+        input_bytes_per_sample=float(_SEQ * _SIDE_FEATURES * FP32_BYTES),
+        embedding_access_bytes=2.0 * lookups * _DIM * FP32_BYTES,
+    )

@@ -1,0 +1,183 @@
+"""Transformer NMT (Table IV "NMT", Translation domain).
+
+A 6+6 encoder/decoder Transformer over a 64K shared-prefix vocabulary.
+Table V reports the batch as 6144 -- PAI batches translation by *token
+count*, so the graph models 48 source + 48 target sentences of length
+64 (3072 tokens per side).  Source and target use separate 65536x768
+embedding tables; positions are sinusoidal (parameter-free) and the
+output logits are tied to the target table.
+
+As with BERT, :data:`_MEMORY_AMPLIFICATION` calibrates the unfused
+element-wise materialization against Table V's memory-access column.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..graph import ModelGraph
+from ..ops import (
+    FP32_BYTES,
+    Op,
+    activation_op,
+    elementwise_op,
+    embedding_lookup_op,
+    layernorm_op,
+    matmul_op,
+    softmax_op,
+)
+from .common import amplify_memory
+
+__all__ = ["build_nmt"]
+
+_TOKENS_PER_SIDE = 3072
+_SEQ = 64
+_SENTENCES = _TOKENS_PER_SIDE // _SEQ
+_HIDDEN = 768
+_FFN = 2560
+_LAYERS = 6
+_HEADS = 12
+_VOCAB = 65536
+
+#: Unfused-materialization factor (see the BERT builder).
+_MEMORY_AMPLIFICATION = 7.4
+
+
+def _self_attention(ops: List[Op], prefix: str) -> None:
+    ops.append(
+        matmul_op(
+            f"{prefix}/qkv",
+            m=_SEQ,
+            k=_HIDDEN,
+            n=3 * _HIDDEN,
+            batch=_SENTENCES,
+            param_bytes=float(3 * _HIDDEN * _HIDDEN * FP32_BYTES),
+        )
+    )
+    _attention_core(ops, prefix)
+
+
+def _cross_attention(ops: List[Op], prefix: str) -> None:
+    ops.append(
+        matmul_op(
+            f"{prefix}/q",
+            m=_SEQ,
+            k=_HIDDEN,
+            n=_HIDDEN,
+            batch=_SENTENCES,
+            param_bytes=float(_HIDDEN * _HIDDEN * FP32_BYTES),
+        )
+    )
+    ops.append(
+        matmul_op(
+            f"{prefix}/kv",
+            m=_SEQ,
+            k=_HIDDEN,
+            n=2 * _HIDDEN,
+            batch=_SENTENCES,
+            param_bytes=float(2 * _HIDDEN * _HIDDEN * FP32_BYTES),
+        )
+    )
+    _attention_core(ops, prefix)
+
+
+def _attention_core(ops: List[Op], prefix: str) -> None:
+    ops.append(
+        matmul_op(
+            f"{prefix}/scores", m=_SEQ, k=_HIDDEN, n=_SEQ, batch=_SENTENCES,
+            param_bytes=0.0,
+        )
+    )
+    ops.append(
+        softmax_op(f"{prefix}/softmax", float(_SENTENCES) * _HEADS * _SEQ * _SEQ)
+    )
+    ops.append(
+        matmul_op(
+            f"{prefix}/context", m=_SEQ, k=_SEQ, n=_HIDDEN, batch=_SENTENCES,
+            param_bytes=0.0,
+        )
+    )
+    ops.append(
+        matmul_op(
+            f"{prefix}/out_proj",
+            m=_SEQ,
+            k=_HIDDEN,
+            n=_HIDDEN,
+            batch=_SENTENCES,
+            param_bytes=float(_HIDDEN * _HIDDEN * FP32_BYTES),
+        )
+    )
+
+
+def _residual_layernorm(ops: List[Op], prefix: str) -> None:
+    tokens = float(_TOKENS_PER_SIDE)
+    ops.append(elementwise_op(f"{prefix}/add", tokens * _HIDDEN, reads=2))
+    ops.append(layernorm_op(f"{prefix}/layernorm", tokens * _HIDDEN, _HIDDEN))
+
+
+def _ffn(ops: List[Op], prefix: str) -> None:
+    tokens = float(_TOKENS_PER_SIDE)
+    ops.append(
+        matmul_op(
+            f"{prefix}/ffn/in",
+            m=_SEQ,
+            k=_HIDDEN,
+            n=_FFN,
+            batch=_SENTENCES,
+            param_bytes=float((_HIDDEN * _FFN + _FFN) * FP32_BYTES),
+        )
+    )
+    ops.append(activation_op(f"{prefix}/ffn/relu", tokens * _FFN))
+    ops.append(
+        matmul_op(
+            f"{prefix}/ffn/out",
+            m=_SEQ,
+            k=_FFN,
+            n=_HIDDEN,
+            batch=_SENTENCES,
+            param_bytes=float((_FFN * _HIDDEN + _HIDDEN) * FP32_BYTES),
+        )
+    )
+
+
+def build_nmt() -> ModelGraph:
+    """The Table IV/V NMT case study (6144 tokens per step)."""
+    tokens = float(_TOKENS_PER_SIDE)
+    ops: List[Op] = [
+        embedding_lookup_op("embeddings/source", _VOCAB, _HIDDEN, tokens),
+        embedding_lookup_op("embeddings/target", _VOCAB, _HIDDEN, tokens),
+        # Sinusoidal position encoding: an add, no parameters.
+        elementwise_op("embeddings/posenc", 2 * tokens * _HIDDEN, reads=2),
+    ]
+    for layer in range(_LAYERS):
+        prefix = f"encoder/layer{layer}"
+        _self_attention(ops, f"{prefix}/self_attn")
+        _residual_layernorm(ops, f"{prefix}/self_attn_post")
+        _ffn(ops, prefix)
+        _residual_layernorm(ops, f"{prefix}/ffn_post")
+    for layer in range(_LAYERS):
+        prefix = f"decoder/layer{layer}"
+        _self_attention(ops, f"{prefix}/self_attn")
+        _residual_layernorm(ops, f"{prefix}/self_attn_post")
+        _cross_attention(ops, f"{prefix}/cross_attn")
+        _residual_layernorm(ops, f"{prefix}/cross_attn_post")
+        _ffn(ops, prefix)
+        _residual_layernorm(ops, f"{prefix}/ffn_post")
+    # Logits tied to the target embedding table.
+    ops.append(
+        matmul_op(
+            "head/logits", m=_SEQ, k=_HIDDEN, n=_VOCAB, batch=_SENTENCES,
+            param_bytes=0.0,
+        )
+    )
+    ops.append(softmax_op("head/softmax", tokens * _VOCAB))
+
+    return ModelGraph(
+        name="NMT",
+        domain="Translation",
+        forward=tuple(amplify_memory(ops, _MEMORY_AMPLIFICATION)),
+        # Table V counts the step batch in tokens (source + target).
+        batch_size=2 * _TOKENS_PER_SIDE,
+        input_bytes_per_sample=4.0,  # one int32 token id per "sample"
+        embedding_access_bytes=2.0 * 2 * tokens * _HIDDEN * FP32_BYTES,
+        )

@@ -1,0 +1,176 @@
+"""The ResNet family: the convolutional case study (Table IV "ResNet50").
+
+Standard ImageNet ResNets (He et al.) in the v1.5 layout torchvision
+ships: the stride-2 downsampling sits on each stage's 3x3 convolution,
+which is what the Table V FLOP count (1.56 TFLOPs per 64-image step)
+corresponds to.  Parameter counts match the published torchvision
+totals to <0.5% (the conv bias terms our ``conv2d_op`` carries are the
+only difference).
+
+Element-wise modeling: cuDNN executes BN+ReLU fused, so each
+convolution is followed by one ``/bn`` op whose three passes cover the
+activation; the residual ``/add`` likewise folds the post-add ReLU.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..graph import ModelGraph
+from ..ops import (
+    FP32_BYTES,
+    Op,
+    batchnorm_op,
+    conv2d_op,
+    elementwise_op,
+    matmul_op,
+    pooling_op,
+    softmax_op,
+)
+
+__all__ = ["RESNET_CONFIGS", "build_resnet", "build_resnet50"]
+
+#: depth -> (blocks per stage, uses bottleneck blocks).
+RESNET_CONFIGS = {
+    18: ((2, 2, 2, 2), False),
+    34: ((3, 4, 6, 3), False),
+    50: ((3, 4, 6, 3), True),
+    101: ((3, 4, 23, 3), True),
+    152: ((3, 8, 36, 3), True),
+}
+
+#: Per-stage base channel widths (bottlenecks expand these 4x).
+_STAGE_CHANNELS = (64, 128, 256, 512)
+
+_IMAGE_SIZE = 224
+_BATCH_SIZE = 64
+_NUM_CLASSES = 1000
+
+
+def _conv_bn(
+    ops: List[Op],
+    prefix: str,
+    batch: int,
+    size: int,
+    in_channels: int,
+    out_channels: int,
+    kernel: int,
+    stride: int = 1,
+) -> int:
+    """Append a conv + fused-BN pair; returns the output spatial size."""
+    ops.append(
+        conv2d_op(
+            f"{prefix}/conv",
+            batch=batch,
+            height=size,
+            width=size,
+            in_channels=in_channels,
+            out_channels=out_channels,
+            kernel=kernel,
+            stride=stride,
+        )
+    )
+    out_size = (size + stride - 1) // stride
+    ops.append(
+        batchnorm_op(
+            f"{prefix}/bn",
+            elements=float(batch) * out_size * out_size * out_channels,
+            channels=out_channels,
+        )
+    )
+    return out_size
+
+
+def _residual_add(prefix: str, batch: int, size: int, channels: int) -> Op:
+    """The block's residual add with the post-add ReLU folded in."""
+    return elementwise_op(
+        f"{prefix}/add",
+        elements=float(batch) * size * size * channels,
+        reads=2,
+        flops_per_element=2.0,
+    )
+
+
+def build_resnet(depth: int, batch_size: int = _BATCH_SIZE) -> ModelGraph:
+    """Build a ResNet of one of the published depths (18..152)."""
+    if depth not in RESNET_CONFIGS:
+        raise ValueError(
+            f"unsupported ResNet depth {depth}; "
+            f"choose from {sorted(RESNET_CONFIGS)}"
+        )
+    blocks_per_stage, bottleneck = RESNET_CONFIGS[depth]
+    expansion = 4 if bottleneck else 1
+    ops: List[Op] = []
+
+    size = _conv_bn(ops, "stem", batch_size, _IMAGE_SIZE, 3, 64, kernel=7, stride=2)
+    ops.append(
+        pooling_op(
+            "stem/maxpool",
+            input_elements=float(batch_size) * size * size * 64,
+            output_elements=float(batch_size) * (size // 2) * (size // 2) * 64,
+        )
+    )
+    size //= 2
+    in_channels = 64
+
+    for stage_index, num_blocks in enumerate(blocks_per_stage, start=1):
+        channels = _STAGE_CHANNELS[stage_index - 1]
+        out_channels = channels * expansion
+        for block_index in range(1, num_blocks + 1):
+            prefix = f"stage{stage_index}/block{block_index}"
+            stride = 2 if stage_index > 1 and block_index == 1 else 1
+            if bottleneck:
+                _conv_bn(ops, f"{prefix}/a", batch_size, size, in_channels, channels, 1)
+                mid = _conv_bn(
+                    ops, f"{prefix}/b", batch_size, size, channels, channels, 3, stride
+                )
+                _conv_bn(ops, f"{prefix}/c", batch_size, mid, channels, out_channels, 1)
+            else:
+                mid = _conv_bn(
+                    ops, f"{prefix}/a", batch_size, size, in_channels, channels, 3, stride
+                )
+                _conv_bn(ops, f"{prefix}/b", batch_size, mid, channels, channels, 3)
+            if stride != 1 or in_channels != out_channels:
+                _conv_bn(
+                    ops, f"{prefix}/proj", batch_size, size, in_channels,
+                    out_channels, 1, stride,
+                )
+            size = mid
+            in_channels = out_channels
+            ops.append(_residual_add(prefix, batch_size, size, out_channels))
+
+    ops.append(
+        pooling_op(
+            "head/avgpool",
+            input_elements=float(batch_size) * size * size * in_channels,
+            output_elements=float(batch_size) * in_channels,
+        )
+    )
+    ops.append(
+        matmul_op(
+            "head/classifier",
+            m=1,
+            k=in_channels,
+            n=_NUM_CLASSES,
+            batch=batch_size,
+            param_bytes=float(
+                (in_channels * _NUM_CLASSES + _NUM_CLASSES) * FP32_BYTES
+            ),
+        )
+    )
+    ops.append(softmax_op("head/softmax", float(batch_size) * _NUM_CLASSES))
+
+    return ModelGraph(
+        name=f"ResNet{depth}",
+        domain="CV",
+        forward=tuple(ops),
+        batch_size=batch_size,
+        input_bytes_per_sample=float(
+            _IMAGE_SIZE * _IMAGE_SIZE * 3 * FP32_BYTES
+        ),
+    )
+
+
+def build_resnet50() -> ModelGraph:
+    """The Table IV/V ResNet50 case study (batch 64)."""
+    return build_resnet(50)

@@ -1,0 +1,102 @@
+"""Speech recognition: a DeepSpeech-style LSTM stack (Table IV "Speech").
+
+Batch 32 of ~28-second utterances: 2800 spectrogram frames of 2048
+FFT bins each -- the fp32 spectra are what make this the PCIe-heaviest
+case study (804 MB per step) while its element-wise LSTM cells attain
+only 3.1% of memory bandwidth unfused (Table VI).
+
+Two strided "convolutional" frontend layers (modeled as the matmuls
+their im2col lowering performs) downsample 4x in time, then five
+layer-normalized LSTM layers of hidden size 1024 feed a 12K-way CTC
+softmax.  No memory amplification: the unrolled cell updates already
+stream every gate tensor, which is exactly the traffic Table V reports.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..graph import ModelGraph
+from ..ops import (
+    FP32_BYTES,
+    Op,
+    layernorm_op,
+    lstm_layer_ops,
+    matmul_op,
+    softmax_op,
+)
+
+__all__ = ["build_speech"]
+
+_BATCH = 32
+_FRAMES = 2800
+_BINS = 2048
+_HIDDEN = 1024
+_LSTM_LAYERS = 5
+_VOCAB = 12000
+
+
+def build_speech() -> ModelGraph:
+    """The Table IV/V Speech case study (batch 32, 1w1g)."""
+    ops: List[Op] = []
+    # Frontend conv 1: stack 2 frames (4096 bins), stride 2 -> 1400
+    # steps of width 512; conv 2: stack 2 (1024), stride 2 -> 700 x 640.
+    ops.append(
+        matmul_op(
+            "frontend/conv0",
+            m=_FRAMES // 2,
+            k=2 * _BINS,
+            n=512,
+            batch=_BATCH,
+            param_bytes=float((2 * _BINS * 512 + 512) * FP32_BYTES),
+        )
+    )
+    ops.append(
+        matmul_op(
+            "frontend/conv1",
+            m=_FRAMES // 4,
+            k=2 * 512,
+            n=640,
+            batch=_BATCH,
+            param_bytes=float((2 * 512 * 640 + 640) * FP32_BYTES),
+        )
+    )
+    seq = _FRAMES // 4
+    input_size = 640
+    for layer in range(_LSTM_LAYERS):
+        ops.extend(
+            lstm_layer_ops(
+                f"lstm/layer{layer}",
+                batch=_BATCH,
+                seq_len=seq,
+                input_size=input_size,
+                hidden_size=_HIDDEN,
+            )
+        )
+        ops.append(
+            layernorm_op(
+                f"lstm/layer{layer}/layernorm",
+                float(_BATCH) * seq * _HIDDEN,
+                _HIDDEN,
+            )
+        )
+        input_size = _HIDDEN
+    ops.append(
+        matmul_op(
+            "head/logits/matmul",
+            m=seq,
+            k=_HIDDEN,
+            n=_VOCAB,
+            batch=_BATCH,
+            param_bytes=float((_HIDDEN * _VOCAB + _VOCAB) * FP32_BYTES),
+        )
+    )
+    ops.append(softmax_op("head/softmax", float(_BATCH) * seq * _VOCAB))
+
+    return ModelGraph(
+        name="Speech",
+        domain="Speech recognition",
+        forward=tuple(ops),
+        batch_size=_BATCH,
+        input_bytes_per_sample=float(_FRAMES * _BINS * FP32_BYTES),
+    )

@@ -1,0 +1,310 @@
+"""The discrete-event gang-scheduling engine.
+
+:func:`run_schedule` replays a trace of :class:`~repro.trace.schema.JobRecord`
+arrivals (jobs arrive at ``submit_day * 24`` hours) against a
+:class:`~repro.sched.fleet.Fleet` under a pluggable
+:class:`~repro.sched.policies.Policy`.  The engine owns the mechanics
+-- the event clock, placements, preemption bookkeeping and telemetry
+sampling -- while the policy owns every ordering decision.
+
+The loop is the textbook one: pop all events at the next timestamp
+(completions release GPUs, arrivals join the queue), then repeatedly
+ask the policy for a :class:`~repro.sched.policies.SchedulingDecision`
+and apply it until the policy has nothing more to do.  Preempted jobs
+re-queue with their remaining hours reduced by the time they ran, so
+work is conserved; every run of a job is recorded as an
+:class:`~repro.sched.outcomes.ExecutionSegment` and the per-job
+history rolls up into :class:`~repro.sched.outcomes.JobOutcome`.
+
+Determinism: given the same jobs, durations, fleet geometry and
+policy, the engine produces the identical schedule -- every tie is
+broken on (hour, sequence number) and policies are required to order
+deterministically.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..trace.schema import JobRecord
+from .fleet import Fleet, Placement
+from .outcomes import (
+    ExecutionSegment,
+    FleetTelemetry,
+    JobOutcome,
+    ScheduleOutcome,
+    TelemetrySample,
+)
+from .policies import (
+    PendingJob,
+    Policy,
+    RunningJob,
+    SchedulingContext,
+    SchedulingDecision,
+)
+from .predictor import ModelRuntimePredictor, sample_durations
+
+__all__ = ["run_schedule"]
+
+_HOURS_PER_DAY = 24.0
+
+#: Safety bound on policy invocations per event timestamp; a correct
+#: policy converges in a handful of rounds.
+_MAX_DECISION_ROUNDS = 10000
+
+
+class _JobState:
+    """Mutable per-job bookkeeping inside one engine run."""
+
+    __slots__ = (
+        "job",
+        "arrival_hour",
+        "service_hours",
+        "remaining_hours",
+        "segments",
+        "placement",
+        "segment_start",
+        "incarnation",
+    )
+
+    def __init__(self, job: JobRecord, arrival_hour: float, service_hours: float):
+        self.job = job
+        self.arrival_hour = arrival_hour
+        self.service_hours = service_hours
+        self.remaining_hours = service_hours
+        self.segments: List[ExecutionSegment] = []
+        self.placement: Optional[Placement] = None
+        self.segment_start = 0.0
+        #: Bumped on every (re)start so stale completion events are
+        #: recognizable after a preemption.
+        self.incarnation = 0
+
+
+def _resolve_durations(
+    jobs: List[JobRecord],
+    durations: Optional[Dict[int, float]],
+    predictor: Optional[ModelRuntimePredictor],
+) -> Dict[int, float]:
+    if durations is not None:
+        return durations
+    if predictor is not None:
+        return predictor.durations(jobs)
+    return sample_durations(jobs)
+
+
+def run_schedule(
+    jobs: Iterable[JobRecord],
+    fleet: Fleet,
+    policy: Policy,
+    durations: Optional[Dict[int, float]] = None,
+    predictor: Optional[ModelRuntimePredictor] = None,
+    on_unplaceable: str = "reject",
+    collect_telemetry: bool = True,
+) -> ScheduleOutcome:
+    """Schedule a trace onto a fleet under a policy.
+
+    Args:
+        jobs: The trace; arrivals happen at ``submit_day * 24`` hours.
+        fleet: The cluster.  Mutated during the run; pass a fresh one.
+        policy: The scheduling discipline.
+        durations: Per-job service hours keyed by job id.  When absent,
+            ``predictor`` supplies them; when that is absent too, the
+            legacy log-normal :func:`~repro.sched.predictor.sample_durations`
+            draw is used.
+        predictor: Model-based runtime predictor (see
+            :class:`~repro.sched.predictor.ModelRuntimePredictor`).
+        on_unplaceable: What to do with a job that can never fit the
+            fleet's geometry: ``"reject"`` records it as rejected,
+            ``"raise"`` raises ``RuntimeError`` (the legacy
+            ``repro.sim.multijob`` contract).  Jobs wider than the whole
+            fleet are always rejected.
+        collect_telemetry: Sample fleet state at every event timestamp.
+
+    Returns:
+        The per-job outcomes, rejects and fleet telemetry.
+    """
+    if on_unplaceable not in ("reject", "raise"):
+        raise ValueError("on_unplaceable must be 'reject' or 'raise'")
+    trace = sorted(jobs, key=lambda j: (j.submit_day, j.job_id))
+    service = _resolve_durations(trace, durations, predictor)
+
+    rejected: List[JobRecord] = []
+    states: Dict[int, _JobState] = {}
+    arrivals: List[Tuple[float, int, JobRecord]] = []
+    for job in trace:
+        if job.num_cnodes > fleet.total_gpus:
+            rejected.append(job)
+            continue
+        if not fleet.can_ever_place(job.workload_type, job.num_cnodes):
+            if on_unplaceable == "raise":
+                raise RuntimeError(
+                    "scheduler stuck: job cannot be placed on an empty cluster"
+                )
+            rejected.append(job)
+            continue
+        arrival = job.submit_day * _HOURS_PER_DAY
+        arrivals.append((arrival, job.job_id, job))
+        states[job.job_id] = _JobState(job, arrival, service[job.job_id])
+
+    # Event heap: (hour, sequence, kind, job_id, incarnation); kind 0 =
+    # completion, 1 = arrival, so completions at a timestamp release
+    # GPUs before that timestamp's scheduling pass.
+    events: List[Tuple[float, int, int, int, int]] = []
+    sequence = 0
+    for arrival, job_id, _ in arrivals:
+        events.append((arrival, sequence, 1, job_id, 0))
+        sequence += 1
+    heapq.heapify(events)
+
+    queue: List[PendingJob] = []
+    running: Dict[int, RunningJob] = {}
+    finished: List[JobOutcome] = []
+    samples: List[TelemetrySample] = []
+    active_gpu_hours = 0.0
+    previous_hour = events[0][0] if events else 0.0
+
+    def start_job(state: _JobState, placement: Placement, now: float) -> None:
+        nonlocal sequence
+        state.placement = placement
+        state.segment_start = now
+        state.incarnation += 1
+        end = now + state.remaining_hours
+        sequence += 1
+        heapq.heappush(
+            events, (end, sequence, 0, state.job.job_id, state.incarnation)
+        )
+        running[state.job.job_id] = RunningJob(
+            job=state.job, placement=placement, start_hour=now, end_hour=end
+        )
+
+    def preempt_job(state: _JobState, now: float) -> None:
+        state.segments.append(
+            ExecutionSegment(
+                start_hour=state.segment_start,
+                end_hour=now,
+                placement=state.placement,
+            )
+        )
+        state.remaining_hours -= now - state.segment_start
+        fleet.release(state.placement)
+        state.placement = None
+        state.incarnation += 1  # invalidate the in-flight completion
+        del running[state.job.job_id]
+        queue.append(
+            PendingJob(
+                job=state.job,
+                arrival_hour=state.arrival_hour,
+                remaining_hours=state.remaining_hours,
+            )
+        )
+
+    while events:
+        now = events[0][0]
+        # Integrate GPU activity over the idle gap just ended.
+        active_gpu_hours += fleet.busy_gpus * (now - previous_hour)
+        previous_hour = now
+        while events and events[0][0] == now:
+            _, _, kind, job_id, incarnation = heapq.heappop(events)
+            state = states[job_id]
+            if kind == 0:
+                if incarnation != state.incarnation or state.placement is None:
+                    continue  # stale completion of a preempted run
+                state.segments.append(
+                    ExecutionSegment(
+                        start_hour=state.segment_start,
+                        end_hour=now,
+                        placement=state.placement,
+                    )
+                )
+                state.remaining_hours = 0.0
+                fleet.release(state.placement)
+                state.placement = None
+                del running[job_id]
+                finished.append(
+                    JobOutcome(
+                        job=state.job,
+                        arrival_hour=state.arrival_hour,
+                        service_hours=state.service_hours,
+                        segments=tuple(state.segments),
+                    )
+                )
+            else:
+                queue.append(
+                    PendingJob(
+                        job=state.job,
+                        arrival_hour=state.arrival_hour,
+                        remaining_hours=state.remaining_hours,
+                    )
+                )
+
+        for _ in range(_MAX_DECISION_ROUNDS):
+            if not queue:
+                break
+            context = SchedulingContext(
+                now=now,
+                fleet=fleet,
+                queue=tuple(queue),
+                running=tuple(running.values()),
+            )
+            decision: SchedulingDecision = policy.select(context)
+            if decision.is_empty:
+                break
+            applied = 0
+            for job_id in decision.preemptions:
+                state = states.get(job_id)
+                if state is None or state.placement is None:
+                    continue  # policy named a job that is not running
+                preempt_job(state, now)
+                applied += 1
+            pending_by_id = {p.job_id: p for p in queue}
+            for job_id in decision.starts:
+                pending = pending_by_id.get(job_id)
+                if pending is None:
+                    continue  # policy named a job that is not queued
+                state = states[job_id]
+                placement = fleet.try_place(
+                    state.job.workload_type, state.job.num_cnodes
+                )
+                if placement is None:
+                    continue  # plan no longer fits the live fleet
+                queue.remove(pending)
+                start_job(state, placement, now)
+                applied += 1
+            if applied == 0:
+                break  # non-empty decision that changed nothing
+
+        if collect_telemetry:
+            samples.append(
+                TelemetrySample(
+                    hour=now,
+                    busy_gpus=fleet.busy_gpus,
+                    free_gpus=fleet.free_gpus,
+                    running_jobs=len(running),
+                    queue_depth=len(queue),
+                    fragmentation=fleet.fragmentation(),
+                )
+            )
+        if not events and queue and not running:
+            # Placeable jobs remain, nothing running, no future events:
+            # the policy refuses to start them and never will.
+            raise RuntimeError(
+                "scheduler stuck: policy left placeable jobs queued on an "
+                "idle cluster"
+            )
+
+    outcomes = sorted(
+        finished, key=lambda o: (o.job.submit_day, o.job.job_id)
+    )
+    telemetry = FleetTelemetry(
+        samples=tuple(samples),
+        total_gpus=fleet.total_gpus,
+        active_gpu_hours=active_gpu_hours,
+    )
+    return ScheduleOutcome(
+        policy=getattr(policy, "name", type(policy).__name__),
+        outcomes=outcomes,
+        total_gpus=fleet.total_gpus,
+        rejected=rejected,
+        telemetry=telemetry,
+    )

@@ -1,0 +1,168 @@
+"""The fleet resource model: 8-GPU servers with shaped placement.
+
+A :class:`Fleet` tracks per-server free-GPU counts for a homogeneous
+cluster of multi-GPU servers (PAI's production fleet is built from
+8-GPU machines).  Placement is *architecture shaped*, mirroring the
+Table II deployment taxonomy:
+
+* local architectures (1w1g, 1wng, AllReduce-Local) are gang-scheduled
+  onto **one** server (first-fit over per-server free counts);
+* PS/Worker spreads one worker GPU per server, so a wide PS job needs
+  at least as many servers as workers;
+* packed cluster architectures (AllReduce-Cluster, PEARL) fill servers
+  greedily up to their GPU count.
+
+Because local gangs need *contiguous* per-server capacity, a fleet can
+hold many free GPUs yet be unable to start a job -- the fragmentation
+the telemetry in :mod:`repro.sched.outcomes` tracks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..core.architectures import Architecture
+
+__all__ = ["Fleet", "Placement"]
+
+
+@dataclass(frozen=True)
+class Placement:
+    """GPUs held by one running job, as per-server counts."""
+
+    gpus_by_server: Tuple[int, ...]
+
+    @property
+    def total_gpus(self) -> int:
+        """GPUs held across all servers."""
+        return sum(self.gpus_by_server)
+
+    @property
+    def servers_used(self) -> int:
+        """Servers holding at least one of the job's GPUs."""
+        return sum(1 for count in self.gpus_by_server if count > 0)
+
+
+class Fleet:
+    """Per-server free-GPU accounting for a homogeneous cluster."""
+
+    def __init__(self, num_servers: int, gpus_per_server: int = 8) -> None:
+        if num_servers < 1 or gpus_per_server < 1:
+            raise ValueError("cluster dimensions must be positive")
+        self.num_servers = num_servers
+        self.gpus_per_server = gpus_per_server
+        self._free: List[int] = [gpus_per_server] * num_servers
+
+    # ---- capacity accounting -----------------------------------------
+
+    @property
+    def total_gpus(self) -> int:
+        """GPUs in the fleet."""
+        return self.num_servers * self.gpus_per_server
+
+    @property
+    def free_gpus(self) -> int:
+        """Currently unallocated GPUs."""
+        return sum(self._free)
+
+    @property
+    def busy_gpus(self) -> int:
+        """Currently allocated GPUs."""
+        return self.total_gpus - self.free_gpus
+
+    @property
+    def free_by_server(self) -> Tuple[int, ...]:
+        """Free GPU count per server."""
+        return tuple(self._free)
+
+    @property
+    def largest_free_block(self) -> int:
+        """Largest single-server free block (bounds local gang size)."""
+        return max(self._free)
+
+    def utilization(self) -> float:
+        """Fraction of GPUs currently allocated."""
+        return self.busy_gpus / self.total_gpus
+
+    def fragmentation(self) -> float:
+        """How scattered the free capacity is, in [0, 1].
+
+        Zero when every free GPU sits in one server block (a local gang
+        as large as the free pool could start); approaches one when the
+        free GPUs are spread one per server.  Zero on a fully busy
+        fleet, where the notion is vacuous.
+        """
+        free = self.free_gpus
+        if free == 0:
+            return 0.0
+        return 1.0 - self.largest_free_block / free
+
+    def clone(self) -> "Fleet":
+        """An independent copy, for trial placements."""
+        copy = Fleet(self.num_servers, self.gpus_per_server)
+        copy._free = list(self._free)
+        return copy
+
+    # ---- placement ---------------------------------------------------
+
+    def _shape(self, architecture: Architecture, num_gpus: int) -> Optional[List[int]]:
+        """Per-server counts for a placement, or ``None`` if it does
+        not fit right now.  Does not mutate the fleet."""
+        if num_gpus < 1:
+            raise ValueError("num_gpus must be positive")
+        taken = [0] * self.num_servers
+        if architecture.is_local:
+            for index, free in enumerate(self._free):
+                if free >= num_gpus:
+                    taken[index] = num_gpus
+                    return taken
+            return None
+        per_server_cap = (
+            1 if architecture is Architecture.PS_WORKER else self.gpus_per_server
+        )
+        remaining = num_gpus
+        for index, free in enumerate(self._free):
+            if remaining == 0:
+                break
+            grab = min(free, per_server_cap, remaining)
+            taken[index] = grab
+            remaining -= grab
+        if remaining > 0:
+            return None
+        return taken
+
+    def fits(self, architecture: Architecture, num_gpus: int) -> bool:
+        """Whether the job could be placed on the fleet right now."""
+        return self._shape(architecture, num_gpus) is not None
+
+    def can_ever_place(self, architecture: Architecture, num_gpus: int) -> bool:
+        """Whether the job fits an *empty* fleet of this geometry."""
+        if num_gpus < 1:
+            raise ValueError("num_gpus must be positive")
+        if architecture.is_local:
+            return num_gpus <= self.gpus_per_server
+        if architecture is Architecture.PS_WORKER:
+            return num_gpus <= self.num_servers
+        return num_gpus <= self.total_gpus
+
+    def try_place(
+        self, architecture: Architecture, num_gpus: int
+    ) -> Optional[Placement]:
+        """Allocate GPUs in the architecture's shape, or return ``None``."""
+        taken = self._shape(architecture, num_gpus)
+        if taken is None:
+            return None
+        for index, grab in enumerate(taken):
+            self._free[index] -= grab
+        return Placement(gpus_by_server=tuple(taken))
+
+    def release(self, placement: Placement) -> None:
+        """Return a placement's GPUs to the free pool."""
+        if len(placement.gpus_by_server) != self.num_servers:
+            raise ValueError("placement does not match this fleet's geometry")
+        for index, grab in enumerate(placement.gpus_by_server):
+            new_free = self._free[index] + grab
+            if new_free > self.gpus_per_server:
+                raise ValueError("release would exceed server capacity")
+            self._free[index] = new_free

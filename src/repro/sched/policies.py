@@ -1,0 +1,284 @@
+"""Pluggable scheduling policies.
+
+A :class:`Policy` looks at an immutable :class:`SchedulingContext` --
+the pending queue, the running set, the fleet state and the predicted
+duration of every job -- and returns a :class:`SchedulingDecision`:
+which queued jobs to start now (in order) and which running jobs to
+evict first.  The engine (:mod:`repro.sched.engine`) applies the
+decision and asks again until the policy has nothing more to do, so a
+policy never mutates anything itself; trial placements are made on a
+``fleet.clone()``.
+
+Four disciplines are provided:
+
+* :class:`FifoPolicy` -- strict arrival order with head-of-line
+  blocking (the behavior of the legacy ``repro.sim.multijob``
+  scheduler).
+* :class:`SjfPolicy` -- shortest predicted job first; the prediction
+  comes from the runtime model, so this is where model-predicted step
+  times pay off operationally.
+* :class:`BackfillPolicy` -- FIFO with EASY-style backfill: when the
+  head is blocked, later jobs may jump ahead only if they both fit now
+  and are predicted to finish before the head's reservation time.
+* :class:`PriorityPolicy` -- highest priority first, optionally
+  evicting strictly lower-priority running jobs (checkpoint/restore
+  semantics: the victim's remaining work is conserved and it re-queues).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Iterable, List, Optional, Tuple
+
+try:  # Python 3.8+: typing.Protocol
+    from typing import Protocol, runtime_checkable
+except ImportError:  # pragma: no cover - ancient interpreters only
+    Protocol = object
+
+    def runtime_checkable(cls):
+        return cls
+
+
+from ..trace.schema import JobRecord
+from .fleet import Fleet, Placement
+
+__all__ = [
+    "BackfillPolicy",
+    "FifoPolicy",
+    "PendingJob",
+    "Policy",
+    "PriorityPolicy",
+    "RunningJob",
+    "SchedulingContext",
+    "SchedulingDecision",
+    "SjfPolicy",
+    "default_priority",
+]
+
+#: Slack when comparing a backfill candidate's end against the head's
+#: reservation, so float noise cannot leak capacity.
+_BACKFILL_EPSILON = 1e-9
+
+
+@dataclass(frozen=True)
+class PendingJob:
+    """A queued job, as shown to policies."""
+
+    job: JobRecord
+    arrival_hour: float
+    remaining_hours: float
+
+    @property
+    def job_id(self) -> int:
+        """The underlying trace job id."""
+        return self.job.job_id
+
+
+@dataclass(frozen=True)
+class RunningJob:
+    """A running job, as shown to policies."""
+
+    job: JobRecord
+    placement: Placement
+    start_hour: float
+    end_hour: float
+
+    @property
+    def job_id(self) -> int:
+        """The underlying trace job id."""
+        return self.job.job_id
+
+
+@dataclass(frozen=True)
+class SchedulingContext:
+    """Everything a policy may look at when deciding."""
+
+    now: float
+    fleet: Fleet
+    queue: Tuple[PendingJob, ...]
+    running: Tuple[RunningJob, ...]
+
+    def fifo_order(self) -> List[PendingJob]:
+        """The queue in strict (arrival, job id) order."""
+        return sorted(self.queue, key=lambda p: (p.arrival_hour, p.job_id))
+
+
+@dataclass(frozen=True)
+class SchedulingDecision:
+    """What the engine should do right now.
+
+    Attributes:
+        starts: Queued job ids to place, in order.  The engine places
+            them on the live fleet exactly as the policy planned them
+            on its trial clone.
+        preemptions: Running job ids to evict *before* placing the
+            starts.  Victims re-queue with their remaining work.
+    """
+
+    starts: Tuple[int, ...] = ()
+    preemptions: Tuple[int, ...] = ()
+
+    @property
+    def is_empty(self) -> bool:
+        """Whether the decision changes nothing."""
+        return not self.starts and not self.preemptions
+
+
+@runtime_checkable
+class Policy(Protocol):
+    """The pluggable scheduling discipline interface."""
+
+    name: str
+
+    def select(self, context: SchedulingContext) -> SchedulingDecision:
+        """Decide which jobs to start (and evict) at ``context.now``."""
+        ...
+
+
+def _greedy_starts(
+    ordered: Iterable[PendingJob], fleet: Fleet
+) -> Tuple[List[int], Optional[PendingJob], Fleet]:
+    """Place jobs in order on a trial clone until the first failure.
+
+    Returns the started ids, the first blocked job (or ``None``) and
+    the trial fleet reflecting the planned starts.
+    """
+    trial = fleet.clone()
+    starts: List[int] = []
+    for pending in ordered:
+        job = pending.job
+        if trial.try_place(job.workload_type, job.num_cnodes) is None:
+            return starts, pending, trial
+        starts.append(pending.job_id)
+    return starts, None, trial
+
+
+@dataclass(frozen=True)
+class FifoPolicy:
+    """Strict arrival order; a blocked head blocks everyone behind it."""
+
+    name: str = "fifo"
+
+    def select(self, context: SchedulingContext) -> SchedulingDecision:
+        """Start the longest placeable prefix of the FIFO queue."""
+        starts, _, _ = _greedy_starts(context.fifo_order(), context.fleet)
+        return SchedulingDecision(starts=tuple(starts))
+
+
+@dataclass(frozen=True)
+class SjfPolicy:
+    """Shortest predicted job first (model-predicted runtimes)."""
+
+    name: str = "sjf"
+
+    def select(self, context: SchedulingContext) -> SchedulingDecision:
+        """Start the shortest placeable prefix of the queue."""
+        ordered = sorted(
+            context.queue,
+            key=lambda p: (p.remaining_hours, p.arrival_hour, p.job_id),
+        )
+        starts, _, _ = _greedy_starts(ordered, context.fleet)
+        return SchedulingDecision(starts=tuple(starts))
+
+
+@dataclass(frozen=True)
+class BackfillPolicy:
+    """FIFO with EASY backfill behind a single head reservation."""
+
+    name: str = "backfill"
+
+    def _reservation_hour(
+        self, context: SchedulingContext, head: PendingJob, trial: Fleet
+    ) -> float:
+        """Earliest hour the blocked head could start, assuming the
+        currently running jobs release in predicted end order."""
+        shadow = trial.clone()
+        job = head.job
+        for running in sorted(
+            context.running, key=lambda r: (r.end_hour, r.job_id)
+        ):
+            shadow.release(running.placement)
+            if shadow.fits(job.workload_type, job.num_cnodes):
+                return running.end_hour
+        # Not placeable even on an empty fleet; nothing can be
+        # reserved, so refuse to backfill past it.
+        return context.now
+
+    def select(self, context: SchedulingContext) -> SchedulingDecision:
+        """FIFO prefix, then backfill jobs that cannot delay the head."""
+        ordered = context.fifo_order()
+        starts, head, trial = _greedy_starts(ordered, context.fleet)
+        if head is None:
+            return SchedulingDecision(starts=tuple(starts))
+        reservation = self._reservation_hour(context, head, trial)
+        horizon = reservation - context.now + _BACKFILL_EPSILON
+        blocked_at = ordered.index(head)
+        for pending in ordered[blocked_at + 1 :]:
+            if pending.remaining_hours > horizon:
+                continue
+            job = pending.job
+            if trial.try_place(job.workload_type, job.num_cnodes) is not None:
+                starts.append(pending.job_id)
+        return SchedulingDecision(starts=tuple(starts))
+
+
+def default_priority(job: JobRecord) -> float:
+    """Default priority: gang width (big distributed jobs first).
+
+    Wide gangs suffer the most from fragmentation, so giving them
+    priority (and letting them preempt) is the classic remedy.
+    """
+    return float(job.num_cnodes)
+
+
+@dataclass(frozen=True)
+class PriorityPolicy:
+    """Highest priority first, optionally preempting lower priority.
+
+    Attributes:
+        priority: Maps a job to its priority (higher runs first).
+        preempt: Whether a blocked high-priority job may evict strictly
+            lower-priority running jobs.
+    """
+
+    priority: Callable[[JobRecord], float] = field(default=default_priority)
+    preempt: bool = True
+    name: str = "priority"
+
+    def _victims_for(
+        self, pending: PendingJob, context: SchedulingContext, trial: Fleet
+    ) -> Optional[List[int]]:
+        """Lowest-priority victims whose eviction lets ``pending`` fit,
+        or ``None`` if even evicting all of them is not enough."""
+        threshold = self.priority(pending.job)
+        candidates = sorted(
+            (r for r in context.running if self.priority(r.job) < threshold),
+            key=lambda r: (self.priority(r.job), -r.start_hour, r.job_id),
+        )
+        what_if = trial.clone()
+        victims: List[int] = []
+        job = pending.job
+        for running in candidates:
+            what_if.release(running.placement)
+            victims.append(running.job_id)
+            if what_if.fits(job.workload_type, job.num_cnodes):
+                return victims
+        return None
+
+    def select(self, context: SchedulingContext) -> SchedulingDecision:
+        """Start by priority; evict lower priority for a blocked job."""
+        ordered = sorted(
+            context.queue,
+            key=lambda p: (-self.priority(p.job), p.arrival_hour, p.job_id),
+        )
+        starts, blocked, trial = _greedy_starts(ordered, context.fleet)
+        if blocked is None or not self.preempt:
+            return SchedulingDecision(starts=tuple(starts))
+        victims = self._victims_for(blocked, context, trial)
+        if victims is None:
+            return SchedulingDecision(starts=tuple(starts))
+        # Evict, start the blocked job, and let the engine ask again.
+        return SchedulingDecision(
+            starts=tuple(starts) + (blocked.job_id,),
+            preemptions=tuple(victims),
+        )

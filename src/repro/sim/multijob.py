@@ -1,31 +1,34 @@
-"""Cluster-level multi-job occupancy simulation.
+"""Cluster-level multi-job occupancy simulation (compatibility client).
 
-The paper's collective analysis treats jobs independently; this module
-adds the cluster dimension: thousands of jobs arriving over the trace
-window (Dec 1 - Jan 20), queued and placed onto a fleet of 8-GPU
-servers, respecting each architecture's placement constraints:
-
-* local architectures (1wng, AllReduce-Local) need all their GPUs on
-  **one** server (first-fit over per-server free counts);
-* PS/Worker places one worker GPU per server, spreading wide;
-* 1w1g takes any free GPU.
+The scheduling machinery now lives in :mod:`repro.sched`; this module
+keeps the original surface -- :func:`sample_durations`,
+:class:`JobExecution`, :class:`ScheduleResult` and
+:class:`ClusterScheduler` -- as a thin client of that subsystem.
+:meth:`ClusterScheduler.schedule` is exactly the old behavior: strict
+FIFO with head-of-line blocking and architecture-aware placement
+(local gangs on one server via first-fit, PS/Worker one GPU per
+server, packed cluster architectures filling greedily), now executed
+by :func:`repro.sched.run_schedule` with a
+:class:`~repro.sched.policies.FifoPolicy`.
 
 Outputs are the operational quantities a platform team watches:
 GPU-hour shares per workload type (the "distributed training consumes
 more than 85% of computation resources" claim of Sec. II-A2),
-utilization over time, and queueing delays.
+utilization over time, and queueing delays.  For richer policies
+(SJF, backfill, preemption), model-predicted runtimes and fleet
+telemetry, use :mod:`repro.sched` directly.
 """
 
 from __future__ import annotations
 
-import heapq
-import math
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List
 
-import numpy as np
-
 from ..core.architectures import Architecture
+from ..sched.engine import run_schedule
+from ..sched.fleet import Fleet
+from ..sched.policies import FifoPolicy
+from ..sched.predictor import sample_durations
 from ..trace.schema import JobRecord
 
 __all__ = [
@@ -34,30 +37,6 @@ __all__ = [
     "ClusterScheduler",
     "sample_durations",
 ]
-
-_HOURS_PER_DAY = 24.0
-
-
-def sample_durations(
-    jobs: Iterable[JobRecord],
-    median_hours: float = 2.0,
-    sigma: float = 1.2,
-    seed: int = 7,
-) -> Dict[int, float]:
-    """Deterministic per-job runtimes (the trace stores no durations).
-
-    Durations are log-normal -- the shape every production-cluster
-    study reports -- and deterministic per (seed, job_id).
-    """
-    if median_hours <= 0:
-        raise ValueError("median_hours must be positive")
-    durations = {}
-    for job in jobs:
-        rng = np.random.default_rng((seed, job.job_id))
-        durations[job.job_id] = float(
-            rng.lognormal(mean=math.log(median_hours), sigma=sigma)
-        )
-    return durations
 
 
 @dataclass(frozen=True)
@@ -139,50 +118,10 @@ class ClusterScheduler:
             raise ValueError("cluster dimensions must be positive")
         self.num_servers = num_servers
         self.gpus_per_server = gpus_per_server
-        self._free = [gpus_per_server] * num_servers
 
     @property
     def total_gpus(self) -> int:
         return self.num_servers * self.gpus_per_server
-
-    # ---- placement ---------------------------------------------------
-
-    def _try_place(self, job: JobRecord) -> List[int]:
-        """Allocate GPUs; returns per-server counts taken, or [] if not
-        placeable right now."""
-        arch = job.workload_type
-        needed = job.num_cnodes
-        taken = [0] * self.num_servers
-        if arch.is_local:
-            for index, free in enumerate(self._free):
-                if free >= needed:
-                    taken[index] = needed
-                    self._free[index] -= needed
-                    return taken
-            return []
-        # Cluster architectures: PS spreads 1/server; packed cluster
-        # architectures (AllReduce-Cluster, PEARL) fill servers greedily.
-        per_server_cap = (
-            1 if arch is Architecture.PS_WORKER else self.gpus_per_server
-        )
-        remaining = needed
-        for index, free in enumerate(self._free):
-            if remaining == 0:
-                break
-            grab = min(free, per_server_cap, remaining)
-            taken[index] = grab
-            remaining -= grab
-        if remaining > 0:
-            return []  # not enough capacity in the right shape
-        for index, grab in enumerate(taken):
-            self._free[index] -= grab
-        return taken
-
-    def _release(self, taken: List[int]) -> None:
-        for index, grab in enumerate(taken):
-            self._free[index] += grab
-
-    # ---- scheduling ---------------------------------------------------
 
     def schedule(
         self,
@@ -192,54 +131,28 @@ class ClusterScheduler:
         """Run the whole trace through the cluster (FIFO order).
 
         Jobs arrive at ``submit_day * 24`` hours; a job larger than the
-        whole cluster is rejected.
+        whole cluster is rejected, and a job that can never fit the
+        cluster's shape raises ``RuntimeError``.
         """
-        pending = sorted(jobs, key=lambda j: (j.submit_day, j.job_id))
-        if durations is None:
-            durations = sample_durations(pending)
-        completions: List[tuple] = []  # (end_hour, seq, taken)
-        executions: List[JobExecution] = []
-        rejected: List[JobRecord] = []
-        clock = 0.0
-        sequence = 0
-        for job in pending:
-            if job.num_cnodes > self.total_gpus:
-                rejected.append(job)
-                continue
-            arrival = job.submit_day * _HOURS_PER_DAY
-            clock = max(clock, arrival)
-            # Free everything that finished before trying to place.
-            while completions and completions[0][0] <= clock:
-                _, _, taken = heapq.heappop(completions)
-                self._release(taken)
-            placement = self._try_place(job)
-            while not placement:
-                if not completions:
-                    raise RuntimeError(
-                        "scheduler stuck: job cannot be placed on an "
-                        "empty cluster"
-                    )
-                end, _, taken = heapq.heappop(completions)
-                clock = max(clock, end)
-                self._release(taken)
-                # Drain everything else finishing at the same instant.
-                while completions and completions[0][0] <= clock:
-                    _, _, more = heapq.heappop(completions)
-                    self._release(more)
-                placement = self._try_place(job)
-            duration = durations[job.job_id]
-            executions.append(
-                JobExecution(
-                    job=job,
-                    arrival_hour=arrival,
-                    start_hour=clock,
-                    duration_hours=duration,
-                )
+        outcome = run_schedule(
+            jobs,
+            Fleet(self.num_servers, self.gpus_per_server),
+            FifoPolicy(),
+            durations=durations,
+            on_unplaceable="raise",
+            collect_telemetry=False,
+        )
+        executions = [
+            JobExecution(
+                job=o.job,
+                arrival_hour=o.arrival_hour,
+                start_hour=o.first_start_hour,
+                duration_hours=o.service_hours,
             )
-            sequence += 1
-            heapq.heappush(completions, (clock + duration, sequence, placement))
+            for o in outcome.outcomes
+        ]
         return ScheduleResult(
             executions=executions,
-            total_gpus=self.total_gpus,
-            rejected=rejected,
+            total_gpus=outcome.total_gpus,
+            rejected=outcome.rejected,
         )

@@ -1,0 +1,168 @@
+"""The discrete-event engine: mechanics, telemetry and determinism."""
+
+import pytest
+
+from repro.core.architectures import Architecture
+from repro.sched import (
+    FifoPolicy,
+    Fleet,
+    PriorityPolicy,
+    SjfPolicy,
+    run_schedule,
+)
+
+from sched_helpers import make_job
+
+
+class TestMechanics:
+    def test_arrival_at_submit_day(self):
+        jobs = [make_job(0, submit_day=3)]
+        outcome = run_schedule(jobs, Fleet(1), FifoPolicy(), durations={0: 1.0})
+        assert outcome.outcomes[0].arrival_hour == 72.0
+        assert outcome.outcomes[0].first_start_hour == 72.0
+
+    def test_oversized_job_rejected(self):
+        jobs = [make_job(0, Architecture.ALLREDUCE_CLUSTER, 17)]
+        outcome = run_schedule(jobs, Fleet(2), FifoPolicy(), durations={0: 1.0})
+        assert [job.job_id for job in outcome.rejected] == [0]
+        assert outcome.outcomes == []
+
+    def test_unplaceable_shape_rejected_by_default(self):
+        # 4 PS workers over 2 servers: fits the GPU count, not the shape.
+        jobs = [make_job(0, Architecture.PS_WORKER, 4)]
+        outcome = run_schedule(jobs, Fleet(2), FifoPolicy(), durations={0: 1.0})
+        assert [job.job_id for job in outcome.rejected] == [0]
+
+    def test_unplaceable_shape_raises_when_asked(self):
+        jobs = [make_job(0, Architecture.PS_WORKER, 4)]
+        with pytest.raises(RuntimeError):
+            run_schedule(
+                jobs,
+                Fleet(2),
+                FifoPolicy(),
+                durations={0: 1.0},
+                on_unplaceable="raise",
+            )
+
+    def test_on_unplaceable_validated(self):
+        with pytest.raises(ValueError):
+            run_schedule([], Fleet(1), FifoPolicy(), on_unplaceable="ignore")
+
+    def test_outcomes_sorted_by_submission(self):
+        jobs = [
+            make_job(3, submit_day=0),
+            make_job(1, submit_day=1),
+            make_job(2, submit_day=0),
+        ]
+        outcome = run_schedule(
+            jobs, Fleet(1), FifoPolicy(), durations={1: 1.0, 2: 1.0, 3: 1.0}
+        )
+        assert [o.job.job_id for o in outcome.outcomes] == [2, 3, 1]
+
+    def test_policy_name_recorded(self):
+        outcome = run_schedule([], Fleet(1), SjfPolicy())
+        assert outcome.policy == "sjf"
+
+    def test_default_durations_are_lognormal_draw(self):
+        jobs = [make_job(0), make_job(1)]
+        first = run_schedule(jobs, Fleet(1), FifoPolicy())
+        second = run_schedule(jobs, Fleet(1), FifoPolicy())
+        assert [o.service_hours for o in first.outcomes] == [
+            o.service_hours for o in second.outcomes
+        ]
+
+
+class TestDeterminism:
+    def test_same_inputs_same_schedule(self):
+        jobs = [
+            make_job(i, Architecture.ALLREDUCE_LOCAL, 2 + i % 6, submit_day=i % 3)
+            for i in range(30)
+        ]
+        for policy in (FifoPolicy(), SjfPolicy(), PriorityPolicy()):
+            first = run_schedule(jobs, Fleet(2), policy)
+            second = run_schedule(jobs, Fleet(2), policy)
+            assert first.outcomes == second.outcomes
+            assert first.rejected == second.rejected
+            assert first.telemetry == second.telemetry
+
+
+class TestTelemetry:
+    def test_samples_track_fleet_state(self):
+        jobs = [
+            make_job(0, Architecture.ALLREDUCE_LOCAL, 8),
+            make_job(1, Architecture.ALLREDUCE_LOCAL, 8),
+        ]
+        outcome = run_schedule(
+            jobs, Fleet(1), FifoPolicy(), durations={0: 2.0, 1: 2.0}
+        )
+        telemetry = outcome.telemetry
+        hours = [sample.hour for sample in telemetry.samples]
+        assert hours == [0.0, 2.0, 4.0]
+        assert [s.busy_gpus for s in telemetry.samples] == [8, 8, 0]
+        assert telemetry.samples[0].queue_depth == 1
+        assert telemetry.peak_queue_depth == 1
+
+    def test_active_gpu_hours_integrates_busy_time(self):
+        jobs = [
+            make_job(0, Architecture.ALLREDUCE_LOCAL, 8),
+            make_job(1, Architecture.ALLREDUCE_LOCAL, 4),
+        ]
+        outcome = run_schedule(
+            jobs, Fleet(2), FifoPolicy(), durations={0: 2.0, 1: 3.0}
+        )
+        assert outcome.telemetry.active_gpu_hours == pytest.approx(
+            8 * 2.0 + 4 * 3.0
+        )
+
+    def test_energy_proxy(self):
+        jobs = [make_job(0, Architecture.ALLREDUCE_LOCAL, 8)]
+        outcome = run_schedule(jobs, Fleet(1), FifoPolicy(), durations={0: 10.0})
+        assert outcome.telemetry.energy_kwh(gpu_watts=300.0) == pytest.approx(
+            8 * 10.0 * 0.3
+        )
+        with pytest.raises(ValueError):
+            outcome.telemetry.energy_kwh(gpu_watts=-1.0)
+
+    def test_telemetry_can_be_disabled(self):
+        jobs = [make_job(0)]
+        outcome = run_schedule(
+            jobs, Fleet(1), FifoPolicy(), durations={0: 1.0},
+            collect_telemetry=False,
+        )
+        assert outcome.telemetry.samples == ()
+        # Integration happens regardless of sampling.
+        assert outcome.telemetry.active_gpu_hours == pytest.approx(1.0)
+
+
+class TestOutcomeMetrics:
+    def test_queueing_delay_and_slowdown(self):
+        jobs = [
+            make_job(0, Architecture.ALLREDUCE_LOCAL, 8),
+            make_job(1, Architecture.ALLREDUCE_LOCAL, 8),
+        ]
+        outcome = run_schedule(
+            jobs, Fleet(1), FifoPolicy(), durations={0: 2.0, 1: 2.0}
+        )
+        by_id = {o.job.job_id: o for o in outcome.outcomes}
+        assert by_id[1].queueing_delay_hours == pytest.approx(2.0)
+        assert by_id[1].completion_time_hours == pytest.approx(4.0)
+        assert by_id[1].slowdown == pytest.approx(2.0)
+        assert outcome.mean_queueing_delay_hours == pytest.approx(1.0)
+        assert outcome.mean_slowdown == pytest.approx(1.5)
+        assert outcome.mean_bounded_slowdown(threshold_hours=1.0) == pytest.approx(1.5)
+
+    def test_bounded_slowdown_floors_service(self):
+        jobs = [make_job(0, Architecture.ALLREDUCE_LOCAL, 8), make_job(1)]
+        outcome = run_schedule(
+            jobs, Fleet(1), FifoPolicy(), durations={0: 10.0, 1: 0.01}
+        )
+        # Raw slowdown for job 1 is 1000x; bounded treats it as >= 1 h.
+        assert outcome.mean_slowdown > 100.0
+        assert outcome.mean_bounded_slowdown(threshold_hours=1.0) < 10.0
+        with pytest.raises(ValueError):
+            outcome.mean_bounded_slowdown(threshold_hours=0.0)
+
+    def test_utilization_matches_legacy_definition(self):
+        jobs = [make_job(0, Architecture.ALLREDUCE_LOCAL, 8)]
+        outcome = run_schedule(jobs, Fleet(2), FifoPolicy(), durations={0: 4.0})
+        assert outcome.utilization() == pytest.approx(0.5)

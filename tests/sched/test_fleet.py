@@ -1,0 +1,125 @@
+"""The fleet resource model: shaped placement and accounting."""
+
+import pytest
+
+from repro.core.architectures import Architecture
+from repro.sched.fleet import Fleet, Placement
+
+
+class TestValidation:
+    def test_dimensions_must_be_positive(self):
+        with pytest.raises(ValueError):
+            Fleet(num_servers=0)
+        with pytest.raises(ValueError):
+            Fleet(num_servers=2, gpus_per_server=0)
+
+    def test_num_gpus_must_be_positive(self):
+        fleet = Fleet(num_servers=2)
+        with pytest.raises(ValueError):
+            fleet.try_place(Architecture.SINGLE, 0)
+
+    def test_release_checks_geometry(self):
+        fleet = Fleet(num_servers=2)
+        with pytest.raises(ValueError):
+            fleet.release(Placement(gpus_by_server=(1,)))
+
+    def test_release_checks_capacity(self):
+        fleet = Fleet(num_servers=1, gpus_per_server=8)
+        with pytest.raises(ValueError):
+            fleet.release(Placement(gpus_by_server=(1,)))
+
+
+class TestPlacementShapes:
+    def test_local_gang_on_one_server(self):
+        fleet = Fleet(num_servers=2, gpus_per_server=8)
+        placement = fleet.try_place(Architecture.ALLREDUCE_LOCAL, 6)
+        assert placement.gpus_by_server == (6, 0)
+        assert placement.servers_used == 1
+
+    def test_local_gang_first_fit_skips_fragmented_servers(self):
+        fleet = Fleet(num_servers=2, gpus_per_server=8)
+        fleet.try_place(Architecture.ALLREDUCE_LOCAL, 5)
+        placement = fleet.try_place(Architecture.ALLREDUCE_LOCAL, 6)
+        assert placement.gpus_by_server == (0, 6)
+
+    def test_local_gang_blocked_by_fragmentation(self):
+        fleet = Fleet(num_servers=2, gpus_per_server=8)
+        fleet.try_place(Architecture.ALLREDUCE_LOCAL, 5)
+        fleet.try_place(Architecture.ALLREDUCE_LOCAL, 5)
+        # Six GPUs free in total, but only 3 + 3 per server.
+        assert fleet.free_gpus == 6
+        assert fleet.try_place(Architecture.ALLREDUCE_LOCAL, 6) is None
+
+    def test_ps_spreads_one_per_server(self):
+        fleet = Fleet(num_servers=4, gpus_per_server=8)
+        placement = fleet.try_place(Architecture.PS_WORKER, 3)
+        assert placement.gpus_by_server == (1, 1, 1, 0)
+
+    def test_ps_wider_than_fleet_fails(self):
+        fleet = Fleet(num_servers=2, gpus_per_server=8)
+        assert fleet.try_place(Architecture.PS_WORKER, 3) is None
+
+    def test_packed_fills_greedily(self):
+        fleet = Fleet(num_servers=2, gpus_per_server=8)
+        placement = fleet.try_place(Architecture.ALLREDUCE_CLUSTER, 10)
+        assert placement.gpus_by_server == (8, 2)
+
+    def test_placement_total(self):
+        fleet = Fleet(num_servers=3, gpus_per_server=8)
+        placement = fleet.try_place(Architecture.PEARL, 12)
+        assert placement.total_gpus == 12
+
+
+class TestAccounting:
+    def test_release_restores_capacity(self):
+        fleet = Fleet(num_servers=2, gpus_per_server=8)
+        placement = fleet.try_place(Architecture.ALLREDUCE_CLUSTER, 10)
+        assert fleet.busy_gpus == 10
+        fleet.release(placement)
+        assert fleet.busy_gpus == 0
+        assert fleet.free_by_server == (8, 8)
+
+    def test_fits_does_not_mutate(self):
+        fleet = Fleet(num_servers=2, gpus_per_server=8)
+        assert fleet.fits(Architecture.ALLREDUCE_LOCAL, 8)
+        assert fleet.free_gpus == 16
+
+    def test_clone_is_independent(self):
+        fleet = Fleet(num_servers=2, gpus_per_server=8)
+        clone = fleet.clone()
+        clone.try_place(Architecture.SINGLE, 1)
+        assert fleet.free_gpus == 16
+        assert clone.free_gpus == 15
+
+    def test_fragmentation(self):
+        fleet = Fleet(num_servers=2, gpus_per_server=8)
+        assert fleet.fragmentation() == pytest.approx(0.5)
+        fleet.try_place(Architecture.ALLREDUCE_LOCAL, 5)
+        fleet.try_place(Architecture.ALLREDUCE_LOCAL, 5)
+        # 3 + 3 free, largest block 3.
+        assert fleet.fragmentation() == pytest.approx(0.5)
+        fleet.try_place(Architecture.ALLREDUCE_LOCAL, 3)
+        fleet.try_place(Architecture.ALLREDUCE_LOCAL, 3)
+        assert fleet.fragmentation() == 0.0
+
+    def test_utilization(self):
+        fleet = Fleet(num_servers=2, gpus_per_server=8)
+        fleet.try_place(Architecture.ALLREDUCE_CLUSTER, 4)
+        assert fleet.utilization() == pytest.approx(0.25)
+
+
+class TestCanEverPlace:
+    def test_local_bounded_by_server(self):
+        fleet = Fleet(num_servers=4, gpus_per_server=8)
+        assert fleet.can_ever_place(Architecture.ALLREDUCE_LOCAL, 8)
+        assert not fleet.can_ever_place(Architecture.ALLREDUCE_LOCAL, 9)
+
+    def test_ps_bounded_by_servers(self):
+        fleet = Fleet(num_servers=4, gpus_per_server=8)
+        assert fleet.can_ever_place(Architecture.PS_WORKER, 4)
+        assert not fleet.can_ever_place(Architecture.PS_WORKER, 5)
+
+    def test_packed_bounded_by_total(self):
+        fleet = Fleet(num_servers=4, gpus_per_server=8)
+        assert fleet.can_ever_place(Architecture.ALLREDUCE_CLUSTER, 32)
+        assert not fleet.can_ever_place(Architecture.ALLREDUCE_CLUSTER, 33)

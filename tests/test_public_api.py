@@ -10,6 +10,7 @@ PACKAGES = [
     "repro.graphs",
     "repro.trace",
     "repro.sim",
+    "repro.sched",
     "repro.profiling",
     "repro.optim",
     "repro.inference",
