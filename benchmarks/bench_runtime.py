@@ -1,0 +1,199 @@
+"""Benchmark the repro.runtime execution layer end to end.
+
+Measures the three wins this layer claims, and writes them to a BENCH
+JSON file (committed as ``benchmarks/BENCH.json``; CI uploads the quick
+variant as an artifact):
+
+* ``cold_serial_s`` / ``cold_parallel_s`` -- full-suite runs with an
+  empty result cache, in-process and with worker processes;
+* ``warm_cached_s`` / ``warm_speedup`` -- the same suite served from
+  the on-disk cache, plus whether the warm report is byte-identical;
+* ``scalar_loop_s`` / ``vectorized_s`` / ``vectorized_speedup`` -- the
+  per-job Python-loop evaluation the figure experiments used before the
+  columnar path, replayed on the same populations the suite analyzes,
+  against the batch path.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_runtime.py              # full
+    PYTHONPATH=src python benchmarks/bench_runtime.py --quick      # CI
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+#: Trace size of ``--quick`` mode (CI smoke); full mode uses the
+#: suite default of 20000.
+QUICK_TRACE_JOBS = 2000
+
+
+def _time(fn):
+    start = time.perf_counter()
+    result = fn()
+    return time.perf_counter() - start, result
+
+
+def bench_suite(parallel_jobs: int) -> dict:
+    """Cold/warm full-suite timings through repro.runtime."""
+    from repro.analysis.context import clear_caches
+    from repro.analysis.report import render_outcomes
+    from repro.runtime import ResultCache, failed_ids, run_suite
+
+    with tempfile.TemporaryDirectory() as tmp:
+        cache = ResultCache(tmp)
+        clear_caches()
+        cold_serial_s, cold = _time(lambda: run_suite(jobs=1, cache=cache))
+        if failed_ids(cold):
+            raise RuntimeError(f"suite failures: {failed_ids(cold)}")
+        warm_cached_s, warm = _time(lambda: run_suite(jobs=1, cache=cache))
+        byte_identical = render_outcomes(warm) == render_outcomes(cold)
+        if not all(outcome.cached for outcome in warm):
+            raise RuntimeError("warm run was not fully cache-served")
+    clear_caches()
+    cold_parallel_s, parallel = _time(
+        lambda: run_suite(jobs=parallel_jobs, cache=None)
+    )
+    if failed_ids(parallel):
+        raise RuntimeError(f"suite failures: {failed_ids(parallel)}")
+    return {
+        "experiments": len(cold),
+        "cold_serial_s": round(cold_serial_s, 4),
+        "cold_parallel_s": round(cold_parallel_s, 4),
+        "parallel_jobs": parallel_jobs,
+        "warm_cached_s": round(warm_cached_s, 4),
+        "warm_speedup": round(cold_serial_s / warm_cached_s, 1),
+        "byte_identical": byte_identical,
+    }
+
+
+def bench_vectorization() -> dict:
+    """Per-job scalar loop vs the columnar batch path, same populations."""
+    from repro.analysis.context import default_hardware, default_trace
+    from repro.core.architectures import Architecture
+    from repro.core.population import (
+        FeatureArrays,
+        analyze_population,
+        average_fractions,
+        batch_breakdowns,
+        batch_projection_speedups,
+    )
+    from repro.core.projection import projection_speedups
+    from repro.core.sweep import sweep_resource
+    from repro.core.timemodel import estimate_breakdown
+    from repro.core.units import gbps
+
+    jobs = default_trace()
+    hardware = default_hardware()
+    everyone = [job.features for job in jobs]
+    ps_jobs = [
+        job.features
+        for job in jobs
+        if job.features.architecture is Architecture.PS_WORKER
+    ]
+    ethernet_candidates = [gbps(50), gbps(100), gbps(400)]
+
+    def scalar_loop():
+        analyzed = analyze_population(everyone, hardware)
+        fractions = average_fractions(analyzed, cnode_level=True)
+        speedups = [
+            projection_speedups(
+                f, Architecture.ALLREDUCE_LOCAL, hardware
+            ).throughput_speedup
+            for f in ps_jobs
+        ]
+        # The pre-columnar sweep loop (Fig. 11's dominant cost): one
+        # scalar model evaluation per job per candidate value.
+        base = [estimate_breakdown(f, hardware).total for f in ps_jobs]
+        sweeps = []
+        for value in ethernet_candidates:
+            varied = hardware.with_resource("ethernet", value)
+            new = [estimate_breakdown(f, varied).total for f in ps_jobs]
+            sweeps.append(
+                sum(b / n for b, n in zip(base, new)) / len(base)
+            )
+        return fractions, speedups, sweeps
+
+    def vectorized():
+        analyzed = batch_breakdowns(
+            FeatureArrays.from_workloads(everyone), hardware
+        )
+        fractions = analyzed.average_fractions(cnode_level=True)
+        ps_arrays = FeatureArrays.from_workloads(ps_jobs)
+        speedups = batch_projection_speedups(
+            ps_arrays, Architecture.ALLREDUCE_LOCAL, hardware
+        ).throughput_speedup
+        sweeps = [
+            point.average_speedup
+            for point in sweep_resource(
+                ps_arrays, "ethernet", ethernet_candidates, hardware
+            ).points
+        ]
+        return fractions, speedups, sweeps
+
+    scalar_loop_s, (scalar_fracs, _, scalar_sweeps) = _time(scalar_loop)
+    vectorized_s, (batch_fracs, _, batch_sweeps) = _time(vectorized)
+    drift = max(
+        max(abs(scalar_fracs[k] - batch_fracs[k]) for k in scalar_fracs),
+        max(abs(s - b) for s, b in zip(scalar_sweeps, batch_sweeps)),
+    )
+    if drift > 1e-9:
+        raise RuntimeError(f"scalar/vector drift {drift:.3e} exceeds 1e-9")
+    return {
+        "population": len(everyone),
+        "scalar_loop_s": round(scalar_loop_s, 4),
+        "vectorized_s": round(vectorized_s, 4),
+        "vectorized_speedup": round(scalar_loop_s / vectorized_s, 1),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help=f"CI smoke mode: {QUICK_TRACE_JOBS}-job trace",
+    )
+    parser.add_argument(
+        "-o",
+        "--output",
+        default=None,
+        help="BENCH JSON path (default: print to stdout only)",
+    )
+    parser.add_argument(
+        "--parallel",
+        type=int,
+        default=max(os.cpu_count() or 1, 2),
+        help="worker count for the parallel cold run",
+    )
+    args = parser.parse_args(argv)
+
+    if args.quick:
+        os.environ["PAI_REPRO_TRACE_JOBS"] = str(QUICK_TRACE_JOBS)
+
+    from repro import __version__
+    from repro.analysis.context import default_trace_config
+
+    payload = {
+        "bench": "runtime",
+        "version": __version__,
+        "quick": args.quick,
+        "trace_jobs": default_trace_config().num_jobs,
+        "suite": bench_suite(args.parallel),
+        "vectorization": bench_vectorization(),
+    }
+    text = json.dumps(payload, indent=2) + "\n"
+    print(text, end="")
+    if args.output:
+        Path(args.output).write_text(text, encoding="utf-8")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

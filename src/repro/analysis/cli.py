@@ -16,12 +16,35 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
-from .registry import experiment_ids, run_all, run_experiment
+from .registry import experiment_ids, run_experiment
 
 __all__ = ["main", "build_parser"]
+
+
+def _add_suite_options(parser: argparse.ArgumentParser) -> None:
+    """Execution-layer flags shared by ``all`` and ``report``."""
+    parser.add_argument(
+        "-j",
+        "--jobs",
+        type=int,
+        default=os.cpu_count() or 1,
+        help="worker processes (default: CPU count; 1 = in-process)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="recompute every experiment, ignoring the result cache",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="result-cache directory (default: $PAI_REPRO_CACHE_DIR "
+        "or ~/.cache/pai-repro)",
+    )
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -40,7 +63,10 @@ def build_parser() -> argparse.ArgumentParser:
         "experiment", choices=experiment_ids(), help="experiment id"
     )
 
-    subparsers.add_parser("all", help="run the full experiment suite")
+    all_parser = subparsers.add_parser(
+        "all", help="run the full experiment suite"
+    )
+    _add_suite_options(all_parser)
 
     report_parser = subparsers.add_parser(
         "report", help="write the full suite as a markdown report"
@@ -48,6 +74,7 @@ def build_parser() -> argparse.ArgumentParser:
     report_parser.add_argument(
         "-o", "--output", default="report.md", help="output path"
     )
+    _add_suite_options(report_parser)
 
     trace_parser = subparsers.add_parser(
         "trace", help="generate a calibrated synthetic trace (JSONL)"
@@ -154,6 +181,53 @@ def _command_advise(args: argparse.Namespace) -> int:
     return 0
 
 
+def _suite_cache(args: argparse.Namespace):
+    from ..runtime import ResultCache
+
+    if args.no_cache:
+        return None
+    return ResultCache(args.cache_dir)
+
+
+def _report_failures(outcomes) -> int:
+    """Print a per-failure summary; returns the count."""
+    failed = [o for o in outcomes if not o.ok]
+    for outcome in failed:
+        print(f"FAILED {outcome.experiment_id}:", file=sys.stderr)
+        print(outcome.error, file=sys.stderr)
+    if failed:
+        ids = ", ".join(o.experiment_id for o in failed)
+        print(
+            f"{len(failed)} of {len(outcomes)} experiments failed: {ids}",
+            file=sys.stderr,
+        )
+    return len(failed)
+
+
+def _command_all(args: argparse.Namespace) -> int:
+    from ..runtime import run_suite
+
+    outcomes = run_suite(jobs=args.jobs, cache=_suite_cache(args))
+    for outcome in outcomes:
+        if outcome.ok:
+            print(outcome.result.render())
+            print()
+    return 1 if _report_failures(outcomes) else 0
+
+
+def _command_report(args: argparse.Namespace) -> int:
+    from ..runtime import run_suite
+    from .report import render_outcomes
+
+    from pathlib import Path
+
+    outcomes = run_suite(jobs=args.jobs, cache=_suite_cache(args))
+    path = Path(args.output)
+    path.write_text(render_outcomes(outcomes), encoding="utf-8")
+    print(f"wrote {path}")
+    return 1 if _report_failures(outcomes) else 0
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "list":
@@ -164,16 +238,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(run_experiment(args.experiment).render())
         return 0
     if args.command == "all":
-        for result in run_all():
-            print(result.render())
-            print()
-        return 0
+        return _command_all(args)
     if args.command == "report":
-        from .report import write_report
-
-        path = write_report(args.output)
-        print(f"wrote {path}")
-        return 0
+        return _command_report(args)
     if args.command == "trace":
         return _command_trace(args)
     if args.command == "advise":

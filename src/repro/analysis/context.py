@@ -4,37 +4,88 @@ Trace-based experiments (Figs. 5-11, 15, 16) consume the default
 calibrated synthetic trace; case-study experiments (Tables IV-VI,
 Figs. 12-13) consume the six model builders on the V100 testbed.  Both
 are cached so running the full experiment suite generates them once.
+
+The trace cache is keyed on the **full generator configuration** (the
+:class:`repro.trace.generator.TraceConfig` dataclass), not just the job
+count: any calibration, seed or marginal-distribution change produces a
+different key, so a stale trace can never be served.  Tests that mutate
+the environment can reset everything through :func:`clear_caches`.
 """
 
 from __future__ import annotations
 
 import functools
-from typing import List
+import os
+from collections import OrderedDict
+from typing import List, Optional, Tuple
 
 from ..core.architectures import Architecture
 from ..core.features import WorkloadFeatures
 from ..core.hardware import HardwareConfig, pai_default_hardware, testbed_v100_hardware
-from ..trace.generator import generate_trace
+from ..core.population import FeatureArrays
+from ..trace.generator import TraceConfig, generate_trace
 from ..trace.schema import features_of_type
 
 __all__ = [
     "DEFAULT_TRACE_JOBS",
+    "DEFAULT_TRACE_SEED",
+    "TRACE_JOBS_ENV_VAR",
+    "default_trace_config",
     "default_trace",
     "default_hardware",
     "testbed_hardware",
     "trace_features",
+    "trace_feature_arrays",
     "ps_worker_features",
+    "clear_caches",
 ]
 
 #: Trace size for the experiment suite: large enough for stable tail
 #: statistics, small enough to generate in under a second.
 DEFAULT_TRACE_JOBS = 20000
 
+#: Seed of the calibrated default trace.
+DEFAULT_TRACE_SEED = 20190501
+
+#: Environment override for the suite's trace size (used by the quick
+#: benchmark mode and CI smoke runs).  The value participates in the
+#: trace config, and therefore in result-cache fingerprints.
+TRACE_JOBS_ENV_VAR = "PAI_REPRO_TRACE_JOBS"
+
+
+def default_trace_config(num_jobs: Optional[int] = None) -> TraceConfig:
+    """The suite's trace-generator configuration.
+
+    ``num_jobs`` defaults to :data:`DEFAULT_TRACE_JOBS`, overridable via
+    the :data:`TRACE_JOBS_ENV_VAR` environment variable.
+    """
+    if num_jobs is None:
+        num_jobs = int(os.environ.get(TRACE_JOBS_ENV_VAR, DEFAULT_TRACE_JOBS))
+    return TraceConfig(num_jobs=num_jobs, seed=DEFAULT_TRACE_SEED)
+
 
 @functools.lru_cache(maxsize=4)
-def default_trace(num_jobs: int = DEFAULT_TRACE_JOBS) -> tuple:
-    """The calibrated synthetic trace (cached, deterministic)."""
-    return tuple(generate_trace(num_jobs=num_jobs))
+def _cached_trace(config: TraceConfig) -> tuple:
+    return tuple(generate_trace(config=config))
+
+
+def default_trace(
+    num_jobs: Optional[int] = None, config: Optional[TraceConfig] = None
+) -> tuple:
+    """The calibrated synthetic trace (cached, deterministic).
+
+    The cache key is the complete :class:`TraceConfig` -- two calls with
+    the same job count but different seeds or calibration parameters are
+    distinct entries, never a silently shared stale trace.
+    """
+    if config is None:
+        config = default_trace_config(num_jobs)
+    elif num_jobs is not None and config.num_jobs != num_jobs:
+        raise ValueError(
+            "pass either num_jobs or an explicit TraceConfig, not a "
+            "conflicting combination"
+        )
+    return _cached_trace(config)
 
 
 def default_hardware() -> HardwareConfig:
@@ -58,6 +109,44 @@ def trace_features(
     return features_of_type(list(jobs), architecture)
 
 
+#: Columnar-extraction memo: (trace identity, architecture) -> arrays.
+#: Keyed on object identity with the trace kept alive in the value, so a
+#: recycled ``id`` can never alias a different trace.
+_FEATURE_ARRAYS: "OrderedDict[Tuple[int, Optional[Architecture]], Tuple[tuple, FeatureArrays]]" = (
+    OrderedDict()
+)
+_FEATURE_ARRAYS_MAX = 16
+
+
+def trace_feature_arrays(
+    jobs: tuple = None, architecture: Architecture = None
+) -> FeatureArrays:
+    """Columnar features of (a slice of) a trace, extracted once.
+
+    Population columns feed the vectorized batch-evaluation path
+    (:mod:`repro.core.population`); experiments sharing a population
+    (Figs. 7-11, calibration, observations) share one extraction.
+    """
+    if jobs is None:
+        jobs = default_trace()
+    key = (id(jobs), architecture)
+    hit = _FEATURE_ARRAYS.get(key)
+    if hit is not None and hit[0] is jobs:
+        _FEATURE_ARRAYS.move_to_end(key)
+        return hit[1]
+    arrays = FeatureArrays.from_workloads(trace_features(jobs, architecture))
+    _FEATURE_ARRAYS[key] = (jobs, arrays)
+    while len(_FEATURE_ARRAYS) > _FEATURE_ARRAYS_MAX:
+        _FEATURE_ARRAYS.popitem(last=False)
+    return arrays
+
+
 def ps_worker_features(jobs: tuple = None) -> List[WorkloadFeatures]:
     """The PS/Worker population (the Sec. III-C projection subjects)."""
     return trace_features(jobs, Architecture.PS_WORKER)
+
+
+def clear_caches() -> None:
+    """Drop every cached trace and feature extraction (test hook)."""
+    _cached_trace.cache_clear()
+    _FEATURE_ARRAYS.clear()

@@ -3,8 +3,8 @@
 from __future__ import annotations
 
 from ..core.architectures import Architecture
-from ..core.population import analyze_population, average_fractions
-from .context import default_hardware, default_trace, trace_features
+from ..core.population import batch_breakdowns
+from .context import default_hardware, default_trace, trace_feature_arrays
 from .paper_constants import FIG7
 from .result import ExperimentResult
 
@@ -25,9 +25,9 @@ def run(jobs: tuple = None) -> ExperimentResult:
     hardware = default_hardware()
     rows = []
     for arch in _TYPES:
-        analyzed = analyze_population(trace_features(jobs, arch), hardware)
+        analyzed = batch_breakdowns(trace_feature_arrays(jobs, arch), hardware)
         for cnode_level in (False, True):
-            fractions = average_fractions(analyzed, cnode_level)
+            fractions = analyzed.average_fractions(cnode_level)
             rows.append(
                 {
                     "population": "all" if arch is None else str(arch),

@@ -10,16 +10,9 @@ from __future__ import annotations
 from typing import Dict
 
 from ..core.architectures import Architecture
-from ..core.population import (
-    COMPONENT_KEYS,
-    HARDWARE_KEYS,
-    analyze_population,
-    fraction_samples,
-    hardware_share_samples,
-    weighted_fraction_exceeding,
-)
+from ..core.population import COMPONENT_KEYS, HARDWARE_KEYS, batch_breakdowns
 from ..trace.statistics import EmpiricalCDF
-from .context import default_hardware, default_trace, trace_features
+from .context import default_hardware, default_trace, trace_feature_arrays
 from .result import ExperimentResult
 
 __all__ = ["run", "component_cdfs", "hardware_cdfs"]
@@ -29,15 +22,13 @@ def component_cdfs(
     jobs: tuple, architecture: Architecture, cnode_level: bool = False
 ) -> Dict[str, EmpiricalCDF]:
     """Panels (b)-(d): per-component share CDFs for one type."""
-    analyzed = analyze_population(
-        trace_features(jobs, architecture), default_hardware()
+    analyzed = batch_breakdowns(
+        trace_feature_arrays(jobs, architecture), default_hardware()
     )
-    weights = (
-        [float(job.weight) for job in analyzed] if cnode_level else None
-    )
+    weights = analyzed.cnode_weights() if cnode_level else None
     return {
         component: EmpiricalCDF.from_samples(
-            fraction_samples(analyzed, component), weights
+            analyzed.fraction_samples(component), weights
         )
         for component in COMPONENT_KEYS
     }
@@ -45,13 +36,11 @@ def component_cdfs(
 
 def hardware_cdfs(jobs: tuple, cnode_level: bool = False) -> Dict[str, EmpiricalCDF]:
     """Panel (a): per-hardware-component share CDFs, all workloads."""
-    analyzed = analyze_population(trace_features(jobs), default_hardware())
-    weights = (
-        [float(job.weight) for job in analyzed] if cnode_level else None
-    )
+    analyzed = batch_breakdowns(trace_feature_arrays(jobs), default_hardware())
+    weights = analyzed.cnode_weights() if cnode_level else None
     return {
         component: EmpiricalCDF.from_samples(
-            hardware_share_samples(analyzed, component), weights
+            analyzed.hardware_share_samples(component), weights
         )
         for component in HARDWARE_KEYS
         if component != "NVLink"  # no NVLink traffic in the trace types
@@ -80,14 +69,14 @@ def run(jobs: tuple = None) -> ExperimentResult:
                         "p90": cdf.quantile(0.90),
                     }
                 )
-    ps = analyze_population(
-        trace_features(jobs, Architecture.PS_WORKER), default_hardware()
+    ps = batch_breakdowns(
+        trace_feature_arrays(jobs, Architecture.PS_WORKER), default_hardware()
     )
-    above80 = weighted_fraction_exceeding(ps, "weight", 0.80, cnode_level=True)
-    single = analyze_population(
-        trace_features(jobs, Architecture.SINGLE), default_hardware()
+    above80 = ps.weighted_fraction_exceeding("weight", 0.80, cnode_level=True)
+    single = batch_breakdowns(
+        trace_feature_arrays(jobs, Architecture.SINGLE), default_hardware()
     )
-    data50 = weighted_fraction_exceeding(single, "data_io", 0.50)
+    data50 = single.weighted_fraction_exceeding("data_io", 0.50)
     notes = [
         f"PS/Worker spending >80% time on weight traffic: {above80:.1%} "
         "(paper: >40%)",

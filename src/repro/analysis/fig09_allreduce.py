@@ -2,25 +2,23 @@
 
 from __future__ import annotations
 
-from typing import List
-
 from ..core.architectures import Architecture
-from ..core.projection import ProjectionResult, projection_speedups
+from ..core.population import ProjectionArrays, batch_projection_speedups
 from ..trace.statistics import EmpiricalCDF
-from .context import default_hardware, default_trace, ps_worker_features
+from .context import default_hardware, default_trace, trace_feature_arrays
 from .paper_constants import FIG9
 from .result import ExperimentResult
 
 __all__ = ["run", "project_all"]
 
 
-def project_all(jobs: tuple, target: Architecture) -> List[ProjectionResult]:
+def project_all(jobs: tuple, target: Architecture) -> ProjectionArrays:
     """Project the whole PS/Worker population onto one target."""
-    hardware = default_hardware()
-    return [
-        projection_speedups(features, target, hardware)
-        for features in ps_worker_features(jobs)
-    ]
+    return batch_projection_speedups(
+        trace_feature_arrays(jobs, Architecture.PS_WORKER),
+        target,
+        default_hardware(),
+    )
 
 
 def run(jobs: tuple = None) -> ExperimentResult:
@@ -30,20 +28,10 @@ def run(jobs: tuple = None) -> ExperimentResult:
     local = project_all(jobs, Architecture.ALLREDUCE_LOCAL)
     cluster = project_all(jobs, Architecture.ALLREDUCE_CLUSTER)
 
-    single_cdf = EmpiricalCDF.from_samples(
-        [r.single_cnode_speedup for r in local]
-    )
-    throughput_cdf = EmpiricalCDF.from_samples(
-        [r.throughput_speedup for r in local]
-    )
-    cluster_cdf = EmpiricalCDF.from_samples(
-        [r.throughput_speedup for r in cluster]
-    )
-    rescued = [
-        c.throughput_speedup
-        for l, c in zip(local, cluster)
-        if l.throughput_speedup <= 1.0
-    ]
+    single_cdf = EmpiricalCDF.from_samples(local.single_cnode_speedup)
+    throughput_cdf = EmpiricalCDF.from_samples(local.throughput_speedup)
+    cluster_cdf = EmpiricalCDF.from_samples(cluster.throughput_speedup)
+    rescued = cluster.throughput_speedup[local.throughput_speedup <= 1.0]
     rescue_cdf = EmpiricalCDF.from_samples(rescued)
 
     rows = [

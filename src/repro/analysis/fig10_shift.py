@@ -6,9 +6,9 @@ input-I/O share (now contended on PCIe) rises the most.
 
 from __future__ import annotations
 
-from ..core.population import analyze_population, average_fractions
-from ..core.projection import project_to_allreduce_local
-from .context import default_hardware, default_trace, ps_worker_features
+from ..core.architectures import Architecture
+from ..core.population import batch_breakdowns
+from .context import default_hardware, default_trace, trace_feature_arrays
 from .result import ExperimentResult
 
 __all__ = ["run"]
@@ -19,11 +19,11 @@ def run(jobs: tuple = None) -> ExperimentResult:
     if jobs is None:
         jobs = default_trace()
     hardware = default_hardware()
-    originals = ps_worker_features(jobs)
-    projected = [project_to_allreduce_local(f) for f in originals]
+    originals = trace_feature_arrays(jobs, Architecture.PS_WORKER)
+    projected = originals.project_ps_to(Architecture.ALLREDUCE_LOCAL)
 
-    before = average_fractions(analyze_population(originals, hardware))
-    after = average_fractions(analyze_population(projected, hardware))
+    before = batch_breakdowns(originals, hardware).average_fractions()
+    after = batch_breakdowns(projected, hardware).average_fractions()
     rows = []
     for component in ("data_io", "weight", "compute_bound", "memory_bound"):
         rows.append(

@@ -10,9 +10,8 @@ from __future__ import annotations
 from typing import Dict
 
 from ..core.architectures import Architecture
-from ..core.projection import project_to_allreduce_local
 from ..core.sweep import SweepSeries, sweep_all_resources
-from .context import default_hardware, default_trace, ps_worker_features, trace_features
+from .context import default_hardware, default_trace, trace_feature_arrays
 from .result import ExperimentResult
 
 __all__ = ["run", "panel"]
@@ -29,15 +28,15 @@ def panel(jobs: tuple, name: str) -> Dict[str, SweepSeries]:
     """One Fig. 11 panel: sweep series for one workload population."""
     hardware = default_hardware()
     if name == "1w1g":
-        population = trace_features(jobs, Architecture.SINGLE)
+        population = trace_feature_arrays(jobs, Architecture.SINGLE)
     elif name == "1wng":
-        population = trace_features(jobs, Architecture.LOCAL_CENTRALIZED)
+        population = trace_feature_arrays(jobs, Architecture.LOCAL_CENTRALIZED)
     elif name == "PS/Worker":
-        population = ps_worker_features(jobs)
+        population = trace_feature_arrays(jobs, Architecture.PS_WORKER)
     elif name == "AllReduce-Local":
-        population = [
-            project_to_allreduce_local(f) for f in ps_worker_features(jobs)
-        ]
+        population = trace_feature_arrays(
+            jobs, Architecture.PS_WORKER
+        ).project_ps_to(Architecture.ALLREDUCE_LOCAL)
     else:
         raise KeyError(f"unknown panel: {name!r}")
     series = sweep_all_resources(population, hardware)

@@ -8,16 +8,11 @@ the multi-job cluster-occupancy simulation.
 from __future__ import annotations
 
 from ..core.architectures import Architecture
-from ..core.population import (
-    analyze_population,
-    average_fractions,
-    weighted_fraction_exceeding,
-)
-from ..core.projection import projection_speedups
+from ..core.population import batch_breakdowns, batch_projection_speedups
 from ..core.sweep import sweep_resource
 from ..core.units import gbps, gigabytes
 from ..sim.multijob import ClusterScheduler
-from .context import default_hardware, default_trace, ps_worker_features, trace_features
+from .context import default_hardware, default_trace, trace_feature_arrays
 from .result import ExperimentResult
 
 __all__ = ["run"]
@@ -40,9 +35,10 @@ def run(jobs: tuple = None) -> ExperimentResult:
     if jobs is None:
         jobs = default_trace()
     hardware = default_hardware()
-    all_analyzed = analyze_population(trace_features(jobs), hardware)
-    ps_analyzed = analyze_population(ps_worker_features(jobs), hardware)
-    cnode_fractions = average_fractions(all_analyzed, cnode_level=True)
+    ps_arrays = trace_feature_arrays(jobs, Architecture.PS_WORKER)
+    all_analyzed = batch_breakdowns(trace_feature_arrays(jobs), hardware)
+    ps_analyzed = batch_breakdowns(ps_arrays, hardware)
+    cnode_fractions = all_analyzed.average_fractions(cnode_level=True)
 
     total_cnodes = sum(j.num_cnodes for j in jobs)
     ps_cnodes = sum(
@@ -53,16 +49,15 @@ def run(jobs: tuple = None) -> ExperimentResult:
         1 for j in jobs if j.features.weight_bytes < gigabytes(10)
     ) / len(jobs)
 
-    local_results = [
-        projection_speedups(f, Architecture.ALLREDUCE_LOCAL, hardware)
-        for f in ps_worker_features(jobs)
-    ]
-    throughput_improved = sum(
-        1 for r in local_results if r.throughput_speedup > 1.0
-    ) / len(local_results)
+    local_results = batch_projection_speedups(
+        ps_arrays, Architecture.ALLREDUCE_LOCAL, hardware
+    )
+    throughput_improved = float(
+        (local_results.throughput_speedup > 1.0).mean()
+    )
 
     ethernet = sweep_resource(
-        ps_worker_features(jobs), "ethernet", [gbps(100)], hardware
+        ps_arrays, "ethernet", [gbps(100)], hardware
     ).points[0].average_speedup
 
     rows = [
@@ -99,7 +94,7 @@ def run(jobs: tuple = None) -> ExperimentResult:
         {
             "observation": "PS jobs > 80% communication (cNode level)",
             "paper": "> 40%",
-            "measured": f"{weighted_fraction_exceeding(ps_analyzed, 'weight', 0.8, cnode_level=True):.1%}",
+            "measured": f"{ps_analyzed.weighted_fraction_exceeding('weight', 0.8, cnode_level=True):.1%}",
         },
         {
             "observation": "PS jobs improved by AllReduce-Local (throughput)",

@@ -39,9 +39,15 @@ from .hardware import (
 )
 from .population import (
     AnalyzedJob,
+    FeatureArrays,
+    PopulationBreakdown,
+    ProjectionArrays,
     analyze_population,
     average_fractions,
     average_hardware_shares,
+    batch_breakdowns,
+    batch_projection_speedups,
+    batch_step_times,
     weighted_fraction_exceeding,
 )
 from .recommend import (
@@ -84,6 +90,12 @@ __all__ = [
     "AnalyzedJob",
     "Architecture",
     "Bottleneck",
+    "FeatureArrays",
+    "PopulationBreakdown",
+    "ProjectionArrays",
+    "batch_breakdowns",
+    "batch_projection_speedups",
+    "batch_step_times",
     "ClassifiedJob",
     "CrossoverResult",
     "EfficiencyModel",

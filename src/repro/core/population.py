@@ -9,21 +9,42 @@ The paper reports two aggregation levels throughout Figs. 5, 7 and 8:
 The cNode-level percentages of Fig. 7 are "computed as weighted sum of
 the job-level percentages, with the weight being the cNode number of
 each job over the overall cNode number".
+
+Two evaluation paths are provided:
+
+* the **scalar** path (:func:`analyze_population` and friends) applies
+  :func:`repro.core.timemodel.estimate_breakdown` job by job and keeps
+  per-job :class:`TimeBreakdown` objects around -- convenient for
+  inspecting individual jobs;
+* the **columnar** path (:class:`FeatureArrays`,
+  :class:`PopulationBreakdown`, :func:`batch_breakdowns`,
+  :func:`batch_step_times`, :func:`batch_projection_speedups`) evaluates
+  the same equations over NumPy arrays, one vector operation per model
+  term.  The figure experiments and hardware sweeps use it; on the 20k
+  job trace it is two orders of magnitude faster than the per-job loop.
+
+Both paths implement the identical arithmetic (the property tests in
+``tests/properties`` pin them together to 1e-9 relative).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Iterable, List, Sequence, Tuple
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Sequence, Tuple, Union
 
+import numpy as np
+
+from .architectures import MEDIA_GPU_FLOPS, MEDIA_GPU_MEMORY, Architecture
 from .efficiency import PAPER_DEFAULT_EFFICIENCY, EfficiencyModel
 from .features import WorkloadFeatures
 from .hardware import HardwareConfig
 from .timemodel import (
     PAPER_MODEL_OPTIONS,
     ModelOptions,
+    OverlapMode,
     TimeBreakdown,
     estimate_breakdown,
+    ring_allreduce_factor,
 )
 
 __all__ = [
@@ -36,6 +57,11 @@ __all__ = [
     "fraction_samples",
     "hardware_share_samples",
     "weighted_fraction_exceeding",
+    "FeatureArrays",
+    "PopulationBreakdown",
+    "batch_breakdowns",
+    "batch_step_times",
+    "batch_projection_speedups",
 ]
 
 #: The four logical execution-time components (Figs. 7 and 8(b-d)).
@@ -163,3 +189,424 @@ def weighted_fraction_exceeding(
         if job.breakdown.fractions()[component] > threshold:
             hit_weight += weight
     return hit_weight / total_weight
+
+
+# ---------------------------------------------------------------------------
+# Columnar (vectorized) evaluation path
+# ---------------------------------------------------------------------------
+
+#: Architectures in a fixed order so populations can be encoded as codes.
+_ARCHITECTURES: Tuple[Architecture, ...] = tuple(Architecture)
+_ARCH_CODE: Dict[Architecture, int] = {
+    arch: code for code, arch in enumerate(_ARCHITECTURES)
+}
+
+
+@dataclass(frozen=True)
+class FeatureArrays:
+    """A workload population as columns (one NumPy array per feature).
+
+    Extracting the columns costs one Python pass over the population;
+    every subsequent model evaluation (a hardware sweep candidate, a
+    projection, an efficiency perturbation) is pure array math.  All
+    arrays share the same length and order as the source population.
+    """
+
+    arch_codes: np.ndarray
+    num_cnodes: np.ndarray
+    batch_size: np.ndarray
+    flop_count: np.ndarray
+    memory_access_bytes: np.ndarray
+    input_bytes: np.ndarray
+    weight_traffic_bytes: np.ndarray
+    dense_traffic_bytes: np.ndarray
+    embedding_traffic_bytes: np.ndarray
+    local_cnodes: np.ndarray
+    contends_for_pcie: np.ndarray
+
+    @staticmethod
+    def from_workloads(
+        workloads: Iterable[WorkloadFeatures],
+    ) -> "FeatureArrays":
+        """Extract columns from a sequence of feature records."""
+        population = list(workloads)
+        if not population:
+            raise ValueError("workload population is empty")
+        count = len(population)
+        arch_codes = np.empty(count, dtype=np.int64)
+        num_cnodes = np.empty(count, dtype=np.int64)
+        batch_size = np.empty(count, dtype=np.int64)
+        flop_count = np.empty(count, dtype=float)
+        memory_access = np.empty(count, dtype=float)
+        input_bytes = np.empty(count, dtype=float)
+        weight_traffic = np.empty(count, dtype=float)
+        embedding_traffic = np.empty(count, dtype=float)
+        local_cnodes = np.empty(count, dtype=np.int64)
+        contends = np.empty(count, dtype=bool)
+        for i, features in enumerate(population):
+            arch_codes[i] = _ARCH_CODE[features.architecture]
+            num_cnodes[i] = features.num_cnodes
+            batch_size[i] = features.batch_size
+            flop_count[i] = features.flop_count
+            memory_access[i] = features.memory_access_bytes
+            input_bytes[i] = features.input_bytes
+            weight_traffic[i] = features.weight_traffic_bytes
+            embedding_traffic[i] = features.embedding_traffic_bytes
+            local_cnodes[i] = features.local_cnodes_per_server
+            contends[i] = features.architecture.input_contends_for_pcie
+        return FeatureArrays(
+            arch_codes=arch_codes,
+            num_cnodes=num_cnodes,
+            batch_size=batch_size,
+            flop_count=flop_count,
+            memory_access_bytes=memory_access,
+            input_bytes=input_bytes,
+            weight_traffic_bytes=weight_traffic,
+            dense_traffic_bytes=weight_traffic - embedding_traffic,
+            embedding_traffic_bytes=embedding_traffic,
+            local_cnodes=local_cnodes,
+            contends_for_pcie=contends,
+        )
+
+    @staticmethod
+    def coerce(
+        workloads: Union["FeatureArrays", Iterable[WorkloadFeatures]],
+    ) -> "FeatureArrays":
+        """Pass through a :class:`FeatureArrays`, extract anything else."""
+        if isinstance(workloads, FeatureArrays):
+            return workloads
+        return FeatureArrays.from_workloads(workloads)
+
+    def __len__(self) -> int:
+        return int(self.arch_codes.shape[0])
+
+    def architectures_present(self) -> List[Architecture]:
+        """Distinct architectures in the population, in enum order."""
+        return [
+            _ARCHITECTURES[code]
+            for code in np.unique(self.arch_codes).tolist()
+        ]
+
+    def mask_of(self, architecture: Architecture) -> np.ndarray:
+        """Boolean mask selecting one architecture's jobs."""
+        return self.arch_codes == _ARCH_CODE[architecture]
+
+    def project_ps_to(self, target: Architecture) -> "FeatureArrays":
+        """Vectorized Sec. III-C1 projection of a PS/Worker population.
+
+        Mirrors :func:`repro.core.projection.project_to_allreduce_local`
+        / ``project_to_allreduce_cluster``: AllReduce-Local caps the job
+        at 8 cNodes (one server), AllReduce-Cluster keeps the cNode
+        count and packs 8-GPU servers.
+        """
+        if not np.all(self.arch_codes == _ARCH_CODE[Architecture.PS_WORKER]):
+            raise ValueError("projection is defined for PS/Worker populations")
+        if target is Architecture.ALLREDUCE_LOCAL:
+            num_cnodes = np.minimum(self.num_cnodes, 8)
+            local_cnodes = num_cnodes
+        elif target is Architecture.ALLREDUCE_CLUSTER:
+            num_cnodes = self.num_cnodes
+            local_cnodes = np.minimum(self.num_cnodes, 8)
+        else:
+            raise ValueError(f"unsupported projection target: {target}")
+        return FeatureArrays(
+            arch_codes=np.full_like(self.arch_codes, _ARCH_CODE[target]),
+            num_cnodes=num_cnodes,
+            batch_size=self.batch_size,
+            flop_count=self.flop_count,
+            memory_access_bytes=self.memory_access_bytes,
+            input_bytes=self.input_bytes,
+            weight_traffic_bytes=self.weight_traffic_bytes,
+            dense_traffic_bytes=self.dense_traffic_bytes,
+            embedding_traffic_bytes=self.embedding_traffic_bytes,
+            local_cnodes=local_cnodes,
+            contends_for_pcie=np.full_like(
+                self.contends_for_pcie, target.input_contends_for_pcie
+            ),
+        )
+
+
+def _ring_factors(num_cnodes: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`repro.core.timemodel.ring_allreduce_factor`."""
+    n = num_cnodes.astype(float)
+    return np.where(num_cnodes <= 1, 0.0, (n - 1.0) / np.maximum(n, 1.0))
+
+
+def _effective_weight_volumes(
+    features: FeatureArrays,
+    architecture: Architecture,
+    mask: np.ndarray,
+    options: ModelOptions,
+) -> np.ndarray:
+    """Per-cNode traffic volumes after collective traffic shaping.
+
+    Mirrors ``timemodel._effective_weight_volume`` for one architecture
+    group of the population.
+    """
+    volume = features.weight_traffic_bytes[mask]
+    if architecture is Architecture.PEARL and options.pearl_partition_parallelism:
+        local = np.maximum(features.local_cnodes[mask], 1).astype(float)
+        dense = features.dense_traffic_bytes[mask]
+        if options.allreduce_ring_factor:
+            dense = dense * _ring_factors(features.num_cnodes[mask])
+        sparse = features.embedding_traffic_bytes[mask] / local
+        return dense + sparse
+    if (
+        architecture
+        in (Architecture.ALLREDUCE_LOCAL, Architecture.ALLREDUCE_CLUSTER)
+        and options.allreduce_ring_factor
+    ):
+        return volume * _ring_factors(features.num_cnodes[mask])
+    return volume
+
+
+@dataclass(frozen=True)
+class PopulationBreakdown:
+    """Columnar per-job time breakdowns for one population.
+
+    The vectorized counterpart of a ``List[AnalyzedJob]``: each
+    component is an array over the population, and the aggregate
+    helpers (:meth:`average_fractions`, :meth:`fraction_samples`,
+    :meth:`weighted_fraction_exceeding`, ...) match the scalar
+    module-level functions.
+    """
+
+    data_io: np.ndarray
+    compute_flops: np.ndarray
+    compute_memory: np.ndarray
+    weight_comm: Dict[str, np.ndarray]
+    features: FeatureArrays = field(repr=False)
+
+    def __len__(self) -> int:
+        return int(self.data_io.shape[0])
+
+    # ---- per-job series --------------------------------------------
+
+    @property
+    def computation(self) -> np.ndarray:
+        """T_c per job: compute-bound plus memory-bound time."""
+        return self.compute_flops + self.compute_memory
+
+    @property
+    def weight_total(self) -> np.ndarray:
+        """T_w per job: weight traffic summed over path media."""
+        total = np.zeros_like(self.data_io)
+        for seconds in self.weight_comm.values():
+            total = total + seconds
+        return total
+
+    @property
+    def total(self) -> np.ndarray:
+        """T_total per job under the non-overlap composition."""
+        return self.data_io + self.computation + self.weight_total
+
+    @property
+    def total_ideal_overlap(self) -> np.ndarray:
+        """T_total per job when the three parts fully overlap."""
+        return np.maximum(
+            self.data_io, np.maximum(self.computation, self.weight_total)
+        )
+
+    def total_for(self, overlap: OverlapMode) -> np.ndarray:
+        """Per-job step times under either composition mode."""
+        if overlap is OverlapMode.NONE:
+            return self.total
+        return self.total_ideal_overlap
+
+    def fractions(self) -> Dict[str, np.ndarray]:
+        """Component shares per job (columns of the Fig. 7 view)."""
+        total = self.total
+        safe = total > 0
+        out = {}
+        for key, part in (
+            ("data_io", self.data_io),
+            ("weight", self.weight_total),
+            ("compute_bound", self.compute_flops),
+            ("memory_bound", self.compute_memory),
+        ):
+            out[key] = np.divide(
+                part, total, out=np.zeros_like(part), where=safe
+            )
+        return out
+
+    def hardware_shares(self) -> Dict[str, np.ndarray]:
+        """Per-hardware-component shares per job (Fig. 8(a) view)."""
+        zeros = np.zeros_like(self.data_io)
+        seconds = {
+            MEDIA_GPU_FLOPS: self.compute_flops,
+            MEDIA_GPU_MEMORY: self.compute_memory,
+            "PCIe": self.data_io + self.weight_comm.get("PCIe", zeros),
+            "Ethernet": self.weight_comm.get("Ethernet", zeros),
+            "NVLink": self.weight_comm.get("NVLink", zeros),
+        }
+        total = self.total
+        safe = total > 0
+        return {
+            name: np.divide(part, total, out=np.zeros_like(part), where=safe)
+            for name, part in seconds.items()
+        }
+
+    # ---- aggregates ------------------------------------------------
+
+    def _weight_vector(self, cnode_level: bool) -> np.ndarray:
+        if cnode_level:
+            return self.features.num_cnodes.astype(float)
+        return np.ones(len(self), dtype=float)
+
+    def _require_jobs(self) -> None:
+        if len(self) == 0:
+            raise ValueError("population is empty")
+
+    def average_fractions(self, cnode_level: bool = False) -> Dict[str, float]:
+        """Average component shares (one Fig. 7 column)."""
+        self._require_jobs()
+        weights = self._weight_vector(cnode_level)
+        total_weight = float(weights.sum())
+        fractions = self.fractions()
+        return {
+            key: float(np.dot(fractions[key], weights) / total_weight)
+            for key in COMPONENT_KEYS
+        }
+
+    def average_hardware_shares(
+        self, cnode_level: bool = False
+    ) -> Dict[str, float]:
+        """Average per-hardware-component shares (Fig. 8(a) summary)."""
+        self._require_jobs()
+        weights = self._weight_vector(cnode_level)
+        total_weight = float(weights.sum())
+        shares = self.hardware_shares()
+        return {
+            key: float(np.dot(shares[key], weights) / total_weight)
+            for key in HARDWARE_KEYS
+        }
+
+    def fraction_samples(self, component: str) -> np.ndarray:
+        """Per-job shares of one component (CDF input, Fig. 8(b-d))."""
+        if component not in COMPONENT_KEYS:
+            raise KeyError(f"unknown component: {component!r}")
+        return self.fractions()[component]
+
+    def hardware_share_samples(self, hardware_component: str) -> np.ndarray:
+        """Per-job shares of one hardware component (Fig. 8(a) CDFs)."""
+        if hardware_component not in HARDWARE_KEYS:
+            raise KeyError(
+                f"unknown hardware component: {hardware_component!r}"
+            )
+        return self.hardware_shares()[hardware_component]
+
+    def weighted_fraction_exceeding(
+        self,
+        component: str,
+        threshold: float,
+        cnode_level: bool = False,
+    ) -> float:
+        """Population fraction whose component share exceeds a bound."""
+        self._require_jobs()
+        weights = self._weight_vector(cnode_level)
+        hits = self.fraction_samples(component) > threshold
+        return float(weights[hits].sum() / weights.sum())
+
+    def cnode_weights(self) -> np.ndarray:
+        """Per-job cNode weights, for cNode-level CDFs."""
+        return self.features.num_cnodes.astype(float)
+
+
+def batch_breakdowns(
+    workloads: Union[FeatureArrays, Iterable[WorkloadFeatures]],
+    hardware: HardwareConfig,
+    efficiency: EfficiencyModel = PAPER_DEFAULT_EFFICIENCY,
+    options: ModelOptions = PAPER_MODEL_OPTIONS,
+) -> PopulationBreakdown:
+    """Vectorized :func:`repro.core.timemodel.estimate_breakdown`.
+
+    Applies the Sec. II-B analytical model to a whole population with
+    one array operation per model term, grouping jobs by architecture
+    only where the synchronization path differs.
+    """
+    features = FeatureArrays.coerce(workloads)
+    gpu = hardware.gpu
+    compute_flops = features.flop_count / (gpu.peak_flops * efficiency.compute)
+    compute_memory = features.memory_access_bytes / (
+        gpu.memory_bandwidth * efficiency.memory
+    )
+
+    contention = np.ones(len(features), dtype=float)
+    if options.input_pcie_contention:
+        contention = np.where(
+            features.contends_for_pcie,
+            features.local_cnodes.astype(float),
+            1.0,
+        )
+    data_io = (features.input_bytes * contention) / (
+        hardware.pcie.bandwidth * efficiency.pcie
+    )
+
+    weight_comm: Dict[str, np.ndarray] = {}
+    for architecture in features.architectures_present():
+        media = architecture.weight_media
+        if not media:
+            continue
+        mask = features.mask_of(architecture)
+        volume = _effective_weight_volumes(
+            features, architecture, mask, options
+        )
+        for medium in media:
+            seconds = volume / (
+                hardware.bandwidth_of(medium) * efficiency.for_medium(medium)
+            )
+            if medium not in weight_comm:
+                weight_comm[medium] = np.zeros(len(features), dtype=float)
+            weight_comm[medium][mask] = seconds
+    return PopulationBreakdown(
+        data_io=data_io,
+        compute_flops=compute_flops,
+        compute_memory=compute_memory,
+        weight_comm=weight_comm,
+        features=features,
+    )
+
+
+def batch_step_times(
+    workloads: Union[FeatureArrays, Iterable[WorkloadFeatures]],
+    hardware: HardwareConfig,
+    efficiency: EfficiencyModel = PAPER_DEFAULT_EFFICIENCY,
+    options: ModelOptions = PAPER_MODEL_OPTIONS,
+) -> np.ndarray:
+    """Vectorized :func:`repro.core.timemodel.estimate_step_time`."""
+    breakdown = batch_breakdowns(workloads, hardware, efficiency, options)
+    return breakdown.total_for(options.overlap)
+
+
+@dataclass(frozen=True)
+class ProjectionArrays:
+    """Speedup arrays of a projected PS/Worker population (Fig. 9)."""
+
+    single_cnode_speedup: np.ndarray
+    throughput_speedup: np.ndarray
+
+
+def batch_projection_speedups(
+    workloads: Union[FeatureArrays, Iterable[WorkloadFeatures]],
+    target: Architecture,
+    hardware: HardwareConfig,
+    efficiency: EfficiencyModel = PAPER_DEFAULT_EFFICIENCY,
+    options: ModelOptions = PAPER_MODEL_OPTIONS,
+) -> ProjectionArrays:
+    """Vectorized :func:`repro.core.projection.projection_speedups`."""
+    base = FeatureArrays.coerce(workloads)
+    projected = base.project_ps_to(target)
+    base_times = batch_step_times(base, hardware, efficiency, options)
+    new_times = batch_step_times(projected, hardware, efficiency, options)
+    if np.any(new_times <= 0) or np.any(base_times <= 0):
+        raise ValueError("workload has zero estimated step time")
+    base_throughput = (
+        base.num_cnodes.astype(float) / base_times * base.batch_size
+    )
+    new_throughput = (
+        projected.num_cnodes.astype(float) / new_times * projected.batch_size
+    )
+    return ProjectionArrays(
+        single_cnode_speedup=base_times / new_times,
+        throughput_speedup=new_throughput / base_throughput,
+    )

@@ -15,7 +15,8 @@ from typing import Dict, Iterable, List, Sequence, Tuple
 from .efficiency import PAPER_DEFAULT_EFFICIENCY, EfficiencyModel
 from .features import WorkloadFeatures
 from .hardware import TABLE_III_VARIATIONS, HardwareConfig, HardwareVariations
-from .timemodel import PAPER_MODEL_OPTIONS, ModelOptions, estimate_step_time
+from .population import FeatureArrays, batch_step_times
+from .timemodel import PAPER_MODEL_OPTIONS, ModelOptions
 
 __all__ = ["SweepPoint", "SweepSeries", "sweep_resource", "sweep_all_resources"]
 
@@ -70,21 +71,6 @@ class SweepSeries:
         return best
 
 
-def _speedups(
-    workloads: Sequence[WorkloadFeatures],
-    base_hardware: HardwareConfig,
-    new_hardware: HardwareConfig,
-    efficiency: EfficiencyModel,
-    options: ModelOptions,
-) -> List[float]:
-    speedups = []
-    for features in workloads:
-        base = estimate_step_time(features, base_hardware, efficiency, options)
-        new = estimate_step_time(features, new_hardware, efficiency, options)
-        speedups.append(base / new)
-    return speedups
-
-
 def sweep_resource(
     workloads: Iterable[WorkloadFeatures],
     resource: str,
@@ -93,21 +79,30 @@ def sweep_resource(
     efficiency: EfficiencyModel = PAPER_DEFAULT_EFFICIENCY,
     options: ModelOptions = PAPER_MODEL_OPTIONS,
 ) -> SweepSeries:
-    """Average-speedup series for one resource over its candidates."""
-    population = list(workloads)
-    if not population:
+    """Average-speedup series for one resource over its candidates.
+
+    The population is evaluated through the columnar batch path
+    (:func:`repro.core.population.batch_step_times`): feature columns
+    are extracted once and every candidate costs one vector pass.
+    """
+    population = FeatureArrays.coerce(workloads)
+    if len(population) == 0:
         raise ValueError("workload population is empty")
+    base_times = batch_step_times(population, hardware, efficiency, options)
     points = []
     for value in sorted(candidates):
         new_hardware = hardware.with_resource(resource, value)
-        speedups = _speedups(population, hardware, new_hardware, efficiency, options)
+        new_times = batch_step_times(
+            population, new_hardware, efficiency, options
+        )
+        speedups = base_times / new_times
         points.append(
             SweepPoint(
                 resource=resource,
                 value=value,
                 normalized_value=hardware.normalized_resource(resource, value),
-                average_speedup=sum(speedups) / len(speedups),
-                speedups=tuple(speedups),
+                average_speedup=float(speedups.sum() / len(speedups)),
+                speedups=tuple(speedups.tolist()),
             )
         )
     return SweepSeries(resource=resource, points=tuple(points))
@@ -121,7 +116,7 @@ def sweep_all_resources(
     options: ModelOptions = PAPER_MODEL_OPTIONS,
 ) -> Dict[str, SweepSeries]:
     """One :class:`SweepSeries` per Table III resource (a Fig. 11 panel)."""
-    population = list(workloads)
+    population = FeatureArrays.coerce(workloads)
     return {
         resource: sweep_resource(
             population,

@@ -1,0 +1,52 @@
+"""repro.runtime -- the experiment-execution layer.
+
+Sits between the experiment registry (:mod:`repro.analysis.registry`)
+and the CLI: runs the suite in parallel worker processes with
+per-experiment error isolation, and serves repeat runs from an on-disk
+content-addressed result cache keyed on the full configuration
+fingerprint (trace config, hardware model, model knobs, package
+version).
+
+The third leg of the layer -- the columnar NumPy batch-evaluation path
+the figure experiments use -- lives in :mod:`repro.core.population`
+(:class:`~repro.core.population.FeatureArrays`,
+:func:`~repro.core.population.batch_breakdowns`).
+"""
+
+from .cache import (
+    CACHE_DIR_ENV_VAR,
+    CACHE_FORMAT,
+    ResultCache,
+    default_cache_dir,
+    normalize_result,
+    normalize_value,
+)
+from .executor import (
+    ExperimentOutcome,
+    failed_ids,
+    run_suite,
+    suite_experiment_ids,
+)
+from .fingerprint import (
+    canonical_json,
+    canonical_payload,
+    experiment_fingerprint,
+    fingerprint,
+)
+
+__all__ = [
+    "CACHE_DIR_ENV_VAR",
+    "CACHE_FORMAT",
+    "ExperimentOutcome",
+    "ResultCache",
+    "canonical_json",
+    "canonical_payload",
+    "default_cache_dir",
+    "experiment_fingerprint",
+    "failed_ids",
+    "fingerprint",
+    "normalize_result",
+    "normalize_value",
+    "run_suite",
+    "suite_experiment_ids",
+]

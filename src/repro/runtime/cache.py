@@ -1,0 +1,171 @@
+"""On-disk, content-addressed cache of experiment results.
+
+Each entry is one JSON file named by its configuration fingerprint
+(:mod:`repro.runtime.fingerprint`).  Because the fingerprint covers the
+trace config, hardware model and package version, a hit is valid by
+construction -- there is no expiry logic.  Corrupt or truncated files
+are treated as misses and overwritten on the next store.
+
+Values are normalized to native Python types before storage so a warm
+(cache-served) result renders byte-identically to the cold run that
+produced it: JSON round-trips floats exactly via their shortest repr,
+and the executor applies the same normalization to cold results.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import tempfile
+from pathlib import Path
+from typing import Any, Dict, Optional, Union
+
+from ..analysis.result import ExperimentResult
+
+__all__ = [
+    "CACHE_DIR_ENV_VAR",
+    "CACHE_FORMAT",
+    "ResultCache",
+    "default_cache_dir",
+    "normalize_value",
+    "normalize_result",
+]
+
+#: Environment override for the cache root (CLI ``--cache-dir`` wins).
+CACHE_DIR_ENV_VAR = "PAI_REPRO_CACHE_DIR"
+
+#: Bumped whenever the entry layout changes; old entries become misses.
+CACHE_FORMAT = 1
+
+
+def default_cache_dir() -> Path:
+    """``$PAI_REPRO_CACHE_DIR`` or ``~/.cache/pai-repro``."""
+    override = os.environ.get(CACHE_DIR_ENV_VAR)
+    if override:
+        return Path(override)
+    return Path.home() / ".cache" / "pai-repro"
+
+
+def normalize_value(value: Any) -> Any:
+    """Coerce one cell to a JSON-native type, preserving its rendering.
+
+    NumPy scalars leak out of vectorized experiments; ``np.bool_`` is not
+    a ``bool`` subclass and would render ``True`` instead of ``yes``, and
+    ``np.int64`` is not JSON-serializable at all.  Anything else
+    non-native falls back to ``str``, which is exactly how the table
+    renderer would have displayed it.
+    """
+    if isinstance(value, bool) or value is None:
+        return value
+    if isinstance(value, (int, float, str)):
+        # Covers np.float64 (a float subclass); plain int/float/str pass
+        # through untouched.
+        if type(value) in (int, float, str):
+            return value
+        if isinstance(value, float):
+            return float(value)
+        if isinstance(value, int):
+            return int(value)
+        return str(value)
+    if hasattr(value, "item"):  # numpy scalar, incl. np.bool_ / np.int64
+        return normalize_value(value.item())
+    return str(value)
+
+
+def normalize_result(result: ExperimentResult) -> ExperimentResult:
+    """A copy of ``result`` with all row values JSON-native."""
+    return ExperimentResult(
+        experiment=result.experiment,
+        title=result.title,
+        rows=[
+            {str(key): normalize_value(value) for key, value in row.items()}
+            for row in result.rows
+        ],
+        notes=[str(note) for note in result.notes],
+    )
+
+
+class ResultCache:
+    """Content-addressed store of :class:`ExperimentResult` entries."""
+
+    def __init__(self, root: Union[str, Path, None] = None) -> None:
+        self.root = Path(root) if root is not None else default_cache_dir()
+
+    def path_for(self, key: str) -> Path:
+        """The entry file for one fingerprint."""
+        return self.root / f"{key}.json"
+
+    def load(self, key: str) -> Optional[ExperimentResult]:
+        """The cached result for ``key``, or ``None`` on any miss.
+
+        Corrupt, truncated or foreign files are misses, never errors.
+        """
+        path = self.path_for(key)
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except (OSError, ValueError):
+            return None
+        if not isinstance(payload, dict):
+            return None
+        if payload.get("format") != CACHE_FORMAT:
+            return None
+        if payload.get("fingerprint") != key:
+            return None
+        try:
+            return ExperimentResult(
+                experiment=payload["experiment"],
+                title=payload["title"],
+                rows=[dict(row) for row in payload["rows"]],
+                notes=[str(note) for note in payload["notes"]],
+            )
+        except (KeyError, TypeError, ValueError):
+            return None
+
+    def store(
+        self,
+        key: str,
+        result: ExperimentResult,
+        duration_s: Optional[float] = None,
+    ) -> Path:
+        """Write one entry atomically; returns the entry path."""
+        result = normalize_result(result)
+        payload: Dict[str, Any] = {
+            "format": CACHE_FORMAT,
+            "fingerprint": key,
+            "experiment": result.experiment,
+            "title": result.title,
+            "rows": result.rows,
+            "notes": result.notes,
+        }
+        if duration_s is not None:
+            payload["duration_s"] = float(duration_s)
+        self.root.mkdir(parents=True, exist_ok=True)
+        path = self.path_for(key)
+        handle = tempfile.NamedTemporaryFile(
+            mode="w",
+            encoding="utf-8",
+            dir=str(self.root),
+            suffix=".tmp",
+            delete=False,
+        )
+        try:
+            with handle:
+                json.dump(payload, handle, indent=1)
+            os.replace(handle.name, path)
+        except BaseException:
+            os.unlink(handle.name)
+            raise
+        return path
+
+    def clear(self) -> int:
+        """Delete every entry; returns the number removed."""
+        if not self.root.is_dir():
+            return 0
+        removed = 0
+        for entry in self.root.glob("*.json"):
+            try:
+                entry.unlink()
+                removed += 1
+            except OSError:
+                pass
+        return removed

@@ -1,0 +1,183 @@
+"""Parallel, cached, error-isolated execution of the experiment suite.
+
+``run_suite`` is the engine behind ``pai-repro all`` and ``pai-repro
+report``:
+
+* experiments run in parallel worker processes (``jobs > 1``) or
+  in-process (``jobs == 1``, the monkeypatch-friendly path tests use);
+* each experiment is individually fenced -- a raising experiment
+  becomes a failed :class:`ExperimentOutcome` carrying its traceback,
+  and the rest of the suite still runs;
+* with a :class:`~repro.runtime.cache.ResultCache`, previously computed
+  results are served from disk and re-runs are near-instant.
+
+Workers are forked after the parent pre-generates the default trace, so
+the 20k-job synthetic trace is shared copy-on-write instead of being
+regenerated per process.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+import traceback
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..analysis.result import ExperimentResult
+from .cache import ResultCache, normalize_result
+from .fingerprint import experiment_fingerprint
+
+__all__ = [
+    "ExperimentOutcome",
+    "run_suite",
+    "suite_experiment_ids",
+    "failed_ids",
+]
+
+#: Panel aliases excluded from full-suite runs (same data as ``fig13``).
+_SUITE_SKIP = frozenset({"fig13a", "fig13b", "fig13c", "fig13d"})
+
+
+@dataclass(frozen=True)
+class ExperimentOutcome:
+    """One experiment's result -- or its failure -- plus provenance."""
+
+    experiment_id: str
+    result: Optional[ExperimentResult]
+    error: Optional[str]
+    duration_s: float
+    cached: bool = False
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    def __post_init__(self) -> None:
+        if (self.result is None) == (self.error is None):
+            raise ValueError(
+                "an outcome carries exactly one of result or error"
+            )
+
+
+def suite_experiment_ids() -> List[str]:
+    """Registry order minus the fig13 panel aliases."""
+    from ..analysis.registry import experiment_ids
+
+    return [
+        experiment_id
+        for experiment_id in experiment_ids()
+        if experiment_id not in _SUITE_SKIP
+    ]
+
+
+def failed_ids(outcomes: Sequence[ExperimentOutcome]) -> List[str]:
+    """Ids of the failed outcomes, in order."""
+    return [o.experiment_id for o in outcomes if not o.ok]
+
+
+def _run_one(
+    experiment_id: str,
+) -> Tuple[str, Optional[ExperimentResult], Optional[str], float]:
+    """Run one experiment, fencing any exception into a traceback string.
+
+    Module-level so the fork-based process pool can pickle it by name.
+    """
+    from ..analysis.registry import run_experiment
+
+    start = time.perf_counter()
+    try:
+        result = normalize_result(run_experiment(experiment_id))
+    except BaseException:
+        return (
+            experiment_id,
+            None,
+            traceback.format_exc(),
+            time.perf_counter() - start,
+        )
+    return experiment_id, result, None, time.perf_counter() - start
+
+
+def _fork_context() -> Optional[multiprocessing.context.BaseContext]:
+    if "fork" not in multiprocessing.get_all_start_methods():
+        return None
+    return multiprocessing.get_context("fork")
+
+
+def run_suite(
+    experiment_ids: Optional[Sequence[str]] = None,
+    *,
+    jobs: int = 1,
+    cache: Optional[ResultCache] = None,
+) -> List[ExperimentOutcome]:
+    """Run experiments with caching, parallelism and error isolation.
+
+    Args:
+        experiment_ids: Which experiments to run; defaults to the full
+            suite in registry order.
+        jobs: Worker-process count.  ``1`` runs in-process (sequential);
+            higher values fork a process pool.
+        cache: Optional on-disk result cache; hits skip execution
+            entirely, and fresh successes are stored back.
+
+    Returns:
+        One :class:`ExperimentOutcome` per requested id, in request
+        order.  Failures are outcomes, not exceptions.
+    """
+    from ..analysis.context import default_trace
+    from ..analysis.registry import EXPERIMENTS
+
+    if experiment_ids is None:
+        experiment_ids = suite_experiment_ids()
+    experiment_ids = list(experiment_ids)
+    unknown = [e for e in experiment_ids if e not in EXPERIMENTS]
+    if unknown:
+        raise KeyError(f"unknown experiments: {', '.join(unknown)}")
+
+    outcomes: Dict[str, ExperimentOutcome] = {}
+    keys: Dict[str, str] = {}
+    pending: List[str] = []
+    for experiment_id in experiment_ids:
+        if experiment_id in outcomes or experiment_id in pending:
+            continue
+        if cache is not None:
+            keys[experiment_id] = experiment_fingerprint(experiment_id)
+            start = time.perf_counter()
+            hit = cache.load(keys[experiment_id])
+            if hit is not None:
+                outcomes[experiment_id] = ExperimentOutcome(
+                    experiment_id=experiment_id,
+                    result=hit,
+                    error=None,
+                    duration_s=time.perf_counter() - start,
+                    cached=True,
+                )
+                continue
+        pending.append(experiment_id)
+
+    context = _fork_context() if jobs > 1 and len(pending) > 1 else None
+    if context is not None:
+        # Generate the shared trace before forking: workers inherit the
+        # pages copy-on-write instead of regenerating it per process.
+        default_trace()
+        workers = min(jobs, len(pending))
+        with ProcessPoolExecutor(
+            max_workers=workers, mp_context=context
+        ) as pool:
+            raw = list(pool.map(_run_one, pending))
+    else:
+        raw = [_run_one(experiment_id) for experiment_id in pending]
+
+    for experiment_id, result, error, duration_s in raw:
+        outcome = ExperimentOutcome(
+            experiment_id=experiment_id,
+            result=result,
+            error=error,
+            duration_s=duration_s,
+        )
+        outcomes[experiment_id] = outcome
+        if cache is not None and outcome.ok:
+            cache.store(keys[experiment_id], result, duration_s=duration_s)
+
+    return [outcomes[experiment_id] for experiment_id in experiment_ids]

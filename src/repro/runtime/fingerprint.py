@@ -1,0 +1,104 @@
+"""Configuration fingerprinting for the result cache.
+
+A cached experiment result is only valid for the exact inputs that
+produced it: the trace-generator configuration, the hardware model, the
+analytical-model knobs and the package version.  This module hashes all
+of them into one hex digest; any change -- a different seed, a tweaked
+calibration constant, a version bump -- yields a new fingerprint, so a
+stale cache entry can never be served.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import enum
+import hashlib
+import json
+from typing import Any, Optional
+
+from .. import __version__
+from ..core.efficiency import PAPER_DEFAULT_EFFICIENCY
+from ..core.timemodel import PAPER_MODEL_OPTIONS
+
+__all__ = [
+    "canonical_payload",
+    "canonical_json",
+    "fingerprint",
+    "experiment_fingerprint",
+]
+
+
+def canonical_payload(obj: Any) -> Any:
+    """Convert configuration objects into a JSON-stable structure.
+
+    Dataclasses are tagged with their class name so two configs with the
+    same field values but different meanings never collide; enums hash by
+    qualified name; mappings are key-sorted.
+    """
+    if dataclasses.is_dataclass(obj) and not isinstance(obj, type):
+        fields = {
+            field.name: canonical_payload(getattr(obj, field.name))
+            for field in dataclasses.fields(obj)
+        }
+        return {"__dataclass__": type(obj).__name__, **fields}
+    if isinstance(obj, enum.Enum):
+        return f"{type(obj).__name__}.{obj.name}"
+    if isinstance(obj, dict):
+        return {
+            str(key): canonical_payload(value)
+            for key, value in sorted(obj.items(), key=lambda kv: str(kv[0]))
+        }
+    if isinstance(obj, (list, tuple)):
+        return [canonical_payload(item) for item in obj]
+    if isinstance(obj, (str, int, bool)) or obj is None:
+        return obj
+    if isinstance(obj, float):
+        return obj
+    if hasattr(obj, "item"):  # numpy scalar
+        return canonical_payload(obj.item())
+    return repr(obj)
+
+
+def canonical_json(obj: Any) -> str:
+    """Deterministic JSON encoding of :func:`canonical_payload`."""
+    return json.dumps(
+        canonical_payload(obj),
+        sort_keys=True,
+        separators=(",", ":"),
+        ensure_ascii=True,
+    )
+
+
+def fingerprint(*parts: Any) -> str:
+    """SHA-256 hex digest over the canonical JSON of ``parts``."""
+    digest = hashlib.sha256()
+    for part in parts:
+        digest.update(canonical_json(part).encode("ascii"))
+        digest.update(b"\x00")
+    return digest.hexdigest()
+
+
+def experiment_fingerprint(
+    experiment_id: str,
+    trace_config: Optional[Any] = None,
+    hardware: Optional[Any] = None,
+) -> str:
+    """The cache key of one experiment under the current configuration.
+
+    Covers the experiment id, the suite's trace-generator config (which
+    includes the ``PAI_REPRO_TRACE_JOBS`` override), the Table I hardware
+    model, the analytical-model defaults, and the package version.
+    """
+    from ..analysis.context import default_hardware, default_trace_config
+
+    if trace_config is None:
+        trace_config = default_trace_config()
+    if hardware is None:
+        hardware = default_hardware()
+    return fingerprint(
+        {"experiment": experiment_id, "version": __version__},
+        trace_config,
+        hardware,
+        PAPER_DEFAULT_EFFICIENCY,
+        PAPER_MODEL_OPTIONS,
+    )

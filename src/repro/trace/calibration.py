@@ -15,11 +15,12 @@ from ..core.architectures import Architecture
 from ..core.efficiency import PAPER_DEFAULT_EFFICIENCY
 from ..core.hardware import pai_default_hardware
 from ..core.population import (
-    analyze_population,
-    average_fractions,
-    weighted_fraction_exceeding,
+    FeatureArrays,
+    PopulationBreakdown,
+    ProjectionArrays,
+    batch_breakdowns,
+    batch_projection_speedups,
 )
-from ..core.projection import projection_speedups
 from ..core.sweep import sweep_resource
 from ..core.units import gbps, gigabytes
 from .schema import JobRecord, features_of_type
@@ -47,13 +48,17 @@ class CalibrationTarget:
 
     def check(self, jobs: List[JobRecord]) -> Dict[str, float]:
         """Measure the statistic and report pass/fail."""
-        measured = self.measure(jobs)
+        # Coerce to native Python types so the reported dict renders (and
+        # caches) identically whether the measure ran through the scalar
+        # or the vectorized path (np.bool_ would format as "True"/"False"
+        # instead of "yes"/"no").
+        measured = float(self.measure(jobs))
         return {
             "name": self.name,
             "paper": self.paper_value,
             "measured": measured,
             "tolerance": self.tolerance,
-            "ok": abs(measured - self.paper_value) <= self.tolerance,
+            "ok": bool(abs(measured - self.paper_value) <= self.tolerance),
         }
 
 
@@ -90,18 +95,56 @@ def _ps_median_cnodes_above_8(jobs: List[JobRecord]) -> float:
     return sum(1 for c in ps if c > 8) / len(ps)
 
 
-def _analyze(jobs: List[JobRecord], architecture: Architecture = None):
-    hardware = pai_default_hardware()
-    if architecture is None:
-        features = [j.features for j in jobs]
-    else:
-        features = features_of_type(jobs, architecture)
-    return analyze_population(features, hardware)
+# Identity-keyed memo for columnar extractions and projections: the 20
+# targets share one trace list per ``evaluate_targets`` call, so the
+# expensive per-population work happens once.  The key keeps the source
+# list alive in the value, so a recycled ``id`` cannot alias.
+_MEMO: Dict[tuple, tuple] = {}
+_MEMO_MAX = 32
+
+
+def _memoized(jobs: List[JobRecord], tag: tuple, compute):
+    key = (id(jobs),) + tag
+    hit = _MEMO.get(key)
+    if hit is not None and hit[0] is jobs:
+        return hit[1]
+    value = compute()
+    _MEMO[key] = (jobs, value)
+    while len(_MEMO) > _MEMO_MAX:
+        _MEMO.pop(next(iter(_MEMO)))
+    return value
+
+
+def _feature_arrays(
+    jobs: List[JobRecord], architecture: Architecture = None
+) -> FeatureArrays:
+    def compute():
+        if architecture is None:
+            features = [j.features for j in jobs]
+        else:
+            features = features_of_type(jobs, architecture)
+        return FeatureArrays.from_workloads(features)
+
+    return _memoized(jobs, ("features", architecture), compute)
+
+
+def _analyze(
+    jobs: List[JobRecord], architecture: Architecture = None
+) -> PopulationBreakdown:
+    return _memoized(
+        jobs,
+        ("breakdown", architecture),
+        lambda: batch_breakdowns(
+            _feature_arrays(jobs, architecture), pai_default_hardware()
+        ),
+    )
 
 
 def _avg_fraction(component: str, cnode_level: bool, architecture=None):
     def measure(jobs: List[JobRecord]) -> float:
-        return average_fractions(_analyze(jobs, architecture), cnode_level)[component]
+        return _analyze(jobs, architecture).average_fractions(cnode_level)[
+            component
+        ]
 
     return measure
 
@@ -111,52 +154,56 @@ def _ps_comm_above_80(jobs: List[JobRecord]) -> float:
     # matches the cNode-level curve (large jobs skew toward
     # communication), which is the resource-relevant view.
     analyzed = _analyze(jobs, Architecture.PS_WORKER)
-    return weighted_fraction_exceeding(analyzed, "weight", 0.80, cnode_level=True)
+    return analyzed.weighted_fraction_exceeding("weight", 0.80, cnode_level=True)
 
 
 def _1w1g_data_above_50(jobs: List[JobRecord]) -> float:
     analyzed = _analyze(jobs, Architecture.SINGLE)
-    return weighted_fraction_exceeding(analyzed, "data_io", 0.50)
+    return analyzed.weighted_fraction_exceeding("data_io", 0.50)
 
 
-def _projection_results(jobs: List[JobRecord], target: Architecture):
-    hardware = pai_default_hardware()
-    return [
-        projection_speedups(features, target, hardware)
-        for features in features_of_type(jobs, Architecture.PS_WORKER)
-    ]
+def _projection_results(
+    jobs: List[JobRecord], target: Architecture
+) -> ProjectionArrays:
+    return _memoized(
+        jobs,
+        ("projection", target),
+        lambda: batch_projection_speedups(
+            _feature_arrays(jobs, Architecture.PS_WORKER),
+            target,
+            pai_default_hardware(),
+        ),
+    )
 
 
 def _local_single_not_sped_up(jobs: List[JobRecord]) -> float:
     results = _projection_results(jobs, Architecture.ALLREDUCE_LOCAL)
-    return sum(1 for r in results if r.single_cnode_speedup <= 1.0) / len(results)
+    return float((results.single_cnode_speedup <= 1.0).mean())
 
 
 def _local_throughput_not_sped_up(jobs: List[JobRecord]) -> float:
     results = _projection_results(jobs, Architecture.ALLREDUCE_LOCAL)
-    return sum(1 for r in results if r.throughput_speedup <= 1.0) / len(results)
+    return float((results.throughput_speedup <= 1.0).mean())
 
 
 def _cluster_not_sped_up(jobs: List[JobRecord]) -> float:
     results = _projection_results(jobs, Architecture.ALLREDUCE_CLUSTER)
-    return sum(1 for r in results if r.throughput_speedup <= 1.0) / len(results)
+    return float((results.throughput_speedup <= 1.0).mean())
 
 
 def _cluster_rescues_local_failures(jobs: List[JobRecord]) -> float:
     """Among jobs not throughput-improved by Local, share improved by Cluster."""
     local = _projection_results(jobs, Architecture.ALLREDUCE_LOCAL)
     cluster = _projection_results(jobs, Architecture.ALLREDUCE_CLUSTER)
-    failures = [
-        c for l, c in zip(local, cluster) if l.throughput_speedup <= 1.0
-    ]
-    if not failures:
+    failures = cluster.throughput_speedup[local.throughput_speedup <= 1.0]
+    if failures.size == 0:
         return 0.0
-    return sum(1 for c in failures if c.throughput_speedup > 1.0) / len(failures)
+    return float((failures > 1.0).mean())
 
 
 def _ethernet_100g_speedup(jobs: List[JobRecord]) -> float:
     hardware = pai_default_hardware()
-    features = features_of_type(jobs, Architecture.PS_WORKER)
+    features = _feature_arrays(jobs, Architecture.PS_WORKER)
     series = sweep_resource(
         features, "ethernet", [gbps(100)], hardware, PAPER_DEFAULT_EFFICIENCY
     )

@@ -38,13 +38,13 @@ class EmpiricalCDF:
         samples: Iterable[float], weights: Iterable[float] = None
     ) -> "EmpiricalCDF":
         """Build a CDF from samples with optional per-sample weights."""
-        data = np.asarray(list(samples), dtype=float)
+        data = np.asarray(samples, dtype=float).ravel()
         if data.size == 0:
             raise ValueError("cannot build a CDF from zero samples")
         if weights is None:
             weight_array = np.ones_like(data)
         else:
-            weight_array = np.asarray(list(weights), dtype=float)
+            weight_array = np.asarray(weights, dtype=float).ravel()
             if weight_array.shape != data.shape:
                 raise ValueError("weights must match samples in length")
             if np.any(weight_array < 0):
@@ -55,9 +55,14 @@ class EmpiricalCDF:
         total = cumulative[-1]
         if total <= 0:
             raise ValueError("total weight must be positive")
+        normalized = cumulative / total
+        # The running sum can land on 1.0 +- a few ulps; pin the final
+        # entry to exactly 1.0 so quantile(1.0) finds the maximum by
+        # construction instead of relying on the defensive index clamp.
+        normalized[-1] = 1.0
         return EmpiricalCDF(
             values=tuple(sorted_values.tolist()),
-            cumulative=tuple((cumulative / total).tolist()),
+            cumulative=tuple(normalized.tolist()),
         )
 
     def probability_at(self, x: float) -> float:

@@ -1,0 +1,93 @@
+"""Shared experiment inputs: trace caching keyed on the full config."""
+
+import dataclasses
+
+import pytest
+
+from repro.analysis import context
+from repro.core.architectures import Architecture
+from repro.trace.generator import TraceConfig
+
+
+@pytest.fixture(autouse=True)
+def fresh_caches():
+    context.clear_caches()
+    yield
+    context.clear_caches()
+
+
+class TestDefaultTraceConfig:
+    def test_defaults(self):
+        config = context.default_trace_config()
+        assert config.num_jobs == context.DEFAULT_TRACE_JOBS
+        assert config.seed == context.DEFAULT_TRACE_SEED
+
+    def test_env_override(self, monkeypatch):
+        monkeypatch.setenv(context.TRACE_JOBS_ENV_VAR, "321")
+        assert context.default_trace_config().num_jobs == 321
+
+    def test_explicit_num_jobs_beats_env(self, monkeypatch):
+        monkeypatch.setenv(context.TRACE_JOBS_ENV_VAR, "321")
+        assert context.default_trace_config(100).num_jobs == 100
+
+
+class TestDefaultTraceCacheKey:
+    def test_same_config_is_cached(self):
+        assert context.default_trace(400) is context.default_trace(400)
+
+    def test_different_job_counts_are_distinct(self):
+        assert context.default_trace(400) is not context.default_trace(500)
+
+    def test_seed_participates_in_the_key(self):
+        """Regression: the cache used to key on num_jobs alone, so a
+        different seed (or any calibration change) silently served the
+        previously generated trace."""
+        base = context.default_trace_config(400)
+        reseeded = dataclasses.replace(base, seed=base.seed + 1)
+        first = context.default_trace(config=base)
+        second = context.default_trace(config=reseeded)
+        assert first is not second
+        assert [j.job_id for j in first] != [j.job_id for j in second] or (
+            first[0].features != second[0].features
+        )
+
+    def test_conflicting_arguments_rejected(self):
+        config = context.default_trace_config(400)
+        with pytest.raises(ValueError):
+            context.default_trace(num_jobs=500, config=config)
+
+    def test_matching_arguments_accepted(self):
+        config = context.default_trace_config(400)
+        assert context.default_trace(400, config=config) is (
+            context.default_trace(config=config)
+        )
+
+    def test_clear_caches_drops_the_trace(self):
+        before = context.default_trace(400)
+        context.clear_caches()
+        after = context.default_trace(400)
+        assert before is not after
+
+
+class TestTraceFeatureArrays:
+    def test_extraction_is_cached_per_trace_identity(self):
+        jobs = context.default_trace(400)
+        first = context.trace_feature_arrays(jobs)
+        assert context.trace_feature_arrays(jobs) is first
+
+    def test_architecture_slices_are_distinct_entries(self):
+        jobs = context.default_trace(400)
+        full = context.trace_feature_arrays(jobs)
+        ps = context.trace_feature_arrays(jobs, Architecture.PS_WORKER)
+        assert len(ps) < len(full)
+
+    def test_a_different_trace_misses(self):
+        first = context.trace_feature_arrays(context.default_trace(400))
+        second = context.trace_feature_arrays(context.default_trace(500))
+        assert len(first) != len(second)
+
+    def test_clear_caches_drops_extractions(self):
+        jobs = context.default_trace(400)
+        before = context.trace_feature_arrays(jobs)
+        context.clear_caches()
+        assert context.trace_feature_arrays(jobs) is not before

@@ -37,16 +37,62 @@ class TestRenderMarkdown:
         assert "- [figX](#figX): Toy experiment" in text
 
 
+def _patch_suite(monkeypatch, experiments):
+    """Shrink the registry so the CLI suite commands run fast."""
+    import repro.analysis.registry as registry_module
+
+    monkeypatch.setattr(registry_module, "EXPERIMENTS", experiments)
+
+
 class TestCliReport:
     def test_report_command_writes_file(self, tmp_path, capsys, monkeypatch):
-        # Patch the suite down to something fast.
-        import repro.analysis.report as report_module
-
-        monkeypatch.setattr(report_module, "run_all", toy_results)
+        results = toy_results()
+        _patch_suite(
+            monkeypatch,
+            {r.experiment: (lambda r=r: r) for r in results},
+        )
         out = tmp_path / "report.md"
-        assert main(["report", "-o", str(out)]) == 0
+        code = main(
+            ["report", "-o", str(out), "--jobs", "1", "--no-cache"]
+        )
+        assert code == 0
         assert out.exists()
         assert "figX" in out.read_text()
+
+    def test_report_records_failures_and_exits_nonzero(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        ok = toy_results()[0]
+
+        def broken():
+            raise RuntimeError("injected failure")
+
+        _patch_suite(
+            monkeypatch, {"figX": lambda: ok, "broken": broken}
+        )
+        out = tmp_path / "report.md"
+        code = main(
+            ["report", "-o", str(out), "--jobs", "1", "--no-cache"]
+        )
+        assert code == 1
+        text = out.read_text()
+        # The healthy experiment still rendered...
+        assert "## figX" in text
+        # ...and the failure is documented instead of aborting the run.
+        assert "## Failed experiments" in text
+        assert "injected failure" in text
+        err = capsys.readouterr().err
+        assert "1 of 2 experiments failed: broken" in err
+
+
+class TestRenderMarkdownFailures:
+    def test_failure_section(self):
+        text = render_markdown(
+            toy_results(), failures=[("figZ", "Traceback: boom")]
+        )
+        assert "- [figZ](#failed-experiments): **FAILED**" in text
+        assert "### figZ" in text
+        assert "Traceback: boom" in text
 
 
 class TestCliTrace:

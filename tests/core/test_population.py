@@ -124,3 +124,97 @@ class TestWeightedFractionExceeding:
     def test_empty_rejected(self):
         with pytest.raises(ValueError):
             weighted_fraction_exceeding([], "weight", 0.5)
+
+
+class TestFeatureArrays:
+    def test_extracts_one_row_per_workload(self):
+        from repro.core.population import FeatureArrays
+
+        arrays = FeatureArrays.from_workloads(jobs())
+        assert len(arrays) == 2
+        assert arrays.num_cnodes.tolist() == [1, 9]
+
+    def test_coerce_passes_arrays_through(self):
+        from repro.core.population import FeatureArrays
+
+        arrays = FeatureArrays.from_workloads(jobs())
+        assert FeatureArrays.coerce(arrays) is arrays
+        assert len(FeatureArrays.coerce(jobs())) == 2
+
+    def test_mask_of_selects_architecture(self):
+        from repro.core.population import FeatureArrays
+
+        arrays = FeatureArrays.from_workloads(jobs())
+        assert arrays.mask_of(Architecture.PS_WORKER).all()
+        assert not arrays.mask_of(Architecture.SINGLE).any()
+
+    def test_empty_population_rejected(self):
+        from repro.core.population import FeatureArrays
+
+        with pytest.raises(ValueError):
+            FeatureArrays.from_workloads([])
+
+
+class TestProjectPsTo:
+    def test_local_caps_cnodes_at_eight(self):
+        from repro.core.population import FeatureArrays
+
+        arrays = FeatureArrays.from_workloads(jobs())
+        projected = arrays.project_ps_to(Architecture.ALLREDUCE_LOCAL)
+        assert projected.num_cnodes.tolist() == [1, 8]
+
+    def test_cluster_keeps_cnodes(self):
+        from repro.core.population import FeatureArrays
+
+        arrays = FeatureArrays.from_workloads(jobs())
+        projected = arrays.project_ps_to(Architecture.ALLREDUCE_CLUSTER)
+        assert projected.num_cnodes.tolist() == [1, 9]
+
+    def test_rejects_non_ps_population(self):
+        from repro.core.population import FeatureArrays
+
+        single = jobs()[0].with_architecture(Architecture.SINGLE, num_cnodes=1)
+        arrays = FeatureArrays.from_workloads([single])
+        with pytest.raises(ValueError):
+            arrays.project_ps_to(Architecture.ALLREDUCE_LOCAL)
+
+    def test_rejects_unknown_target(self):
+        from repro.core.population import FeatureArrays
+
+        arrays = FeatureArrays.from_workloads(jobs())
+        with pytest.raises(ValueError):
+            arrays.project_ps_to(Architecture.PS_WORKER)
+
+
+class TestBatchMatchesScalar:
+    def test_batch_breakdowns_equal_scalar_analysis(self, hardware):
+        from repro.core.population import batch_breakdowns
+
+        population = jobs()
+        scalar = analyze_population(population, hardware)
+        batch = batch_breakdowns(population, hardware)
+        for i, analyzed in enumerate(scalar):
+            assert batch.total[i] == pytest.approx(
+                analyzed.breakdown.total, rel=1e-12
+            )
+
+    def test_batch_average_fractions_match(self, hardware):
+        from repro.core.population import batch_breakdowns
+
+        population = jobs()
+        scalar = average_fractions(
+            analyze_population(population, hardware), cnode_level=True
+        )
+        batch = batch_breakdowns(population, hardware).average_fractions(
+            cnode_level=True
+        )
+        for component in COMPONENT_KEYS:
+            assert batch[component] == pytest.approx(
+                scalar[component], rel=1e-12
+            )
+
+    def test_batch_step_times_positive(self, hardware):
+        from repro.core.population import batch_step_times
+
+        times = batch_step_times(jobs(), hardware)
+        assert (times > 0).all()

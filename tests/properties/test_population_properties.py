@@ -1,0 +1,142 @@
+"""Property: the columnar batch path matches the scalar time model.
+
+The vectorized evaluation in :mod:`repro.core.population` mirrors
+:func:`repro.core.timemodel.estimate_breakdown` term by term, so every
+component of every job must agree to within 1e-9 relative -- across all
+architectures, cluster sizes and feature magnitudes hypothesis throws
+at it.
+"""
+
+import math
+
+import pytest
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.architectures import Architecture
+from repro.core.features import WorkloadFeatures
+from repro.core.hardware import pai_default_hardware
+from repro.core.population import (
+    FeatureArrays,
+    batch_breakdowns,
+    batch_projection_speedups,
+    batch_step_times,
+)
+from repro.core.projection import projection_speedups
+from repro.core.timemodel import estimate_breakdown
+
+HARDWARE = pai_default_hardware()
+
+RTOL = 1e-9
+
+positive = st.floats(min_value=1.0, max_value=1e14, allow_nan=False)
+
+
+@st.composite
+def workloads(draw):
+    architecture = draw(
+        st.sampled_from(
+            [
+                Architecture.SINGLE,
+                Architecture.LOCAL_CENTRALIZED,
+                Architecture.PS_WORKER,
+                Architecture.ALLREDUCE_LOCAL,
+                Architecture.PEARL,
+            ]
+        )
+    )
+    max_cnodes = min(architecture.max_local_cnodes, 128)
+    traffic = (
+        0.0 if architecture is Architecture.SINGLE else draw(positive)
+    )
+    # Embedding traffic is a subset of the total sync volume.
+    embedding_traffic = (
+        traffic * draw(st.floats(min_value=0.0, max_value=1.0))
+        if architecture is Architecture.PEARL
+        else 0.0
+    )
+    return WorkloadFeatures(
+        name="prop",
+        architecture=architecture,
+        num_cnodes=draw(st.integers(min_value=1, max_value=max_cnodes)),
+        batch_size=draw(st.integers(min_value=1, max_value=4096)),
+        flop_count=draw(positive),
+        memory_access_bytes=draw(positive),
+        input_bytes=draw(positive),
+        weight_traffic_bytes=traffic,
+        dense_weight_bytes=traffic,
+        embedding_weight_bytes=embedding_traffic,
+        embedding_traffic_bytes=embedding_traffic,
+    )
+
+
+def assert_close(vectorized, scalar):
+    assert math.isclose(vectorized, scalar, rel_tol=RTOL, abs_tol=1e-12)
+
+
+@settings(max_examples=60, deadline=None)
+@given(st.lists(workloads(), min_size=1, max_size=8))
+def test_batch_breakdowns_match_scalar_model(population):
+    batch = batch_breakdowns(population, HARDWARE)
+    for i, features in enumerate(population):
+        scalar = estimate_breakdown(features, HARDWARE)
+        assert_close(batch.data_io[i], scalar.data_io)
+        assert_close(batch.compute_flops[i], scalar.compute_flops)
+        assert_close(batch.compute_memory[i], scalar.compute_memory)
+        for medium, volume in scalar.weight_comm.items():
+            assert_close(batch.weight_comm[medium][i], volume)
+        assert_close(batch.total[i], scalar.total)
+        assert_close(batch.total_ideal_overlap[i], scalar.total_ideal_overlap)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(workloads(), min_size=1, max_size=8))
+def test_batch_step_times_match_scalar_totals(population):
+    times = batch_step_times(population, HARDWARE)
+    for i, features in enumerate(population):
+        assert_close(times[i], estimate_breakdown(features, HARDWARE).total)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(workloads(), min_size=1, max_size=8))
+def test_batch_fractions_match_scalar_fractions(population):
+    batch = batch_breakdowns(population, HARDWARE)
+    fractions = batch.fractions()
+    for i, features in enumerate(population):
+        scalar = estimate_breakdown(features, HARDWARE).fractions()
+        for component, value in scalar.items():
+            assert_close(fractions[component][i], value)
+
+
+@settings(max_examples=40, deadline=None)
+@given(
+    st.lists(
+        st.integers(min_value=1, max_value=512), min_size=1, max_size=8
+    ),
+    st.data(),
+)
+def test_batch_projection_matches_scalar_projection(cnode_counts, data):
+    population = [
+        data.draw(workloads()).with_architecture(
+            Architecture.PS_WORKER, num_cnodes=n
+        )
+        for n in cnode_counts
+    ]
+    target = Architecture.ALLREDUCE_LOCAL
+    batch = batch_projection_speedups(population, target, HARDWARE)
+    for i, features in enumerate(population):
+        scalar = projection_speedups(features, target, HARDWARE)
+        assert_close(
+            batch.single_cnode_speedup[i], scalar.single_cnode_speedup
+        )
+        assert_close(batch.throughput_speedup[i], scalar.throughput_speedup)
+
+
+@settings(max_examples=40, deadline=None)
+@given(st.lists(workloads(), min_size=1, max_size=8))
+def test_feature_arrays_round_trip_is_stable(population):
+    arrays = FeatureArrays.from_workloads(population)
+    assert len(arrays) == len(population)
+    again = FeatureArrays.coerce(arrays)
+    assert again is arrays

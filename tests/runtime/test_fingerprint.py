@@ -1,0 +1,99 @@
+"""Configuration fingerprinting for the result cache."""
+
+import dataclasses
+
+import pytest
+
+import repro
+from repro.analysis.context import TRACE_JOBS_ENV_VAR, default_trace_config
+from repro.core.architectures import Architecture
+from repro.core.hardware import pai_default_hardware
+from repro.runtime.fingerprint import (
+    canonical_json,
+    canonical_payload,
+    experiment_fingerprint,
+    fingerprint,
+)
+from repro.trace.generator import TraceConfig
+
+
+class TestCanonicalPayload:
+    def test_dataclasses_are_tagged_with_class_name(self):
+        payload = canonical_payload(TraceConfig(num_jobs=10, seed=3))
+        assert payload["__dataclass__"] == "TraceConfig"
+        assert payload["num_jobs"] == 10
+        assert payload["seed"] == 3
+
+    def test_enums_hash_by_qualified_name(self):
+        assert (
+            canonical_payload(Architecture.PS_WORKER)
+            == "Architecture.PS_WORKER"
+        )
+
+    def test_dict_key_order_is_irrelevant(self):
+        assert canonical_json({"a": 1, "b": 2}) == canonical_json(
+            {"b": 2, "a": 1}
+        )
+
+    def test_nested_structures_round_trip(self):
+        hardware = pai_default_hardware()
+        text = canonical_json(hardware)
+        assert "GpuSpec" in text
+        assert canonical_json(hardware) == text
+
+
+class TestFingerprint:
+    def test_deterministic(self):
+        config = TraceConfig(num_jobs=10, seed=3)
+        assert fingerprint("x", config) == fingerprint("x", config)
+
+    def test_part_boundaries_matter(self):
+        assert fingerprint("ab", "c") != fingerprint("a", "bc")
+
+    def test_any_field_change_changes_the_digest(self):
+        base = TraceConfig(num_jobs=10, seed=3)
+        for change in ({"num_jobs": 11}, {"seed": 4}):
+            assert fingerprint(base) != fingerprint(
+                dataclasses.replace(base, **change)
+            )
+
+
+class TestExperimentFingerprint:
+    def test_distinct_per_experiment(self):
+        assert experiment_fingerprint("fig9") != experiment_fingerprint(
+            "fig10"
+        )
+
+    def test_trace_size_env_override_participates(self, monkeypatch):
+        before = experiment_fingerprint("fig9")
+        monkeypatch.setenv(TRACE_JOBS_ENV_VAR, "1234")
+        assert experiment_fingerprint("fig9") != before
+        monkeypatch.delenv(TRACE_JOBS_ENV_VAR)
+        assert experiment_fingerprint("fig9") == before
+
+    def test_explicit_trace_config_overrides_default(self):
+        small = experiment_fingerprint(
+            "fig9", trace_config=TraceConfig(num_jobs=50, seed=1)
+        )
+        assert small != experiment_fingerprint("fig9")
+
+    def test_package_version_participates(self, monkeypatch):
+        before = experiment_fingerprint("fig9")
+        monkeypatch.setattr(repro, "__version__", "0.0.0-test")
+        # The fingerprint module reads the version at import time; patch
+        # its binding too, as a release bump would rewrite both.  (The
+        # package re-exports a function named ``fingerprint``, shadowing
+        # the submodule attribute, so go through sys.modules.)
+        import sys
+
+        fp_module = sys.modules["repro.runtime.fingerprint"]
+        monkeypatch.setattr(fp_module, "__version__", "0.0.0-test")
+        assert experiment_fingerprint("fig9") != before
+
+    def test_default_config_matches_context(self):
+        explicit = experiment_fingerprint(
+            "fig9",
+            trace_config=default_trace_config(),
+            hardware=pai_default_hardware(),
+        )
+        assert explicit == experiment_fingerprint("fig9")

@@ -1,0 +1,145 @@
+"""Parallel, cached, error-isolated suite execution."""
+
+import pytest
+
+from repro.analysis.context import TRACE_JOBS_ENV_VAR, clear_caches
+from repro.analysis.registry import EXPERIMENTS
+from repro.analysis.report import render_outcomes
+from repro.analysis.result import ExperimentResult
+from repro.runtime import (
+    ExperimentOutcome,
+    ResultCache,
+    failed_ids,
+    run_suite,
+    suite_experiment_ids,
+)
+
+#: Small trace for suite-level tests; participates in fingerprints, so
+#: entries never collide with a full-size run's cache.
+SMALL_TRACE = "1500"
+
+
+@pytest.fixture()
+def small_trace(monkeypatch):
+    monkeypatch.setenv(TRACE_JOBS_ENV_VAR, SMALL_TRACE)
+    yield
+    clear_caches()
+
+
+def _toy_registry(monkeypatch, experiments):
+    import repro.analysis.registry as registry_module
+
+    monkeypatch.setattr(registry_module, "EXPERIMENTS", experiments)
+
+
+def _toy(experiment_id, value):
+    return ExperimentResult(
+        experiment=experiment_id, title="toy", rows=[{"v": value}]
+    )
+
+
+class TestOutcome:
+    def test_requires_exactly_one_of_result_or_error(self):
+        with pytest.raises(ValueError):
+            ExperimentOutcome("x", None, None, 0.0)
+        with pytest.raises(ValueError):
+            ExperimentOutcome("x", _toy("x", 1), "boom", 0.0)
+
+    def test_ok(self):
+        assert ExperimentOutcome("x", _toy("x", 1), None, 0.0).ok
+        assert not ExperimentOutcome("x", None, "boom", 0.0).ok
+
+
+class TestSuiteIds:
+    def test_skips_fig13_panels(self):
+        ids = suite_experiment_ids()
+        assert "fig13" in ids
+        for panel in ("fig13a", "fig13b", "fig13c", "fig13d"):
+            assert panel not in ids
+
+    def test_unknown_id_raises(self):
+        with pytest.raises(KeyError, match="no-such-experiment"):
+            run_suite(["no-such-experiment"])
+
+
+class TestErrorIsolation:
+    def test_failure_is_an_outcome_not_an_exception(self, monkeypatch):
+        def broken():
+            raise RuntimeError("injected failure")
+
+        _toy_registry(
+            monkeypatch,
+            {"a": lambda: _toy("a", 1), "broken": broken,
+             "b": lambda: _toy("b", 2)},
+        )
+        outcomes = run_suite(["a", "broken", "b"], jobs=1)
+        assert [o.experiment_id for o in outcomes] == ["a", "broken", "b"]
+        assert outcomes[0].ok and outcomes[2].ok
+        assert not outcomes[1].ok
+        assert "injected failure" in outcomes[1].error
+        assert "RuntimeError" in outcomes[1].error
+        assert failed_ids(outcomes) == ["broken"]
+
+    def test_failures_are_not_cached(self, monkeypatch, tmp_path):
+        calls = []
+
+        def flaky():
+            calls.append(1)
+            raise RuntimeError("still broken")
+
+        _toy_registry(monkeypatch, {"flaky": flaky})
+        cache = ResultCache(tmp_path)
+        run_suite(["flaky"], jobs=1, cache=cache)
+        run_suite(["flaky"], jobs=1, cache=cache)
+        assert len(calls) == 2  # re-attempted, never served from cache
+
+
+class TestCaching:
+    def test_second_run_is_served_from_cache(self, monkeypatch, tmp_path):
+        calls = []
+
+        def counted():
+            calls.append(1)
+            return _toy("a", 41)
+
+        _toy_registry(monkeypatch, {"a": counted})
+        cache = ResultCache(tmp_path)
+        cold = run_suite(["a"], jobs=1, cache=cache)
+        warm = run_suite(["a"], jobs=1, cache=cache)
+        assert len(calls) == 1
+        assert not cold[0].cached
+        assert warm[0].cached
+        assert warm[0].result == cold[0].result
+
+    def test_no_cache_recomputes(self, monkeypatch):
+        calls = []
+
+        def counted():
+            calls.append(1)
+            return _toy("a", 41)
+
+        _toy_registry(monkeypatch, {"a": counted})
+        run_suite(["a"], jobs=1, cache=None)
+        run_suite(["a"], jobs=1, cache=None)
+        assert len(calls) == 2
+
+
+@pytest.mark.slow
+class TestFullSuite:
+    def test_warm_report_is_byte_identical(self, small_trace, tmp_path):
+        cache = ResultCache(tmp_path)
+        cold = run_suite(jobs=1, cache=cache)
+        warm = run_suite(jobs=1, cache=cache)
+        assert failed_ids(cold) == []
+        assert all(o.cached for o in warm)
+        assert render_outcomes(warm) == render_outcomes(cold)
+
+    def test_parallel_matches_serial_for_every_experiment(self, small_trace):
+        ids = list(EXPERIMENTS)
+        serial = run_suite(ids, jobs=1)
+        parallel = run_suite(ids, jobs=2)
+        assert failed_ids(serial) == []
+        assert failed_ids(parallel) == []
+        for s, p in zip(serial, parallel):
+            assert s.experiment_id == p.experiment_id
+            assert p.result.render() == s.result.render()

@@ -71,6 +71,66 @@ class TestEmpiricalCDF:
         assert cdf.cumulative[-1] == pytest.approx(1.0)
 
 
+class TestFinalCumulativeExactlyOne:
+    """Regressions for the quantile(1.0) edge case.
+
+    The running weight sum can land a few ulps below 1.0, in which case
+    ``searchsorted(cumulative, 1.0)`` runs past the end and only the
+    defensive index clamp saved ``quantile(1.0)``.  The constructor now
+    pins the final cumulative entry to exactly 1.0.
+    """
+
+    def test_final_cumulative_is_exactly_one_with_awkward_weights(self):
+        # 10 x 0.1 sums to 0.9999999999999999 under float addition.
+        cdf = EmpiricalCDF.from_samples(
+            list(range(10)), weights=[0.1] * 10
+        )
+        assert cdf.cumulative[-1] == 1.0
+        assert cdf.quantile(1.0) == 9
+
+    def test_quantile_one_returns_maximum_without_clamp(self):
+        import numpy as np
+
+        samples = [1.0, 2.0, 7.0]
+        weights = [1 / 3, 1 / 3, 1 / 3]
+        cdf = EmpiricalCDF.from_samples(samples, weights=weights)
+        # searchsorted must find the final entry directly.
+        index = int(np.searchsorted(cdf.cumulative, 1.0, side="left"))
+        assert index == len(cdf.values) - 1
+        assert cdf.quantile(1.0) == 7.0
+
+    def test_duplicate_samples(self):
+        cdf = EmpiricalCDF.from_samples([2.0, 2.0, 2.0, 5.0])
+        assert cdf.cumulative[-1] == 1.0
+        assert cdf.probability_at(2.0) == pytest.approx(0.75)
+        assert cdf.quantile(1.0) == 5.0
+        assert cdf.quantile(0.5) == 2.0
+
+    def test_weighted_duplicates(self):
+        cdf = EmpiricalCDF.from_samples(
+            [3.0, 3.0, 9.0], weights=[0.2, 0.3, 0.5]
+        )
+        assert cdf.probability_at(3.0) == pytest.approx(0.5)
+        assert cdf.cumulative[-1] == 1.0
+
+    def test_probability_at_below_minimum_is_zero(self):
+        cdf = EmpiricalCDF.from_samples([4.0, 5.0], weights=[0.7, 0.3])
+        assert cdf.probability_at(3.999) == 0.0
+
+    def test_probability_at_minimum_includes_its_weight(self):
+        cdf = EmpiricalCDF.from_samples([4.0, 5.0], weights=[0.7, 0.3])
+        assert cdf.probability_at(4.0) == pytest.approx(0.7)
+
+    def test_accepts_numpy_arrays(self):
+        import numpy as np
+
+        cdf = EmpiricalCDF.from_samples(
+            np.array([1.0, 2.0]), weights=np.array([1.0, 3.0])
+        )
+        assert cdf.probability_at(1.0) == pytest.approx(0.25)
+        assert cdf.cumulative[-1] == 1.0
+
+
 class TestFractions:
     def test_below_and_above(self):
         samples = [1.0, 2.0, 3.0, 4.0]
