@@ -5,6 +5,9 @@ Usage::
     pai-repro list                     # show available experiments
     pai-repro run fig9                 # regenerate one table/figure
     pai-repro all                      # regenerate everything
+    pai-repro all -v --log-json e.jsonl
+                                       # ...with debug telemetry on stderr
+                                       # and a JSON-lines event log
     pai-repro report -o report.md      # write the full markdown report
     pai-repro trace -o trace.jsonl -n 20000 --seed 7
                                        # generate & save a synthetic trace
@@ -23,6 +26,29 @@ from typing import List, Optional
 from .registry import experiment_ids, run_experiment
 
 __all__ = ["main", "build_parser"]
+
+
+def _add_obs_options(parser: argparse.ArgumentParser) -> None:
+    """Observability flags shared by ``all``, ``report`` and ``trace``."""
+    group = parser.add_mutually_exclusive_group()
+    group.add_argument(
+        "-v",
+        "--verbose",
+        action="store_true",
+        help="debug-level telemetry on stderr (spans, cache traffic)",
+    )
+    group.add_argument(
+        "-q",
+        "--quiet",
+        action="store_true",
+        help="errors only on stderr; suppresses the run summary",
+    )
+    parser.add_argument(
+        "--log-json",
+        metavar="PATH",
+        default=None,
+        help="append machine-readable JSON-lines telemetry events to PATH",
+    )
 
 
 def _add_suite_options(parser: argparse.ArgumentParser) -> None:
@@ -67,6 +93,7 @@ def build_parser() -> argparse.ArgumentParser:
         "all", help="run the full experiment suite"
     )
     _add_suite_options(all_parser)
+    _add_obs_options(all_parser)
 
     report_parser = subparsers.add_parser(
         "report", help="write the full suite as a markdown report"
@@ -75,6 +102,7 @@ def build_parser() -> argparse.ArgumentParser:
         "-o", "--output", default="report.md", help="output path"
     )
     _add_suite_options(report_parser)
+    _add_obs_options(report_parser)
 
     trace_parser = subparsers.add_parser(
         "trace", help="generate a calibrated synthetic trace (JSONL)"
@@ -93,6 +121,7 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="also run the calibration targets against the trace",
     )
+    _add_obs_options(trace_parser)
 
     advise_parser = subparsers.add_parser(
         "advise", help="rank feasible deployments for one workload"
@@ -228,6 +257,27 @@ def _command_report(args: argparse.Namespace) -> int:
     return 1 if _report_failures(outcomes) else 0
 
 
+def _run_observed(args: argparse.Namespace, command) -> int:
+    """Run a command under a configured obs context, then summarize.
+
+    The summary table and all telemetry go to stderr / the JSON-lines
+    log, never stdout -- report output stays byte-identical with obs
+    enabled.
+    """
+    from ..obs import configure
+
+    obs = configure(
+        verbose=args.verbose, quiet=args.quiet, json_path=args.log_json
+    )
+    try:
+        return command(args)
+    finally:
+        obs.emit_summary()
+        if not args.quiet:
+            print(obs.summary_table(), file=sys.stderr)
+        obs.close()
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     args = build_parser().parse_args(argv)
     if args.command == "list":
@@ -238,11 +288,11 @@ def main(argv: Optional[List[str]] = None) -> int:
         print(run_experiment(args.experiment).render())
         return 0
     if args.command == "all":
-        return _command_all(args)
+        return _run_observed(args, _command_all)
     if args.command == "report":
-        return _command_report(args)
+        return _run_observed(args, _command_report)
     if args.command == "trace":
-        return _command_trace(args)
+        return _run_observed(args, _command_trace)
     if args.command == "advise":
         return _command_advise(args)
     return 1

@@ -1,0 +1,56 @@
+"""``repro.obs`` -- structured observability for the reproduction.
+
+A 20k-job suite run used to be a black box; this package is the
+measurement substrate under every layer:
+
+* :class:`MetricRegistry` -- counters, gauges and timers, aggregated
+  in-process and rendered as the end-of-run summary table;
+* span-style tracing -- ``with get_obs().trace("experiment", id=...):``
+  context managers that nest and record wall + CPU durations;
+* pluggable sinks -- a human-readable stderr log (``-v`` / ``-q``
+  levels), a machine-readable JSON-lines event log (``--log-json``)
+  and an in-memory sink for tests.
+
+Instrumented call sites reach the process-wide context through
+:func:`get_obs`; the CLI upgrades it via :func:`configure`.  See
+``docs/ARCHITECTURE.md`` for the event schema.
+"""
+
+from .core import Observability, configure, get_obs, reset_obs
+from .metrics import (
+    Counter,
+    Gauge,
+    MetricRegistry,
+    Timer,
+    render_summary_table,
+)
+from .sinks import (
+    DEBUG,
+    ERROR,
+    INFO,
+    WARNING,
+    JsonLinesSink,
+    MemorySink,
+    Sink,
+    StderrSink,
+)
+
+__all__ = [
+    "DEBUG",
+    "INFO",
+    "WARNING",
+    "ERROR",
+    "Counter",
+    "Gauge",
+    "Timer",
+    "MetricRegistry",
+    "Observability",
+    "Sink",
+    "StderrSink",
+    "JsonLinesSink",
+    "MemorySink",
+    "configure",
+    "get_obs",
+    "render_summary_table",
+    "reset_obs",
+]

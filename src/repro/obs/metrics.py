@@ -1,0 +1,205 @@
+"""The metric registry: counters, gauges and timers.
+
+Metrics are in-process aggregates -- cheap enough for hot loops (a
+counter increment is a dict lookup plus an integer add under a lock) --
+that the sinks render once at the end of a run, in contrast to
+:mod:`repro.obs.sinks` events which stream out as they happen.  Worker
+processes forked by the suite runner inherit a *copy* of the registry;
+cross-process aggregation is the parent's job (the executor counts
+cache traffic and experiment outcomes on its side of the fork).
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from contextlib import contextmanager
+from typing import Any, Dict, Iterator, List
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "Timer",
+    "MetricRegistry",
+    "render_summary_table",
+]
+
+
+class Counter:
+    """A monotonically increasing count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        if amount < 0:
+            raise ValueError("counters only go up; use a gauge")
+        self.value += amount
+
+
+class Gauge:
+    """A point-in-time value; remembers the extremes it visited."""
+
+    __slots__ = ("name", "value", "max_value", "min_value", "_touched")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.value = 0.0
+        self.max_value = -math.inf
+        self.min_value = math.inf
+        self._touched = False
+
+    def set(self, value: float) -> None:
+        self.value = value
+        self.max_value = max(self.max_value, value)
+        self.min_value = min(self.min_value, value)
+        self._touched = True
+
+    @property
+    def touched(self) -> bool:
+        return self._touched
+
+
+class Timer:
+    """A duration histogram-lite: count, total, min, max, mean."""
+
+    __slots__ = ("name", "count", "total_s", "min_s", "max_s")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.total_s = 0.0
+        self.min_s = math.inf
+        self.max_s = -math.inf
+
+    def observe(self, seconds: float) -> None:
+        self.count += 1
+        self.total_s += seconds
+        self.min_s = min(self.min_s, seconds)
+        self.max_s = max(self.max_s, seconds)
+
+    @property
+    def mean_s(self) -> float:
+        return self.total_s / self.count if self.count else 0.0
+
+
+class MetricRegistry:
+    """Thread-safe, create-on-first-use store of named metrics."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._counters: Dict[str, Counter] = {}
+        self._gauges: Dict[str, Gauge] = {}
+        self._timers: Dict[str, Timer] = {}
+
+    def counter(self, name: str) -> Counter:
+        with self._lock:
+            metric = self._counters.get(name)
+            if metric is None:
+                metric = self._counters[name] = Counter(name)
+            return metric
+
+    def gauge(self, name: str) -> Gauge:
+        with self._lock:
+            metric = self._gauges.get(name)
+            if metric is None:
+                metric = self._gauges[name] = Gauge(name)
+            return metric
+
+    def timer(self, name: str) -> Timer:
+        with self._lock:
+            metric = self._timers.get(name)
+            if metric is None:
+                metric = self._timers[name] = Timer(name)
+            return metric
+
+    @contextmanager
+    def time(self, name: str) -> Iterator[Timer]:
+        """Time a block into the named timer."""
+        timer = self.timer(name)
+        start = time.perf_counter()
+        try:
+            yield timer
+        finally:
+            timer.observe(time.perf_counter() - start)
+
+    def reset(self) -> None:
+        """Drop every metric (test hook)."""
+        with self._lock:
+            self._counters.clear()
+            self._gauges.clear()
+            self._timers.clear()
+
+    def snapshot(self) -> Dict[str, Any]:
+        """All metrics as one JSON-native dict (the summary event body)."""
+        with self._lock:
+            return {
+                "counters": {
+                    name: c.value for name, c in sorted(self._counters.items())
+                },
+                "gauges": {
+                    name: {"value": g.value, "max": g.max_value, "min": g.min_value}
+                    for name, g in sorted(self._gauges.items())
+                    if g.touched
+                },
+                "timers": {
+                    name: {
+                        "count": t.count,
+                        "total_s": t.total_s,
+                        "mean_s": t.mean_s,
+                        "min_s": t.min_s,
+                        "max_s": t.max_s,
+                    }
+                    for name, t in sorted(self._timers.items())
+                    if t.count
+                },
+            }
+
+
+def _fmt_seconds(seconds: float) -> str:
+    if seconds >= 100.0:
+        return f"{seconds:.0f}s"
+    if seconds >= 1.0:
+        return f"{seconds:.2f}s"
+    return f"{seconds * 1e3:.1f}ms"
+
+
+def _fmt_number(value: float) -> str:
+    if isinstance(value, int) or float(value).is_integer():
+        return str(int(value))
+    return f"{value:.4g}"
+
+
+def render_summary_table(registry: MetricRegistry) -> str:
+    """The end-of-run summary: every metric, one aligned line each."""
+    snapshot = registry.snapshot()
+    rows: List[tuple] = []
+    for name, value in snapshot["counters"].items():
+        rows.append((name, str(value)))
+    for name, gauge in snapshot["gauges"].items():
+        detail = _fmt_number(gauge["value"])
+        if gauge["max"] != gauge["min"]:
+            detail += (
+                f" (min {_fmt_number(gauge['min'])},"
+                f" max {_fmt_number(gauge['max'])})"
+            )
+        rows.append((name, detail))
+    for name, timer in snapshot["timers"].items():
+        rows.append(
+            (
+                name,
+                f"n={timer['count']} total={_fmt_seconds(timer['total_s'])} "
+                f"mean={_fmt_seconds(timer['mean_s'])} "
+                f"max={_fmt_seconds(timer['max_s'])}",
+            )
+        )
+    if not rows:
+        return "run summary: no metrics recorded"
+    width = max(len(name) for name, _ in rows)
+    lines = ["run summary:"]
+    lines.extend(f"  {name.ljust(width)}  {detail}" for name, detail in rows)
+    return "\n".join(lines)

@@ -17,10 +17,12 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+import time
 from pathlib import Path
 from typing import Any, Dict, Optional, Union
 
 from ..analysis.result import ExperimentResult
+from ..obs import DEBUG, WARNING, get_obs
 
 __all__ = [
     "CACHE_DIR_ENV_VAR",
@@ -36,6 +38,10 @@ CACHE_DIR_ENV_VAR = "PAI_REPRO_CACHE_DIR"
 
 #: Bumped whenever the entry layout changes; old entries become misses.
 CACHE_FORMAT = 1
+
+#: Write temporaries older than this are orphans of a dead process and
+#: safe to sweep; younger ones may be another writer's in-flight entry.
+STALE_TMP_AGE_S = 3600.0
 
 
 def default_cache_dir() -> Path:
@@ -102,24 +108,44 @@ class ResultCache:
         """
         path = self.path_for(key)
         try:
-            payload = json.loads(path.read_text(encoding="utf-8"))
-        except (OSError, ValueError):
-            return None
-        if not isinstance(payload, dict):
-            return None
-        if payload.get("format") != CACHE_FORMAT:
-            return None
-        if payload.get("fingerprint") != key:
+            text = path.read_text(encoding="utf-8")
+        except OSError:
+            get_obs().event("cache.load", level=DEBUG, key=key, outcome="miss")
             return None
         try:
-            return ExperimentResult(
+            payload = json.loads(text)
+        except ValueError:
+            self._corrupt(key, "not JSON")
+            return None
+        if not isinstance(payload, dict):
+            self._corrupt(key, "not an object")
+            return None
+        if payload.get("format") != CACHE_FORMAT:
+            get_obs().event(
+                "cache.load", level=DEBUG, key=key, outcome="stale-format"
+            )
+            return None
+        if payload.get("fingerprint") != key:
+            self._corrupt(key, "fingerprint mismatch")
+            return None
+        try:
+            result = ExperimentResult(
                 experiment=payload["experiment"],
                 title=payload["title"],
                 rows=[dict(row) for row in payload["rows"]],
                 notes=[str(note) for note in payload["notes"]],
             )
         except (KeyError, TypeError, ValueError):
+            self._corrupt(key, "missing or malformed fields")
             return None
+        get_obs().event("cache.load", level=DEBUG, key=key, outcome="hit")
+        return result
+
+    def _corrupt(self, key: str, reason: str) -> None:
+        """Report a corrupt entry (treated as a miss, never an error)."""
+        obs = get_obs()
+        obs.metrics.counter("cache.corrupt").inc()
+        obs.event("cache.corrupt", level=WARNING, key=key, reason=reason)
 
     def store(
         self,
@@ -155,13 +181,47 @@ class ResultCache:
         except BaseException:
             os.unlink(handle.name)
             raise
+        get_obs().event(
+            "cache.store",
+            level=DEBUG,
+            key=key,
+            bytes=path.stat().st_size,
+        )
+        # A process killed between temp-file creation and the atomic
+        # rename above leaves a ``*.tmp`` orphan behind; opportunistic
+        # sweeping on every store keeps them from accumulating forever.
+        self.sweep_tmp(max_age_s=STALE_TMP_AGE_S)
         return path
 
-    def clear(self) -> int:
-        """Delete every entry; returns the number removed."""
+    def sweep_tmp(self, max_age_s: float = 0.0) -> int:
+        """Delete orphaned ``*.tmp`` write temporaries; returns the count.
+
+        ``max_age_s`` spares temporaries younger than that many seconds
+        (a concurrent writer's in-flight entry); ``0`` sweeps them all.
+        """
         if not self.root.is_dir():
             return 0
+        now = time.time()
         removed = 0
+        for tmp in self.root.glob("*.tmp"):
+            try:
+                if max_age_s > 0 and now - tmp.stat().st_mtime < max_age_s:
+                    continue
+                tmp.unlink()
+                removed += 1
+            except OSError:
+                pass
+        if removed:
+            obs = get_obs()
+            obs.metrics.counter("cache.tmp_swept").inc(removed)
+            obs.event("cache.tmp_swept", level=DEBUG, count=removed)
+        return removed
+
+    def clear(self) -> int:
+        """Delete every entry and write temporary; returns the number removed."""
+        if not self.root.is_dir():
+            return 0
+        removed = self.sweep_tmp(max_age_s=0.0)
         for entry in self.root.glob("*.json"):
             try:
                 entry.unlink()

@@ -7,13 +7,29 @@ report``:
   in-process (``jobs == 1``, the monkeypatch-friendly path tests use);
 * each experiment is individually fenced -- a raising experiment
   becomes a failed :class:`ExperimentOutcome` carrying its traceback,
-  and the rest of the suite still runs;
+  and the rest of the suite still runs.  That isolation extends to
+  *hard* worker deaths (OOM kill, ``os._exit``): pool breakage is
+  converted into per-experiment outcomes rather than aborting the run
+  (see below);
 * with a :class:`~repro.runtime.cache.ResultCache`, previously computed
-  results are served from disk and re-runs are near-instant.
+  results are served from disk and re-runs are near-instant;
+* every experiment is reported as a ``span`` event through
+  :mod:`repro.obs`, with cache traffic and pool lifecycle counted in
+  the metric registry.
 
 Workers are forked after the parent pre-generates the default trace, so
 the 20k-job synthetic trace is shared copy-on-write instead of being
 regenerated per process.
+
+Hard-crash isolation: experiments are ``submit()``-ed individually and
+every ``future.result()`` is fenced.  When a worker dies hard the pool
+breaks and *all* unfinished futures raise ``BrokenProcessPool`` -- the
+crasher and its innocent in-flight neighbours are indistinguishable at
+that point, so each unresolved experiment is retried once in a fresh
+single-worker pool.  Survivors complete there; the experiment that
+kills its private pool a second time becomes a failed outcome naming
+the worker death.  (Retrying in a throwaway subprocess rather than
+in-process keeps a determined crasher from taking the parent down.)
 """
 
 from __future__ import annotations
@@ -21,11 +37,12 @@ from __future__ import annotations
 import multiprocessing
 import time
 import traceback
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..analysis.result import ExperimentResult
+from ..obs import DEBUG, INFO, WARNING, get_obs
 from .cache import ResultCache, normalize_result
 from .fingerprint import experiment_fingerprint
 
@@ -38,6 +55,9 @@ __all__ = [
 
 #: Panel aliases excluded from full-suite runs (same data as ``fig13``).
 _SUITE_SKIP = frozenset({"fig13a", "fig13b", "fig13c", "fig13d"})
+
+#: ``(id, result, error, wall_s, cpu_s)`` as returned by workers.
+_RawOutcome = Tuple[str, Optional[ExperimentResult], Optional[str], float, float]
 
 
 @dataclass(frozen=True)
@@ -77,16 +97,15 @@ def failed_ids(outcomes: Sequence[ExperimentOutcome]) -> List[str]:
     return [o.experiment_id for o in outcomes if not o.ok]
 
 
-def _run_one(
-    experiment_id: str,
-) -> Tuple[str, Optional[ExperimentResult], Optional[str], float]:
+def _run_one(experiment_id: str) -> _RawOutcome:
     """Run one experiment, fencing any exception into a traceback string.
 
     Module-level so the fork-based process pool can pickle it by name.
     """
     from ..analysis.registry import run_experiment
 
-    start = time.perf_counter()
+    wall_start = time.perf_counter()
+    cpu_start = time.process_time()
     try:
         result = normalize_result(run_experiment(experiment_id))
     except BaseException:
@@ -94,15 +113,121 @@ def _run_one(
             experiment_id,
             None,
             traceback.format_exc(),
-            time.perf_counter() - start,
+            time.perf_counter() - wall_start,
+            time.process_time() - cpu_start,
         )
-    return experiment_id, result, None, time.perf_counter() - start
+    return (
+        experiment_id,
+        result,
+        None,
+        time.perf_counter() - wall_start,
+        time.process_time() - cpu_start,
+    )
 
 
 def _fork_context() -> Optional[multiprocessing.context.BaseContext]:
     if "fork" not in multiprocessing.get_all_start_methods():
         return None
     return multiprocessing.get_context("fork")
+
+
+def _run_isolated(
+    experiment_id: str, context: multiprocessing.context.BaseContext
+) -> _RawOutcome:
+    """Retry one experiment in a fresh single-worker pool.
+
+    A second hard crash breaks only this private pool and is converted
+    into a failed outcome for exactly this experiment.
+    """
+    obs = get_obs()
+    obs.event("pool.retry", level=INFO, experiment=experiment_id)
+    obs.metrics.counter("pool.retries").inc()
+    wall_start = time.perf_counter()
+    try:
+        with ProcessPoolExecutor(max_workers=1, mp_context=context) as pool:
+            return pool.submit(_run_one, experiment_id).result()
+    except BaseException as exc:
+        obs.event(
+            "pool.worker_died",
+            level=WARNING,
+            experiment=experiment_id,
+            error=type(exc).__name__,
+        )
+        obs.metrics.counter("pool.worker_deaths").inc()
+        return (
+            experiment_id,
+            None,
+            (
+                f"worker process died while running {experiment_id!r} "
+                f"({type(exc).__name__}); the experiment was retried in an "
+                "isolated worker, which also died -- the experiment itself "
+                "hard-crashes (OOM kill, os._exit, segfault)"
+            ),
+            time.perf_counter() - wall_start,
+            0.0,
+        )
+
+
+def _run_pool(
+    pending: List[str],
+    workers: int,
+    context: multiprocessing.context.BaseContext,
+) -> List[_RawOutcome]:
+    """Run experiments in a shared pool, surviving worker deaths.
+
+    Every future is fenced individually: an exception out of
+    ``future.result()`` (``BrokenProcessPool`` when a worker dies hard)
+    marks that experiment *unresolved* instead of aborting the suite;
+    unresolved experiments are then each retried in their own fresh
+    single-worker pool by :func:`_run_isolated`.
+    """
+    obs = get_obs()
+    obs.event(
+        "pool.start", level=DEBUG, workers=workers, pending=len(pending)
+    )
+    obs.metrics.gauge("pool.workers").set(workers)
+    resolved: Dict[str, _RawOutcome] = {}
+    unresolved: List[str] = []
+    try:
+        with ProcessPoolExecutor(
+            max_workers=workers, mp_context=context
+        ) as pool:
+            futures = {
+                pool.submit(_run_one, experiment_id): experiment_id
+                for experiment_id in pending
+            }
+            remaining = set(futures)
+            while remaining:
+                done, remaining = wait(
+                    remaining, return_when=FIRST_COMPLETED
+                )
+                for future in done:
+                    experiment_id = futures[future]
+                    try:
+                        resolved[experiment_id] = future.result()
+                    except BaseException as exc:
+                        unresolved.append(experiment_id)
+                        obs.event(
+                            "pool.future_broken",
+                            level=DEBUG,
+                            experiment=experiment_id,
+                            error=type(exc).__name__,
+                        )
+    except BaseException as exc:
+        # Pool teardown itself can raise once broken; anything not yet
+        # resolved is retried below.
+        obs.event("pool.teardown_error", level=DEBUG, error=type(exc).__name__)
+    unresolved = [e for e in pending if e not in resolved]
+    if unresolved:
+        obs.event(
+            "pool.broken",
+            level=WARNING,
+            unresolved=unresolved,
+            resolved=len(resolved),
+        )
+        for experiment_id in unresolved:
+            resolved[experiment_id] = _run_isolated(experiment_id, context)
+    return [resolved[experiment_id] for experiment_id in pending]
 
 
 def run_suite(
@@ -123,11 +248,15 @@ def run_suite(
 
     Returns:
         One :class:`ExperimentOutcome` per requested id, in request
-        order.  Failures are outcomes, not exceptions.
+        order.  Failures are outcomes, not exceptions -- including
+        hard worker deaths under ``jobs > 1``, which fail only the
+        crashing experiment (in-process runs cannot fence a hard
+        ``os._exit``).
     """
     from ..analysis.context import default_trace
     from ..analysis.registry import EXPERIMENTS
 
+    obs = get_obs()
     if experiment_ids is None:
         experiment_ids = suite_experiment_ids()
     experiment_ids = list(experiment_ids)
@@ -146,38 +275,57 @@ def run_suite(
             start = time.perf_counter()
             hit = cache.load(keys[experiment_id])
             if hit is not None:
+                duration_s = time.perf_counter() - start
                 outcomes[experiment_id] = ExperimentOutcome(
                     experiment_id=experiment_id,
                     result=hit,
                     error=None,
-                    duration_s=time.perf_counter() - start,
+                    duration_s=duration_s,
+                    cached=True,
+                )
+                obs.metrics.counter("cache.hit").inc()
+                obs.span_event(
+                    "experiment",
+                    wall_s=duration_s,
+                    id=experiment_id,
                     cached=True,
                 )
                 continue
+            obs.metrics.counter("cache.miss").inc()
         pending.append(experiment_id)
 
     context = _fork_context() if jobs > 1 and len(pending) > 1 else None
-    if context is not None:
-        # Generate the shared trace before forking: workers inherit the
-        # pages copy-on-write instead of regenerating it per process.
-        default_trace()
-        workers = min(jobs, len(pending))
-        with ProcessPoolExecutor(
-            max_workers=workers, mp_context=context
-        ) as pool:
-            raw = list(pool.map(_run_one, pending))
-    else:
-        raw = [_run_one(experiment_id) for experiment_id in pending]
+    with obs.metrics.time("suite"):
+        if context is not None:
+            # Generate the shared trace before forking: workers inherit
+            # the pages copy-on-write instead of regenerating per process.
+            default_trace()
+            raw = _run_pool(pending, min(jobs, len(pending)), context)
+        else:
+            raw = [_run_one(experiment_id) for experiment_id in pending]
 
-    for experiment_id, result, error, duration_s in raw:
+    for experiment_id, result, error, wall_s, cpu_s in raw:
         outcome = ExperimentOutcome(
             experiment_id=experiment_id,
             result=result,
             error=error,
-            duration_s=duration_s,
+            duration_s=wall_s,
         )
         outcomes[experiment_id] = outcome
+        obs.metrics.counter(
+            "experiments.ok" if outcome.ok else "experiments.failed"
+        ).inc()
+        obs.span_event(
+            "experiment",
+            wall_s=wall_s,
+            cpu_s=cpu_s,
+            status="ok" if outcome.ok else "error",
+            level=INFO if not outcome.ok else DEBUG,
+            id=experiment_id,
+            cached=False,
+        )
         if cache is not None and outcome.ok:
-            cache.store(keys[experiment_id], result, duration_s=duration_s)
+            cache.store(keys[experiment_id], result, duration_s=wall_s)
+            obs.metrics.counter("cache.store").inc()
 
     return [outcomes[experiment_id] for experiment_id in experiment_ids]

@@ -27,6 +27,7 @@ from __future__ import annotations
 import heapq
 from typing import Dict, Iterable, List, Optional, Tuple
 
+from ..obs import DEBUG, get_obs
 from ..trace.schema import JobRecord
 from .fleet import Fleet, Placement
 from .outcomes import (
@@ -126,6 +127,7 @@ def run_schedule(
     """
     if on_unplaceable not in ("reject", "raise"):
         raise ValueError("on_unplaceable must be 'reject' or 'raise'")
+    obs = get_obs()
     trace = sorted(jobs, key=lambda j: (j.submit_day, j.job_id))
     service = _resolve_durations(trace, durations, predictor)
 
@@ -177,8 +179,10 @@ def run_schedule(
         running[state.job.job_id] = RunningJob(
             job=state.job, placement=placement, start_hour=now, end_hour=end
         )
+        obs.metrics.counter("sched.starts").inc()
 
     def preempt_job(state: _JobState, now: float) -> None:
+        obs.metrics.counter("sched.preemptions").inc()
         state.segments.append(
             ExecutionSegment(
                 start_hour=state.segment_start,
@@ -229,6 +233,7 @@ def run_schedule(
                         segments=tuple(state.segments),
                     )
                 )
+                obs.metrics.counter("sched.completions").inc()
             else:
                 queue.append(
                     PendingJob(
@@ -268,6 +273,10 @@ def run_schedule(
                 )
                 if placement is None:
                     continue  # plan no longer fits the live fleet
+                if pending is not queue[0]:
+                    # Started past an older waiter: a backfill (or
+                    # priority jump) by the policy's own choice.
+                    obs.metrics.counter("sched.backfills").inc()
                 queue.remove(pending)
                 start_job(state, placement, now)
                 applied += 1
@@ -285,6 +294,11 @@ def run_schedule(
                     fragmentation=fleet.fragmentation(),
                 )
             )
+            # Mirror the sample into the metric registry so fleet state
+            # shows up in the obs summary alongside everything else.
+            obs.metrics.gauge("sched.queue_depth").set(len(queue))
+            obs.metrics.gauge("sched.busy_gpus").set(fleet.busy_gpus)
+            obs.metrics.gauge("sched.fragmentation").set(fleet.fragmentation())
         if not events and queue and not running:
             # Placeable jobs remain, nothing running, no future events:
             # the policy refuses to start them and never will.
@@ -299,6 +313,19 @@ def run_schedule(
     telemetry = FleetTelemetry(
         samples=tuple(samples),
         total_gpus=fleet.total_gpus,
+        active_gpu_hours=active_gpu_hours,
+    )
+    if rejected:
+        obs.metrics.counter("sched.rejections").inc(len(rejected))
+    obs.metrics.gauge("sched.utilization").set(telemetry.average_utilization())
+    obs.event(
+        "sched.done",
+        level=DEBUG,
+        policy=getattr(policy, "name", type(policy).__name__),
+        jobs=len(trace),
+        finished=len(finished),
+        rejected=len(rejected),
+        utilization=telemetry.average_utilization(),
         active_gpu_hours=active_gpu_hours,
     )
     return ScheduleOutcome(

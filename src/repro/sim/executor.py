@@ -20,6 +20,7 @@ import numpy as np
 from ..core.architectures import Architecture
 from ..core.efficiency import PAPER_DEFAULT_EFFICIENCY, EfficiencyModel
 from ..core.hardware import HardwareConfig, testbed_v100_hardware
+from ..obs import get_obs
 from ..graphs.features_from_graph import Deployment
 from ..graphs.graph import ModelGraph
 from ..graphs.ops import Op, OpKind
@@ -341,6 +342,19 @@ class TestbedSimulator:
 
     def run_step(self, graph: ModelGraph, deployment: Deployment) -> StepMeasurement:
         """Simulate one training step; returns its measurement."""
+        obs = get_obs()
+        obs.metrics.counter("sim.steps").inc()
+        with obs.trace(
+            "sim.step",
+            workload=graph.name,
+            architecture=str(deployment.architecture),
+            num_cnodes=deployment.num_cnodes,
+        ):
+            return self._run_step(graph, deployment)
+
+    def _run_step(
+        self, graph: ModelGraph, deployment: Deployment
+    ) -> StepMeasurement:
         if self.options.check_memory:
             self._check_memory(graph, deployment)
         cluster = self._cluster_for(deployment)

@@ -361,5 +361,30 @@ CALIBRATION_TARGETS: List[CalibrationTarget] = [
 
 
 def evaluate_targets(jobs: List[JobRecord]) -> List[Dict[str, float]]:
-    """Check every calibration target against a trace."""
-    return [target.check(jobs) for target in CALIBRATION_TARGETS]
+    """Check every calibration target against a trace.
+
+    Each target's paper-vs-measured delta is also emitted as a
+    ``trace.calibration`` obs event (warnings for out-of-band targets),
+    so calibration drift is visible in the event log.
+    """
+    from ..obs import DEBUG, WARNING, get_obs
+
+    obs = get_obs()
+    checks = []
+    with obs.metrics.time("trace.calibration"):
+        for target in CALIBRATION_TARGETS:
+            check = target.check(jobs)
+            obs.event(
+                "trace.calibration",
+                level=DEBUG if check["ok"] else WARNING,
+                name=check["name"],
+                paper=check["paper"],
+                measured=check["measured"],
+                delta=check["measured"] - check["paper"],
+                tolerance=check["tolerance"],
+                ok=check["ok"],
+            )
+            if not check["ok"]:
+                obs.metrics.counter("trace.calibration_failures").inc()
+            checks.append(check)
+    return checks

@@ -285,6 +285,16 @@ class ClusterTraceGenerator:
 
     def generate(self) -> List[JobRecord]:
         """Generate the full synthetic trace (deterministic per seed)."""
+        from ..obs import get_obs
+
+        with get_obs().trace(
+            "trace.generate",
+            num_jobs=self.config.num_jobs,
+            seed=self.config.seed,
+        ):
+            return self._generate()
+
+    def _generate(self) -> List[JobRecord]:
         config = self.config
         rng = np.random.default_rng(config.seed)
         type_draws = rng.choice(

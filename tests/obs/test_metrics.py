@@ -1,0 +1,90 @@
+"""Counters, gauges, timers and the registry."""
+
+import pytest
+
+from repro.obs import MetricRegistry, render_summary_table
+
+
+class TestCounter:
+    def test_starts_at_zero_and_increments(self):
+        registry = MetricRegistry()
+        counter = registry.counter("hits")
+        assert counter.value == 0
+        counter.inc()
+        counter.inc(3)
+        assert counter.value == 4
+
+    def test_same_name_same_metric(self):
+        registry = MetricRegistry()
+        registry.counter("hits").inc()
+        assert registry.counter("hits").value == 1
+
+    def test_rejects_negative_increments(self):
+        with pytest.raises(ValueError):
+            MetricRegistry().counter("hits").inc(-1)
+
+
+class TestGauge:
+    def test_tracks_value_and_extremes(self):
+        gauge = MetricRegistry().gauge("depth")
+        for value in (3, 10, 2):
+            gauge.set(value)
+        assert gauge.value == 2
+        assert gauge.max_value == 10
+        assert gauge.min_value == 2
+
+    def test_untouched_gauges_are_omitted_from_snapshots(self):
+        registry = MetricRegistry()
+        registry.gauge("idle")
+        assert registry.snapshot()["gauges"] == {}
+
+
+class TestTimer:
+    def test_aggregates_observations(self):
+        timer = MetricRegistry().timer("step")
+        timer.observe(0.1)
+        timer.observe(0.3)
+        assert timer.count == 2
+        assert timer.total_s == pytest.approx(0.4)
+        assert timer.mean_s == pytest.approx(0.2)
+        assert timer.min_s == pytest.approx(0.1)
+        assert timer.max_s == pytest.approx(0.3)
+
+    def test_time_context_manager(self):
+        registry = MetricRegistry()
+        with registry.time("block"):
+            pass
+        timer = registry.timer("block")
+        assert timer.count == 1
+        assert timer.total_s >= 0.0
+
+
+class TestRegistry:
+    def test_snapshot_is_json_native(self):
+        import json
+
+        registry = MetricRegistry()
+        registry.counter("c").inc()
+        registry.gauge("g").set(1.5)
+        registry.timer("t").observe(0.2)
+        json.dumps(registry.snapshot())
+
+    def test_reset_drops_everything(self):
+        registry = MetricRegistry()
+        registry.counter("c").inc()
+        registry.reset()
+        assert registry.counter("c").value == 0
+
+    def test_summary_table_lists_every_metric(self):
+        registry = MetricRegistry()
+        registry.counter("cache.hit").inc(12)
+        registry.gauge("pool.workers").set(4)
+        registry.timer("experiment").observe(1.0)
+        table = render_summary_table(registry)
+        assert "cache.hit" in table
+        assert "12" in table
+        assert "pool.workers" in table
+        assert "experiment" in table
+
+    def test_empty_summary_table(self):
+        assert "no metrics" in render_summary_table(MetricRegistry())

@@ -119,6 +119,53 @@ class TestResultCache:
         assert cache.load(KEY).title == "Toy v2"
 
 
+class TestTmpFileHygiene:
+    """A process dying between temp-file creation and ``os.replace``
+    leaves ``*.tmp`` orphans; they must not accumulate forever."""
+
+    @staticmethod
+    def _orphan(tmp_path, name="deadbeef.tmp", age_s=0.0):
+        orphan = tmp_path / name
+        orphan.write_text("{ partial entry")
+        if age_s:
+            import os as os_module
+            import time as time_module
+
+            stale = time_module.time() - age_s
+            os_module.utime(orphan, (stale, stale))
+        return orphan
+
+    def test_clear_removes_orphaned_tmp_files(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.store(KEY, sample_result())
+        orphan = self._orphan(tmp_path)
+        assert cache.clear() == 2  # the entry and the orphan
+        assert not orphan.exists()
+        assert list(tmp_path.iterdir()) == []
+        assert cache.clear() == 0
+
+    def test_store_sweeps_stale_orphans(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        orphan = self._orphan(tmp_path, age_s=7200.0)
+        cache.store(KEY, sample_result())
+        assert not orphan.exists()
+        assert cache.load(KEY) == sample_result()
+
+    def test_store_spares_fresh_tmp_files(self, tmp_path):
+        # A young .tmp may be another live writer's in-flight entry.
+        cache = ResultCache(tmp_path)
+        fresh = self._orphan(tmp_path)
+        cache.store(KEY, sample_result())
+        assert fresh.exists()
+
+    def test_sweep_tmp_counts_and_ignores_missing_root(self, tmp_path):
+        assert ResultCache(tmp_path / "nowhere").sweep_tmp() == 0
+        cache = ResultCache(tmp_path)
+        self._orphan(tmp_path, "one.tmp")
+        self._orphan(tmp_path, "two.tmp")
+        assert cache.sweep_tmp() == 2
+
+
 class TestDefaultCacheDir:
     def test_env_override(self, monkeypatch, tmp_path):
         monkeypatch.setenv(CACHE_DIR_ENV_VAR, str(tmp_path / "cc"))

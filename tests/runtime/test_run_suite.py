@@ -1,5 +1,8 @@
 """Parallel, cached, error-isolated suite execution."""
 
+import multiprocessing
+import os
+
 import pytest
 
 from repro.analysis.context import TRACE_JOBS_ENV_VAR, clear_caches
@@ -122,6 +125,81 @@ class TestCaching:
         run_suite(["a"], jobs=1, cache=None)
         run_suite(["a"], jobs=1, cache=None)
         assert len(calls) == 2
+
+
+needs_fork = pytest.mark.skipif(
+    "fork" not in multiprocessing.get_all_start_methods(),
+    reason="hard-crash isolation requires the fork start method",
+)
+
+
+class TestHardCrashIsolation:
+    """A worker killed mid-run must not abort the suite (the PR-3
+    error-isolation contract extended to ``BrokenProcessPool``)."""
+
+    @needs_fork
+    def test_os_exit_worker_fails_only_the_crasher(
+        self, small_trace, monkeypatch
+    ):
+        def crasher():
+            os._exit(1)  # simulates an OOM kill / SIGKILL mid-experiment
+
+        experiments = {"a": lambda: _toy("a", 1), "crash": crasher}
+        for name in ("b", "c", "d", "e"):
+            experiments[name] = (lambda n: lambda: _toy(n, 2))(name)
+        _toy_registry(monkeypatch, experiments)
+
+        ids = ["a", "crash", "b", "c", "d", "e"]
+        outcomes = run_suite(ids, jobs=2)
+
+        # One outcome per experiment, in request order -- no exception.
+        assert [o.experiment_id for o in outcomes] == ids
+        assert failed_ids(outcomes) == ["crash"]
+        crash = outcomes[1]
+        assert "worker process died" in crash.error
+        assert "crash" in crash.error
+        for outcome in outcomes:
+            if outcome.experiment_id != "crash":
+                assert outcome.ok
+                assert outcome.result.rows
+
+    @needs_fork
+    def test_pool_breakage_emits_obs_events(self, small_trace, monkeypatch):
+        from repro.obs import MemorySink, get_obs, reset_obs
+
+        reset_obs()
+        sink = get_obs().add_sink(MemorySink())
+        try:
+
+            def crasher():
+                os._exit(1)
+
+            _toy_registry(
+                monkeypatch,
+                {"ok": lambda: _toy("ok", 1), "crash": crasher},
+            )
+            outcomes = run_suite(["ok", "crash"], jobs=2)
+        finally:
+            reset_obs()
+        assert failed_ids(outcomes) == ["crash"]
+        assert sink.of_kind("pool.broken")
+        assert sink.of_kind("pool.worker_died")
+        spans = [
+            e for e in sink.of_kind("span") if e.get("name") == "experiment"
+        ]
+        assert {s["id"] for s in spans} == {"ok", "crash"}
+        assert {s["status"] for s in spans} == {"ok", "error"}
+
+    def test_in_process_exceptions_still_isolated(self, monkeypatch):
+        # The soft-failure contract is unchanged by the pool rework.
+        def broken():
+            raise ValueError("soft failure")
+
+        _toy_registry(
+            monkeypatch, {"x": lambda: _toy("x", 1), "broken": broken}
+        )
+        outcomes = run_suite(["x", "broken"], jobs=1)
+        assert failed_ids(outcomes) == ["broken"]
 
 
 @pytest.mark.slow

@@ -7,6 +7,7 @@ from repro.core.features import WorkloadFeatures
 from repro.core.timemodel import estimate_breakdown
 from repro.sim.stragglers import (
     JitterModel,
+    _expected_max_lognormal,
     expected_straggler_factor,
     straggled_step_time,
     synchronization_penalty_curve,
@@ -105,3 +106,62 @@ class TestPenaltyCurve:
         )
         row = rows[0]
         assert 1.0 < row["step_inflation"] < row["straggler_factor"]
+
+
+class TestMemoization:
+    """The 4000-sample Monte Carlo must run once per distinct
+    ``(sigma, samples, seed, n)``, not once per query."""
+
+    def test_penalty_curve_hits_the_memo(self, hardware):
+        _expected_max_lognormal.cache_clear()
+        counts = [2, 4, 8, 16]
+        rows = synchronization_penalty_curve(
+            ps_job(), hardware, cnode_counts=counts
+        )
+        info = _expected_max_lognormal.cache_info()
+        # One Monte Carlo per cNode count, despite the factor being
+        # used twice per row (the row column and the straggled time).
+        assert info.misses == len(counts)
+        # A second curve over the same counts is all memo hits.
+        rows_again = synchronization_penalty_curve(
+            ps_job(), hardware, cnode_counts=counts
+        )
+        info = _expected_max_lognormal.cache_info()
+        assert info.misses == len(counts)
+        assert info.hits >= len(counts)
+        assert rows_again == rows
+
+    def test_memoized_factor_matches_direct_monte_carlo(self):
+        import numpy as np
+
+        jitter = JitterModel(sigma=0.12, samples=2500, seed=77)
+        rng = np.random.default_rng(jitter.seed)
+        draws = rng.lognormal(
+            mean=0.0, sigma=jitter.sigma, size=(jitter.samples, 24)
+        )
+        expected = float(draws.max(axis=1).mean())
+        assert expected_straggler_factor(24, jitter) == expected
+
+    def test_curve_rows_match_public_functions_exactly(self, hardware):
+        # The dedup must not change any value: every row still equals
+        # straggled_step_time / estimate_breakdown computed directly.
+        features = ps_job()
+        jitter = JitterModel()
+        for row in synchronization_penalty_curve(
+            features, hardware, cnode_counts=[1, 8, 32]
+        ):
+            deployed = features.with_architecture(
+                features.architecture, num_cnodes=row["num_cnodes"]
+            )
+            base = estimate_breakdown(deployed, hardware).total
+            straggled = straggled_step_time(deployed, hardware, jitter)
+            assert row["straggler_factor"] == expected_straggler_factor(
+                row["num_cnodes"], jitter
+            )
+            assert row["step_inflation"] == straggled / base
+
+    def test_single_replica_and_zero_jitter_bypass_the_memo(self):
+        _expected_max_lognormal.cache_clear()
+        assert expected_straggler_factor(1) == 1.0
+        assert expected_straggler_factor(64, JitterModel(sigma=0.0)) == 1.0
+        assert _expected_max_lognormal.cache_info().misses == 0

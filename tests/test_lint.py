@@ -1,0 +1,32 @@
+"""Repository hygiene: output discipline for the obs subsystem."""
+
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+
+def test_no_bare_print_outside_cli_and_report():
+    """Everything except the CLI and report renderer goes through
+    :mod:`repro.obs` sinks (so ``-q``/``-v``/``--log-json`` govern it)."""
+    sys.path.insert(0, str(REPO_ROOT / "tools"))
+    try:
+        import check_no_print
+    finally:
+        sys.path.pop(0)
+    assert check_no_print.main([str(REPO_ROOT / "src")]) == 0
+
+
+def test_lint_catches_a_bare_print(tmp_path):
+    sys.path.insert(0, str(REPO_ROOT / "tools"))
+    try:
+        import check_no_print
+    finally:
+        sys.path.pop(0)
+    offender = tmp_path / "repro" / "bad.py"
+    offender.parent.mkdir(parents=True)
+    offender.write_text('print("leaky")\n')
+    assert check_no_print.main([str(tmp_path)]) == 1
+    # Docstrings and strings mentioning print() are fine (AST-based).
+    offender.write_text('"""usage: print(x)"""\nVALUE = "print(x)"\n')
+    assert check_no_print.main([str(tmp_path)]) == 0

@@ -1,0 +1,70 @@
+#!/usr/bin/env python
+"""Lint: no bare ``print()`` calls outside the CLI and report renderer.
+
+Everything else must go through :mod:`repro.obs` sinks, so that ``-q``
+silences it, ``-v`` reveals it, and ``--log-json`` captures it.  The
+check is AST-based: strings mentioning ``print`` (docstrings, examples)
+do not trip it.
+
+Usage::
+
+    python tools/check_no_print.py [SRC_DIR]
+
+Exits non-zero listing every offending ``path:line``.
+"""
+
+from __future__ import annotations
+
+import ast
+import sys
+from pathlib import Path
+from typing import List, Tuple
+
+#: Files (relative to the source root) allowed to print: the CLI owns
+#: stdout, and the report renderer produces user-facing text.
+ALLOWED = frozenset(
+    {
+        "repro/analysis/cli.py",
+        "repro/analysis/report.py",
+    }
+)
+
+
+def find_prints(source: str, filename: str) -> List[Tuple[int, str]]:
+    """``(line, context)`` of every bare ``print(...)`` call."""
+    tree = ast.parse(source, filename=filename)
+    hits = []
+    for node in ast.walk(tree):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "print"
+        ):
+            hits.append((node.lineno, ast.unparse(node)[:80]))
+    return hits
+
+
+def main(argv: List[str]) -> int:
+    root = Path(argv[0]) if argv else Path(__file__).resolve().parent.parent / "src"
+    offenders = []
+    for path in sorted(root.rglob("*.py")):
+        relative = path.relative_to(root).as_posix()
+        if relative in ALLOWED:
+            continue
+        for line, context in find_prints(
+            path.read_text(encoding="utf-8"), str(path)
+        ):
+            offenders.append(f"{path}:{line}: {context}")
+    if offenders:
+        sys.stderr.write(
+            "bare print() outside the CLI/report renderer -- route it "
+            "through repro.obs sinks instead:\n"
+        )
+        for offender in offenders:
+            sys.stderr.write(f"  {offender}\n")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))
