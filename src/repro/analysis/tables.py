@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from ..core.architectures import Architecture
 from ..core.hardware import TABLE_III_VARIATIONS
-from ..core.units import format_bandwidth
+from ..core.units import GIGA, TERA, format_bandwidth
 from .context import default_hardware
 from .result import ExperimentResult
 
@@ -15,14 +15,14 @@ def run_table1() -> ExperimentResult:
     """Table I: the base system settings."""
     hardware = default_hardware()
     rows = [
-        {"setting": "GPU FLOPs", "value": f"{hardware.gpu.peak_flops / 1e12:g} TFLOPs"},
+        {"setting": "GPU FLOPs", "value": f"{hardware.gpu.peak_flops / TERA:g} TFLOPs"},
         {
             "setting": "GPU memory bandwidth",
             "value": format_bandwidth(hardware.gpu.memory_bandwidth),
         },
         {
             "setting": "Ethernet",
-            "value": f"{hardware.ethernet.bandwidth * 8 / 1e9:g} Gb/s",
+            "value": f"{hardware.ethernet.bandwidth * 8 / GIGA:g} Gb/s",
         },
         {"setting": "PCIe", "value": format_bandwidth(hardware.pcie.bandwidth)},
         {"setting": "NVLink", "value": format_bandwidth(hardware.nvlink.bandwidth)},
@@ -80,7 +80,7 @@ def run_table3() -> ExperimentResult:
                 "candidates": ", ".join(
                     format_bandwidth(v)
                     if resource != "gpu_flops"
-                    else f"{v / 1e12:g}T"
+                    else f"{v / TERA:g}T"
                     for v in candidates
                 ),
                 "normalized": ", ".join(

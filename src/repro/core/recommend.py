@@ -23,6 +23,7 @@ from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 from .architectures import Architecture
+from .units import GB
 from .efficiency import PAPER_DEFAULT_EFFICIENCY, EfficiencyModel
 from .features import WorkloadFeatures
 from .hardware import HardwareConfig
@@ -92,8 +93,8 @@ def feasible(
         # Weight-replica mode: the whole model on every GPU.
         if features.weight_bytes > budget:
             return False, (
-                f"model ({features.weight_bytes / 1e9:.1f} GB) exceeds the "
-                f"replica budget ({budget / 1e9:.1f} GB)"
+                f"model ({features.weight_bytes / GB:.1f} GB) exceeds the "
+                f"replica budget ({budget / GB:.1f} GB)"
             )
     elif arch is Architecture.PEARL:
         shard = features.embedding_weight_bytes / plan.num_cnodes

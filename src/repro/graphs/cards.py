@@ -12,6 +12,7 @@ from collections import defaultdict
 from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
+from ..core.units import GB, GIGA
 from .graph import ModelGraph
 from .ops import OpKind
 
@@ -82,15 +83,15 @@ def render_model_card(graph: ModelGraph, depth: int = 1, top: int = 6) -> str:
         f"batch {graph.batch_size}, {len(graph.forward)} forward ops "
         f"({compute_ops} compute-bound), optimizer: {graph.optimizer.name}",
         f"weights at rest: {graph.dense_weight_bytes / 1e6:.1f} MB dense + "
-        f"{graph.embedding_weight_bytes / 1e9:.2f} GB embedding",
-        f"per training step: {graph.flop_count / 1e9:.1f} GFLOPs, "
-        f"{graph.memory_access_bytes / 1e9:.2f} GB memory access, "
+        f"{graph.embedding_weight_bytes / GB:.2f} GB embedding",
+        f"per training step: {graph.flop_count / GIGA:.1f} GFLOPs, "
+        f"{graph.memory_access_bytes / GB:.2f} GB memory access, "
         f"{graph.input_bytes / 1e6:.2f} MB input",
         "",
         "top layer groups by forward FLOPs:",
     ]
     for group, flops in _top_groups(stats, lambda s: s.flops, top):
-        lines.append(f"  {group:24s} {flops / 1e9:10.2f} GFLOPs")
+        lines.append(f"  {group:24s} {flops / GIGA:10.2f} GFLOPs")
     lines.append("top layer groups by parameters:")
     for group, params in _top_groups(stats, lambda s: s.param_bytes, top):
         lines.append(f"  {group:24s} {params / 1e6:10.2f} MB")

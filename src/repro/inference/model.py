@@ -18,6 +18,7 @@ from typing import List, Optional
 
 from ..core.efficiency import PAPER_DEFAULT_EFFICIENCY, EfficiencyModel
 from ..core.hardware import HardwareConfig
+from ..core.units import GB
 from .features import InferenceFeatures
 
 __all__ = [
@@ -77,9 +78,9 @@ def estimate_latency(
     """Per-execution latency breakdown of a serving workload."""
     if features.resident_weight_bytes > hardware.gpu.memory_capacity:
         raise ValueError(
-            f"model ({features.resident_weight_bytes / 1e9:.1f} GB) does "
+            f"model ({features.resident_weight_bytes / GB:.1f} GB) does "
             f"not fit the serving GPU "
-            f"({hardware.gpu.memory_capacity / 1e9:.1f} GB)"
+            f"({hardware.gpu.memory_capacity / GB:.1f} GB)"
         )
     pcie = hardware.pcie.bandwidth * efficiency.pcie
     return InferenceBreakdown(

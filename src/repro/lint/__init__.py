@@ -1,0 +1,43 @@
+"""``repro.lint`` -- pluggable AST static analysis for the reproduction.
+
+The headline guarantees of the runtime layer -- byte-identical
+warm-cache reports, crash-isolated fork pools, stdout reserved for the
+report -- only hold while every experiment stays a pure function of its
+fingerprinted inputs and the package DAG stays acyclic.  This package
+machine-checks those invariants:
+
+* a rule registry (:mod:`repro.lint.registry`) with single-pass visitor
+  dispatch (:mod:`repro.lint.visitor`) -- one AST walk per file serves
+  every rule;
+* per-file parallel analysis plus a cross-file project phase (the
+  determinism call graph) in :mod:`repro.lint.engine`;
+* inline ``# repro: ignore[rule-id]`` suppressions and a committed
+  JSON baseline of justified, grandfathered findings;
+* human and JSON-lines output reusing the :mod:`repro.obs` event
+  schema, behind ``python -m repro.lint`` / ``repro-lint``;
+* a pytest bridge (:func:`assert_clean`) so CI and the test suite run
+  the same engine.
+
+See ``docs/LINT.md`` for the rule catalog.
+"""
+
+from .baseline import Baseline, BaselineEntry, write_baseline
+from .engine import LintResult, assert_clean, lint_paths, lint_source
+from .findings import Finding
+from .registry import Rule, all_rules, get_rule, register, rule_ids
+
+__all__ = [
+    "Baseline",
+    "BaselineEntry",
+    "Finding",
+    "LintResult",
+    "Rule",
+    "all_rules",
+    "assert_clean",
+    "get_rule",
+    "lint_paths",
+    "lint_source",
+    "register",
+    "rule_ids",
+    "write_baseline",
+]

@@ -1,0 +1,129 @@
+"""The committed baseline: grandfathered findings with justifications.
+
+The baseline file is JSON so diffs review well::
+
+    {
+      "version": 1,
+      "entries": [
+        {
+          "rule": "fork-safety",
+          "path": "repro/obs/core.py",
+          "context": "global _OBS",
+          "reason": "process-local singleton by design; workers inherit it"
+        }
+      ]
+    }
+
+Entries match findings by ``(rule, pkg_path, context)`` -- no line
+numbers, so unrelated edits do not churn the file.  One entry matches
+every finding with that key (e.g. the same ``global _OBS`` statement in
+two functions).  ``python -m repro.lint --write-baseline`` regenerates
+the file from the current findings; the one-line ``reason`` is then
+filled in by hand and reviewed like code.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, List, Tuple, Union
+
+from .findings import Finding
+
+__all__ = ["BaselineEntry", "Baseline", "write_baseline"]
+
+_PLACEHOLDER_REASON = "grandfathered; justify or fix"
+
+
+@dataclass(frozen=True)
+class BaselineEntry:
+    rule: str
+    path: str
+    context: str
+    reason: str
+
+    def key(self) -> Tuple[str, str, str]:
+        return (self.rule, self.path, self.context)
+
+
+class Baseline:
+    """An in-memory baseline, loaded once per run."""
+
+    def __init__(self, entries: Iterable[BaselineEntry] = ()) -> None:
+        self.entries: List[BaselineEntry] = list(entries)
+        self._by_key: Dict[Tuple[str, str, str], BaselineEntry] = {
+            entry.key(): entry for entry in self.entries
+        }
+        self._matched: set = set()
+
+    @classmethod
+    def load(cls, path: Union[str, Path]) -> "Baseline":
+        payload = json.loads(Path(path).read_text(encoding="utf-8"))
+        version = payload.get("version")
+        if version != 1:
+            raise ValueError(f"unsupported baseline version: {version!r}")
+        entries = [
+            BaselineEntry(
+                rule=entry["rule"],
+                path=entry["path"],
+                context=entry.get("context", ""),
+                reason=entry.get("reason", _PLACEHOLDER_REASON),
+            )
+            for entry in payload.get("entries", [])
+        ]
+        return cls(entries)
+
+    def match(self, finding: Finding) -> bool:
+        """Whether ``finding`` is grandfathered (marks the entry used)."""
+        key = finding.key()
+        if key in self._by_key:
+            self._matched.add(key)
+            return True
+        return False
+
+    def unused(self) -> List[BaselineEntry]:
+        """Entries that matched nothing -- stale, candidates for removal."""
+        return [e for e in self.entries if e.key() not in self._matched]
+
+
+def write_baseline(
+    findings: Iterable[Finding], path: Union[str, Path]
+) -> int:
+    """Write ``findings`` as a fresh baseline; returns the entry count.
+
+    Duplicate keys collapse to one entry.  Existing reasons at ``path``
+    are preserved for entries that survive the regeneration.
+    """
+    path = Path(path)
+    existing: Dict[Tuple[str, str, str], str] = {}
+    if path.exists():
+        try:
+            for entry in Baseline.load(path).entries:
+                existing[entry.key()] = entry.reason
+        except (ValueError, KeyError, json.JSONDecodeError):
+            pass
+    entries: Dict[Tuple[str, str, str], BaselineEntry] = {}
+    for finding in findings:
+        key = finding.key()
+        entries[key] = BaselineEntry(
+            rule=finding.rule,
+            path=finding.pkg_path or finding.path,
+            context=finding.context,
+            reason=existing.get(key, _PLACEHOLDER_REASON),
+        )
+    ordered = sorted(entries.values(), key=lambda e: e.key())
+    payload = {
+        "version": 1,
+        "entries": [
+            {
+                "rule": entry.rule,
+                "path": entry.path,
+                "context": entry.context,
+                "reason": entry.reason,
+            }
+            for entry in ordered
+        ],
+    }
+    path.write_text(json.dumps(payload, indent=2) + "\n", encoding="utf-8")
+    return len(ordered)

@@ -1,0 +1,70 @@
+"""The unit of lint output: one :class:`Finding` per violation.
+
+A finding carries two paths:
+
+* ``path`` -- the filesystem path the engine was invoked with, used for
+  display (clickable ``path:line:col`` references);
+* ``pkg_path`` -- the package-relative path (``repro/obs/core.py``),
+  stable across checkouts and invocation directories, used for baseline
+  matching and rule allowlists.
+
+Baseline matching is deliberately line-number free: a finding's
+:meth:`Finding.key` is ``(rule, pkg_path, context)`` so that unrelated
+edits moving code up or down the file do not invalidate the committed
+baseline.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Any, Dict, Tuple
+
+__all__ = ["Finding", "finding_sort_key"]
+
+#: Maximum length of the offending-source snippet carried by a finding.
+MAX_CONTEXT = 80
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    path: str
+    line: int
+    col: int
+    message: str
+    context: str = ""
+    pkg_path: str = field(default="", compare=False)
+
+    def key(self) -> Tuple[str, str, str]:
+        """Line-independent identity used for baseline matching."""
+        return (self.rule, self.pkg_path or self.path, self.context)
+
+    def render(self) -> str:
+        """The human-readable one-liner: ``path:line:col: rule message``."""
+        text = f"{self.path}:{self.line}:{self.col}: [{self.rule}] {self.message}"
+        if self.context:
+            text += f"\n    {self.context}"
+        return text
+
+    def to_event(self) -> Dict[str, Any]:
+        """The finding as a :mod:`repro.obs`-schema event dict."""
+        return {
+            "ts": time.time(),
+            "kind": "lint.finding",
+            "level": "warning",
+            "rule": self.rule,
+            "path": self.path,
+            "pkg_path": self.pkg_path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+            "context": self.context,
+        }
+
+
+def finding_sort_key(finding: Finding) -> Tuple[str, int, int, str]:
+    """Stable presentation order: by file, then position, then rule."""
+    return (finding.path, finding.line, finding.col, finding.rule)

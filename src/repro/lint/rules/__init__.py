@@ -1,0 +1,10 @@
+"""Built-in rules.  Importing this package registers all of them."""
+
+from . import (  # noqa: F401
+    api_hygiene,
+    determinism,
+    fork_safety,
+    layering,
+    no_print,
+    units,
+)

@@ -1,0 +1,150 @@
+"""``api-hygiene``: the classic Python API footguns.
+
+Three patterns with outsized blast radius in a library meant to be
+refactored freely:
+
+* mutable default arguments -- the default is created once and shared
+  by every call, so "default" state leaks between callers;
+* bare ``except:`` -- swallows ``KeyboardInterrupt`` and ``SystemExit``
+  along with the error you meant, turning crash isolation into hangs;
+* shadowing builtins -- a parameter or variable named ``id``/``list``/
+  ``type`` silently changes what the rest of the scope means.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from ..context import FileContext
+from ..findings import Finding
+from ..registry import Rule, register
+
+__all__ = ["ApiHygieneRule"]
+
+#: Builtins whose shadowing bites in practice (a curated subset: names
+#: like ``i``/``x`` false-positive never, names like ``compile`` or
+#: ``copyright`` are not worth the noise).
+_SHADOWED = frozenset(
+    {
+        "id", "list", "dict", "set", "tuple", "str", "int", "float",
+        "bool", "bytes", "type", "input", "filter", "map", "sum", "max",
+        "min", "len", "next", "iter", "range", "zip", "all", "any",
+        "hash", "format", "vars", "dir", "object", "property", "print",
+        "open", "sorted", "repr", "abs", "round",
+    }
+)
+
+_MUTABLE_DEFAULTS = (ast.List, ast.Dict, ast.Set, ast.ListComp, ast.DictComp, ast.SetComp)
+_MUTABLE_CALLS = frozenset({"list", "dict", "set", "defaultdict", "OrderedDict", "Counter", "deque"})
+
+
+def _is_mutable_default(node: ast.expr) -> bool:
+    if isinstance(node, _MUTABLE_DEFAULTS):
+        return True
+    if isinstance(node, ast.Call):
+        parts = FileContext.dotted(node.func)
+        return parts is not None and parts[-1] in _MUTABLE_CALLS
+    return False
+
+
+@register
+class ApiHygieneRule(Rule):
+    id = "api-hygiene"
+    title = "mutable default args, bare except, shadowed builtins"
+    rationale = (
+        "a mutable default is one shared object across all calls; a "
+        "bare except catches KeyboardInterrupt/SystemExit and turns "
+        "crash isolation into hangs; a local named id/list/type changes "
+        "the meaning of the rest of its scope."
+    )
+    suggestion = (
+        "default to None and create the container inside the function; "
+        "catch Exception (or narrower); rename the binding (job_id, "
+        "items, kind...)."
+    )
+
+    def _shadow_finding(
+        self, ctx: FileContext, node: ast.AST, name: str, what: str
+    ) -> Iterable[Finding]:
+        # Class bodies are their own namespace: an attribute or method
+        # named ``set``/``id`` is reached as ``obj.set`` and shadows
+        # nothing for readers of the enclosing scope.
+        if ctx.scope and isinstance(ctx.scope[-1], ast.ClassDef):
+            return ()
+        if name in _SHADOWED:
+            return (
+                self.finding(
+                    ctx,
+                    node,
+                    f"{what} {name!r} shadows the builtin",
+                    context=name,
+                ),
+            )
+        return ()
+
+    def visit_FunctionDef(
+        self, ctx: FileContext, node: ast.FunctionDef
+    ) -> Iterable[Finding]:
+        findings = list(
+            self._shadow_finding(ctx, node, node.name, "function name")
+        )
+        args = node.args
+        for default in list(args.defaults) + [
+            d for d in args.kw_defaults if d is not None
+        ]:
+            if _is_mutable_default(default):
+                findings.append(
+                    self.finding(
+                        ctx,
+                        default,
+                        "mutable default argument is created once and "
+                        "shared by every call",
+                    )
+                )
+        for arg in (
+            list(args.posonlyargs)
+            + list(args.args)
+            + list(args.kwonlyargs)
+            + ([args.vararg] if args.vararg else [])
+            + ([args.kwarg] if args.kwarg else [])
+        ):
+            findings.extend(
+                self._shadow_finding(ctx, arg, arg.arg, "parameter")
+            )
+        return findings
+
+    visit_AsyncFunctionDef = visit_FunctionDef
+
+    def visit_ExceptHandler(
+        self, ctx: FileContext, node: ast.ExceptHandler
+    ) -> Iterable[Finding]:
+        if node.type is not None:
+            return ()
+        return (
+            self.finding(
+                ctx,
+                node,
+                "bare except swallows KeyboardInterrupt and SystemExit; "
+                "catch Exception or narrower",
+                context="except:",
+            ),
+        )
+
+    def visit_Assign(
+        self, ctx: FileContext, node: ast.Assign
+    ) -> Iterable[Finding]:
+        findings = []
+        for target in node.targets:
+            if isinstance(target, ast.Name):
+                findings.extend(
+                    self._shadow_finding(ctx, target, target.id, "assignment to")
+                )
+        return findings
+
+    def visit_For(self, ctx: FileContext, node: ast.For) -> Iterable[Finding]:
+        if isinstance(node.target, ast.Name):
+            return self._shadow_finding(
+                ctx, node.target, node.target.id, "loop variable"
+            )
+        return ()

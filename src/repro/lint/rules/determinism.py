@@ -1,0 +1,302 @@
+"""``determinism``: experiments must be pure functions of their inputs.
+
+The result cache (:mod:`repro.runtime.cache`) serves experiment results
+by a fingerprint over trace config, hardware and model knobs.  Any
+hidden input -- module-state RNGs, wall-clock reads, environment
+variables -- silently poisons that fingerprint: two runs with the same
+key would disagree, and warm reports would stop being byte-identical.
+
+The rule builds a best-effort static call graph over the analyzed files
+and flags every non-deterministic *sin* (unseeded ``random`` /
+``np.random`` module state, ``time.time`` / ``datetime.now``,
+``os.environ`` reads, ``uuid``/``secrets``) that is reachable from an
+experiment registered in a module-level ``EXPERIMENTS`` dict.  Sins at
+module top level execute at import time and poison every importer, so
+they are flagged unconditionally.
+
+Resolution is deliberately conservative: calls whose target cannot be
+statically named (methods on call results, locals, subscripts) simply
+add no call-graph edge.  A miss means a missed finding, never a false
+one.
+"""
+
+from __future__ import annotations
+
+import ast
+from collections import deque
+from typing import Any, Dict, Iterable, List, Optional, Tuple
+
+from ..context import FileContext
+from ..findings import Finding
+from ..registry import Rule, register
+
+__all__ = ["DeterminismRule"]
+
+#: Exact dotted names that read hidden process state.
+_EXACT_SINS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+        "datetime.datetime.today",
+        "datetime.date.today",
+        "os.getenv",
+        "os.environ.get",
+        "os.urandom",
+        "uuid.uuid1",
+        "uuid.uuid4",
+    }
+)
+
+#: ``random.<fn>`` module-state functions (the module-level Mersenne
+#: Twister; even seeded it is shared mutable state across the suite).
+_RANDOM_MODULE_FNS = frozenset(
+    {
+        "seed", "random", "randint", "randrange", "getrandbits", "randbytes",
+        "choice", "choices", "shuffle", "sample", "uniform", "triangular",
+        "betavariate", "expovariate", "gammavariate", "gauss",
+        "lognormvariate", "normalvariate", "vonmisesvariate",
+        "paretovariate", "weibullvariate",
+    }
+)
+
+#: ``numpy.random`` attributes that are *not* module-state draws:
+#: constructing one of these (seeded) is the sanctioned idiom.
+_NP_RANDOM_OK = frozenset(
+    {
+        "default_rng", "Generator", "SeedSequence", "RandomState",
+        "BitGenerator", "PCG64", "PCG64DXSM", "Philox", "MT19937", "SFC64",
+    }
+)
+
+#: Constructors that are only deterministic when given an explicit seed.
+_NEEDS_SEED = frozenset({"numpy.random.default_rng", "random.Random"})
+
+_STATE_KEY = "determinism"
+
+
+def _classify_sin(resolved: str, node: ast.Call) -> Optional[str]:
+    """A human-readable description of the sin, or None."""
+    if resolved in _EXACT_SINS:
+        return f"{resolved}() reads hidden process state"
+    if resolved.startswith("secrets."):
+        return f"{resolved}() is entropy by design"
+    parts = resolved.split(".")
+    if parts[0] == "random" and len(parts) == 2:
+        if parts[1] in _RANDOM_MODULE_FNS:
+            return (
+                f"{resolved}() uses the shared module-state RNG; "
+                "thread a seeded random.Random through instead"
+            )
+    if resolved.startswith("numpy.random.") and len(parts) == 3:
+        if parts[2] not in _NP_RANDOM_OK:
+            return (
+                f"{resolved}() draws from numpy's module-state RNG; "
+                "thread a seeded np.random.default_rng through instead"
+            )
+    if resolved in _NEEDS_SEED and not node.args and not node.keywords:
+        return f"{resolved}() without a seed is entropy-initialized"
+    return None
+
+
+def _state(ctx: FileContext) -> Dict[str, Any]:
+    return ctx.state.setdefault(
+        _STATE_KEY,
+        {"functions": {}, "roots": [], "module_name": ctx.module},
+    )
+
+
+def _function_entry(ctx: FileContext) -> Dict[str, List]:
+    state = _state(ctx)
+    qual = ctx.qualname()
+    return state["functions"].setdefault(qual, {"calls": [], "sins": []})
+
+
+@register
+class DeterminismRule(Rule):
+    id = "determinism"
+    title = "hidden-state reads reachable from registered experiments"
+    rationale = (
+        "cached experiment results are served by a fingerprint over "
+        "declared inputs; an unseeded RNG, wall-clock read or "
+        "environment read reachable from a registered experiment makes "
+        "results depend on state the fingerprint cannot see, so warm "
+        "cache hits silently return answers computed under different "
+        "conditions."
+    )
+    suggestion = (
+        "thread a seeded generator (np.random.default_rng(seed)) or an "
+        "explicit parameter through the call chain; fold environment "
+        "reads into the fingerprinted config.  If the value provably "
+        "never reaches the result (telemetry, provenance), suppress "
+        "with # repro: ignore[determinism] and say why."
+    )
+
+    # ---- collection (single pass, per file) -----------------------
+
+    def visit_Call(
+        self, ctx: FileContext, node: ast.Call
+    ) -> Iterable[Finding]:
+        resolved = ctx.resolve(node.func)
+        if resolved is None:
+            return ()
+        sin = _classify_sin(resolved, node)
+        in_function = ctx.in_function()
+        if sin is None:
+            if in_function:
+                _function_entry(ctx)["calls"].append((resolved, node.lineno))
+            return ()
+        if not in_function:
+            # Import-time sin: poisons every importer, no reachability
+            # question to ask.
+            return (
+                self.finding(
+                    ctx,
+                    node,
+                    f"{sin} at module top level (runs at import time)",
+                ),
+            )
+        entry = _function_entry(ctx)
+        entry["sins"].append(
+            (sin, node.lineno, node.col_offset, ctx.snippet(node))
+        )
+        return ()
+
+    def visit_Subscript(
+        self, ctx: FileContext, node: ast.Subscript
+    ) -> Iterable[Finding]:
+        resolved = ctx.resolve(node.value)
+        if resolved != "os.environ":
+            return ()
+        sin = "os.environ[...] reads hidden process state"
+        if not ctx.in_function():
+            return (
+                self.finding(
+                    ctx, node, f"{sin} at module top level (runs at import time)"
+                ),
+            )
+        _function_entry(ctx)["sins"].append(
+            (sin, node.lineno, node.col_offset, ctx.snippet(node))
+        )
+        return ()
+
+    def visit_Assign(
+        self, ctx: FileContext, node: ast.Assign
+    ) -> Iterable[Finding]:
+        # Roots: a module-level ``EXPERIMENTS = {"id": runner, ...}``.
+        return self._collect_roots(ctx, node.targets, node.value)
+
+    def visit_AnnAssign(
+        self, ctx: FileContext, node: ast.AnnAssign
+    ) -> Iterable[Finding]:
+        # The real registry annotates: ``EXPERIMENTS: Dict[...] = {...}``.
+        return self._collect_roots(ctx, [node.target], node.value)
+
+    def _collect_roots(
+        self,
+        ctx: FileContext,
+        targets: List[ast.expr],
+        value: Optional[ast.expr],
+    ) -> Iterable[Finding]:
+        if ctx.in_function():
+            return ()
+        if not any(
+            isinstance(target, ast.Name) and target.id == "EXPERIMENTS"
+            for target in targets
+        ):
+            return ()
+        if not isinstance(value, ast.Dict):
+            return ()
+        state = _state(ctx)
+        for key, runner in zip(value.keys, value.values):
+            experiment_id = (
+                key.value
+                if isinstance(key, ast.Constant) and isinstance(key.value, str)
+                else "?"
+            )
+            resolved = ctx.resolve(runner)
+            if resolved is not None:
+                state["roots"].append((experiment_id, resolved))
+        return ()
+
+    # ---- project phase --------------------------------------------
+
+    def summarize(self, ctx: FileContext) -> Optional[Any]:
+        state = ctx.state.get(_STATE_KEY)
+        if state is None:
+            return None
+        # Honor inline suppressions here: the engine filters per-file
+        # findings, but project findings are assembled later from these
+        # summaries, so suppressed sin lines must drop out now.
+        functions = {}
+        for qual, entry in state["functions"].items():
+            sins = [
+                sin
+                for sin in entry["sins"]
+                if not ctx.suppressed(self.id, sin[1])
+            ]
+            if sins or entry["calls"]:
+                functions[qual] = {"calls": entry["calls"], "sins": sins}
+        if not functions and not state["roots"]:
+            return None
+        return {
+            "path": str(ctx.path),
+            "pkg_path": ctx.pkg_path,
+            "functions": functions,
+            "roots": state["roots"],
+        }
+
+    def check_project(self, summaries: List[Any]) -> Iterable[Finding]:
+        functions: Dict[str, Dict] = {}
+        location: Dict[str, Tuple[str, str]] = {}
+        roots: List[Tuple[str, str]] = []
+        for summary in summaries:
+            for qual, entry in summary["functions"].items():
+                functions[qual] = entry
+                location[qual] = (summary["path"], summary["pkg_path"])
+            roots.extend(summary["roots"])
+
+        # BFS from every registered experiment, tracking one witness
+        # call path per reached function.
+        parent: Dict[str, Optional[str]] = {}
+        origin: Dict[str, str] = {}
+        queue: deque = deque()
+        for experiment_id, qual in roots:
+            if qual in functions and qual not in parent:
+                parent[qual] = None
+                origin[qual] = experiment_id
+                queue.append(qual)
+        while queue:
+            qual = queue.popleft()
+            for callee, _line in functions[qual]["calls"]:
+                if callee in functions and callee not in parent:
+                    parent[callee] = qual
+                    origin[callee] = origin[qual]
+                    queue.append(callee)
+
+        findings: List[Finding] = []
+        for qual in parent:
+            for sin, line, col, snippet in functions[qual]["sins"]:
+                path, pkg_path = location[qual]
+                chain: List[str] = []
+                cursor: Optional[str] = qual
+                while cursor is not None:
+                    chain.append(cursor)
+                    cursor = parent[cursor]
+                chain.reverse()
+                findings.append(
+                    Finding(
+                        rule=self.id,
+                        path=path,
+                        line=line,
+                        col=col,
+                        message=(
+                            f"{sin}; reachable from registered experiment "
+                            f"{origin[qual]!r} via {' -> '.join(chain)}"
+                        ),
+                        context=snippet,
+                        pkg_path=pkg_path,
+                    )
+                )
+        return findings

@@ -1,0 +1,182 @@
+"""``fork-safety``: state that lies across the suite's fork boundary.
+
+The suite executor (:mod:`repro.runtime.executor`) forks worker
+processes.  Three patterns silently misbehave under fork:
+
+* a function rebinding a module-level name (``global X; X = ...``) --
+  each worker mutates its own copy; the parent never sees it, and
+  pre-fork state leaks into every worker;
+* a function mutating a module-level mutable container (``CACHE[k] =
+  ...``, ``REGISTRY.append(...)``) -- same copy-on-write split, plus a
+  torn view if the parent mutates after forking;
+* module-level ``open(...)`` / ``threading.Lock()`` -- the handle or
+  lock is duplicated into every worker: shared file offsets corrupt
+  output, and a lock held at fork time deadlocks the child.
+
+Intentional per-process caches are fine -- and common; suppress them
+with ``# repro: ignore[fork-safety]`` and a word on why.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from ..context import FileContext
+from ..findings import Finding
+from ..registry import Rule, register
+
+__all__ = ["ForkSafetyRule"]
+
+#: Method names that mutate their receiver in place.
+_MUTATORS = frozenset(
+    {
+        "append", "extend", "insert", "add", "update", "setdefault",
+        "pop", "popitem", "remove", "discard", "clear", "sort", "reverse",
+        "move_to_end", "appendleft", "extendleft", "popleft",
+    }
+)
+
+_LOCK_TYPES = frozenset(
+    {"Lock", "RLock", "Condition", "Semaphore", "BoundedSemaphore", "Event", "Barrier"}
+)
+
+
+def _is_lock_call(ctx: FileContext, node: ast.Call) -> bool:
+    parts = FileContext.dotted(node.func)
+    if parts is None:
+        return False
+    if parts[-1] not in _LOCK_TYPES:
+        return False
+    head = ctx.imports.get(parts[0], parts[0]) if len(parts) > 1 else ""
+    return head in ("threading", "multiprocessing") or len(parts) == 1 and parts[0] in _LOCK_TYPES
+
+
+@register
+class ForkSafetyRule(Rule):
+    id = "fork-safety"
+    title = "module state mutated, or handles/locks captured, across fork"
+    rationale = (
+        "suite experiments run in forked worker processes; module-level "
+        "state mutated inside a function splits copy-on-write (workers "
+        "and parent silently diverge), and file handles or locks created "
+        "at import time are duplicated into every worker, corrupting "
+        "offsets or deadlocking children."
+    )
+    suggestion = (
+        "pass state explicitly, keep it on instances created after the "
+        "fork, or open files inside the function that uses them.  For "
+        "an intentional per-process memo, suppress the line with "
+        "# repro: ignore[fork-safety] and say why it is fork-correct."
+    )
+
+    def visit_Global(
+        self, ctx: FileContext, node: ast.Global
+    ) -> Iterable[Finding]:
+        findings = []
+        for name in node.names:
+            findings.append(
+                self.finding(
+                    ctx,
+                    node,
+                    f"function rebinds module-level {name!r}; forked "
+                    "suite workers each mutate a private copy the "
+                    "parent never sees",
+                    context=f"global {name}",
+                )
+            )
+        return findings
+
+    def visit_Call(
+        self, ctx: FileContext, node: ast.Call
+    ) -> Iterable[Finding]:
+        if not ctx.in_function():
+            # Import-time capture: file handles and locks baked into
+            # module state get duplicated into every forked worker.
+            if isinstance(node.func, ast.Name) and node.func.id == "open":
+                return (
+                    self.finding(
+                        ctx,
+                        node,
+                        "file handle opened at module level is shared "
+                        "(offset and all) with every forked worker",
+                    ),
+                )
+            if _is_lock_call(ctx, node):
+                return (
+                    self.finding(
+                        ctx,
+                        node,
+                        "synchronization primitive created at module "
+                        "level is duplicated into forked workers; one "
+                        "held at fork time deadlocks the child",
+                    ),
+                )
+            return ()
+        if not isinstance(node.func, ast.Attribute):
+            return ()
+        if node.func.attr not in _MUTATORS:
+            return ()
+        receiver = node.func.value
+        if (
+            isinstance(receiver, ast.Name)
+            and receiver.id in ctx.mutable_globals
+        ):
+            return (
+                self.finding(
+                    ctx,
+                    node,
+                    f"in-place mutation of module-level {receiver.id!r} "
+                    "inside a function; forked workers and the parent "
+                    "silently diverge",
+                ),
+            )
+        return ()
+
+    def _subscript_mutation(
+        self, ctx: FileContext, target: ast.expr
+    ) -> Iterable[Finding]:
+        if not isinstance(target, ast.Subscript):
+            return ()
+        receiver = target.value
+        if (
+            isinstance(receiver, ast.Name)
+            and receiver.id in ctx.mutable_globals
+        ):
+            return (
+                self.finding(
+                    ctx,
+                    target,
+                    f"item assignment into module-level {receiver.id!r} "
+                    "inside a function; forked workers and the parent "
+                    "silently diverge",
+                ),
+            )
+        return ()
+
+    def visit_Assign(
+        self, ctx: FileContext, node: ast.Assign
+    ) -> Iterable[Finding]:
+        if not ctx.in_function():
+            return ()
+        findings = []
+        for target in node.targets:
+            findings.extend(self._subscript_mutation(ctx, target))
+        return findings
+
+    def visit_AugAssign(
+        self, ctx: FileContext, node: ast.AugAssign
+    ) -> Iterable[Finding]:
+        if not ctx.in_function():
+            return ()
+        return self._subscript_mutation(ctx, node.target)
+
+    def visit_Delete(
+        self, ctx: FileContext, node: ast.Delete
+    ) -> Iterable[Finding]:
+        if not ctx.in_function():
+            return ()
+        findings = []
+        for target in node.targets:
+            findings.extend(self._subscript_mutation(ctx, target))
+        return findings

@@ -1,0 +1,171 @@
+"""``units-hygiene``: unit conversions live in ``core/units.py``.
+
+The paper mixes Gb/s, GB/s, TFLOPs and TB/s freely (Table I), and one
+stray factor of eight or thousand silently changes every conclusion --
+which is exactly why :mod:`repro.core.units` exists.  Two patterns are
+flagged outside that module:
+
+* magic conversion literals (``1e9``, ``1e12``, ``1024**3``...)
+  multiplying or dividing a quantity -- use the named constants
+  (``GB``, ``TERA``, ``GIB``) so the unit is stated at the use site;
+* names carrying non-base unit suffixes (``_gb``, ``_mb``, ``_ms``,
+  ``_us``...) -- quantities are stored in base units (bytes, seconds,
+  FLOPs: ``_bytes``, ``_s``, ``_flops``) and converted at the
+  presentation boundary only.  (``_hours`` is exempt: the scheduler's
+  native domain unit.)
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable
+
+from ..context import FileContext
+from ..findings import Finding
+from ..registry import Rule, register
+
+__all__ = ["UnitsHygieneRule"]
+
+#: The module that owns conversions -- exempt by definition.
+_UNITS_MODULE = "repro/core/units.py"
+
+#: Conversion literals worth naming: decimal giga and up, binary mebi
+#: and up.  (1e3/1e6 are deliberately not flagged: they appear in
+#: innocent ms/us display formatting far more often than in unit bugs.)
+_MAGIC = {
+    1e9: "GB (or GIGA)",
+    1e12: "TB (or TERA)",
+    1e15: "units' PB multiplier",
+    float(1024**2): "MIB",
+    float(1024**3): "GIB",
+    float(1024**4): "TIB",
+}
+
+#: Non-base unit suffixes; values name the base-unit convention.
+_BAD_SUFFIXES = {
+    "_kb": "_bytes", "_mb": "_bytes", "_gb": "_bytes", "_tb": "_bytes",
+    "_kib": "_bytes", "_mib": "_bytes", "_gib": "_bytes", "_tib": "_bytes",
+    "_ms": "_s", "_us": "_s", "_ns": "_s",
+}
+
+
+def _const_value(node: ast.expr):
+    """Fold constant ``1024 * 1024`` / ``1024**3`` style products."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, (int, float)):
+        return float(node.value)
+    if isinstance(node, ast.BinOp) and isinstance(node.op, (ast.Mult, ast.Pow)):
+        left = _const_value(node.left)
+        right = _const_value(node.right)
+        if left is not None and right is not None:
+            return left * right if isinstance(node.op, ast.Mult) else left**right
+    return None
+
+
+def _magic_name(node: ast.expr):
+    value = _const_value(node)
+    if value is None:
+        return None
+    name = _MAGIC.get(value)
+    return None if name is None else (value, name)
+
+
+@register
+class UnitsHygieneRule(Rule):
+    id = "units-hygiene"
+    title = "magic unit-conversion literals / non-base-unit names"
+    rationale = (
+        "the analytical model's conclusions hinge on unit conversions "
+        "(the exact 21x of Eq. 3 depends on 25 Gb/s == 3.125 GB/s); a "
+        "bare 1e9 states neither bytes-vs-FLOPs nor decimal-vs-binary, "
+        "and a _gb-suffixed name invites double conversion."
+    )
+    suggestion = (
+        "import the named constant from repro.core.units (GB, TERA, "
+        "GIB...) or use its constructors/formatters; store quantities "
+        "in base units with _bytes/_s/_flops names and convert at the "
+        "boundary."
+    )
+
+    def visit_BinOp(
+        self, ctx: FileContext, node: ast.BinOp
+    ) -> Iterable[Finding]:
+        if ctx.pkg_path == _UNITS_MODULE:
+            return ()
+        if not isinstance(node.op, (ast.Mult, ast.Div)):
+            return ()
+        if _const_value(node) is not None:
+            # A fully-constant product (1024 * 1024 * 1024) is flagged
+            # once, where it meets a non-constant quantity -- not again
+            # for each sub-product.
+            return ()
+        findings = []
+        for operand in (node.left, node.right):
+            magic = _magic_name(operand)
+            if magic is not None:
+                value, name = magic
+                findings.append(
+                    self.finding(
+                        ctx,
+                        node,
+                        f"magic conversion literal {value!r}; "
+                        f"use repro.core.units.{name} so the unit is "
+                        "stated at the use site",
+                    )
+                )
+        return findings
+
+    def _check_name(
+        self, ctx: FileContext, node: ast.AST, name: str
+    ) -> Iterable[Finding]:
+        lowered = name.lower()
+        for suffix, base in _BAD_SUFFIXES.items():
+            if lowered.endswith(suffix):
+                return (
+                    self.finding(
+                        ctx,
+                        node,
+                        f"name {name!r} carries a non-base unit suffix; "
+                        f"store base units and name it with {base!r}",
+                        context=name,
+                    ),
+                )
+        return ()
+
+    def visit_FunctionDef(
+        self, ctx: FileContext, node: ast.FunctionDef
+    ) -> Iterable[Finding]:
+        if ctx.pkg_path == _UNITS_MODULE:
+            return ()
+        findings = []
+        args = node.args
+        for arg in (
+            list(args.posonlyargs)
+            + list(args.args)
+            + list(args.kwonlyargs)
+            + ([args.vararg] if args.vararg else [])
+            + ([args.kwarg] if args.kwarg else [])
+        ):
+            findings.extend(self._check_name(ctx, arg, arg.arg))
+        return findings
+
+    visit_AsyncFunctionDef = visit_FunctionDef
+
+    def visit_Assign(
+        self, ctx: FileContext, node: ast.Assign
+    ) -> Iterable[Finding]:
+        if ctx.pkg_path == _UNITS_MODULE:
+            return ()
+        findings = []
+        for target in node.targets:
+            if isinstance(target, ast.Name):
+                findings.extend(self._check_name(ctx, target, target.id))
+        return findings
+
+    def visit_AnnAssign(
+        self, ctx: FileContext, node: ast.AnnAssign
+    ) -> Iterable[Finding]:
+        if ctx.pkg_path == _UNITS_MODULE:
+            return ()
+        if isinstance(node.target, ast.Name):
+            return self._check_name(ctx, node.target, node.target.id)
+        return ()

@@ -1,0 +1,71 @@
+"""Inline suppressions: ``# repro: ignore[rule-id]`` comments.
+
+A finding is suppressed when the physical line it is reported on carries
+an ignore comment naming its rule (or a bare ``# repro: ignore``, which
+suppresses every rule on that line).  Multiple ids are comma-separated::
+
+    CACHE.clear()  # repro: ignore[fork-safety] per-process memo by design
+    x = foo()      # repro: ignore[determinism, api-hygiene]
+    y = bar()      # repro: ignore
+
+Comments are extracted with :mod:`tokenize`, so the marker inside a
+string literal or docstring never suppresses anything.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from typing import Dict, FrozenSet, Optional
+
+__all__ = ["SUPPRESS_ALL", "parse_suppressions", "is_suppressed"]
+
+#: Sentinel stored for a bare ``# repro: ignore`` (all rules).
+SUPPRESS_ALL: FrozenSet[str] = frozenset({"*"})
+
+_MARKER = re.compile(
+    r"#\s*repro:\s*ignore(?:\[(?P<rules>[^\]]*)\])?", re.IGNORECASE
+)
+
+
+def parse_suppressions(source: str) -> Dict[int, FrozenSet[str]]:
+    """Map line number -> frozenset of suppressed rule ids.
+
+    Bare markers map to :data:`SUPPRESS_ALL`.  Source that fails to
+    tokenize yields no suppressions (the engine reports the parse error
+    separately).
+    """
+    suppressions: Dict[int, FrozenSet[str]] = {}
+    try:
+        tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
+    except (tokenize.TokenError, SyntaxError, IndentationError):
+        return suppressions
+    for token in tokens:
+        if token.type != tokenize.COMMENT:
+            continue
+        match = _MARKER.search(token.string)
+        if match is None:
+            continue
+        spec = match.group("rules")
+        if spec is None:
+            ids = SUPPRESS_ALL
+        else:
+            ids = frozenset(
+                part.strip() for part in spec.split(",") if part.strip()
+            )
+            if not ids:
+                ids = SUPPRESS_ALL
+        line = token.start[0]
+        suppressions[line] = suppressions.get(line, frozenset()) | ids
+    return suppressions
+
+
+def is_suppressed(
+    suppressions: Dict[int, FrozenSet[str]], rule_id: str, line: int
+) -> bool:
+    """Whether ``rule_id`` is suppressed on ``line``."""
+    ids: Optional[FrozenSet[str]] = suppressions.get(line)
+    if ids is None:
+        return False
+    return "*" in ids or rule_id in ids

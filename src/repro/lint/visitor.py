@@ -1,0 +1,54 @@
+"""The single-pass dispatch walker.
+
+One recursive traversal of the AST serves every rule: each node is
+offered to the rules that declared a ``visit_<NodeType>`` method, via
+the dispatch table built by :func:`repro.lint.registry.dispatch_table`.
+The walker also maintains ``ctx.scope`` (the stack of enclosing
+function/class nodes) so rules can ask "am I inside a function?" or
+compute the enclosing qualified name without walking the tree again.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, List
+
+from .context import FileContext
+from .findings import Finding
+from .registry import Rule, dispatch_table, iter_findings
+
+__all__ = ["run_pass"]
+
+_SCOPE_NODES = (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Lambda)
+
+
+def run_pass(ctx: FileContext, rules: Iterable[Rule]) -> List[Finding]:
+    """Walk ``ctx.tree`` once, dispatching every node to every rule.
+
+    Returns the per-file findings from the ``visit_*`` hooks followed by
+    each rule's ``finish_file`` findings.  Suppression and baseline
+    filtering happen later, in the engine.
+    """
+    rules = list(rules)
+    table = dispatch_table(rules)
+    findings: List[Finding] = []
+
+    def visit(node: ast.AST) -> None:
+        handlers = table.get(type(node).__name__)
+        if handlers:
+            for _rule, method in handlers:
+                findings.extend(iter_findings(method(ctx, node)))
+        scoped = isinstance(node, _SCOPE_NODES)
+        if scoped:
+            ctx.scope.append(node)
+        try:
+            for child in ast.iter_child_nodes(node):
+                visit(child)
+        finally:
+            if scoped:
+                ctx.scope.pop()
+
+    visit(ctx.tree)
+    for rule in rules:
+        findings.extend(iter_findings(rule.finish_file(ctx)))
+    return findings

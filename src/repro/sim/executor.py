@@ -20,6 +20,7 @@ import numpy as np
 from ..core.architectures import Architecture
 from ..core.efficiency import PAPER_DEFAULT_EFFICIENCY, EfficiencyModel
 from ..core.hardware import HardwareConfig, testbed_v100_hardware
+from ..core.units import GB
 from ..obs import get_obs
 from ..graphs.features_from_graph import Deployment
 from ..graphs.graph import ModelGraph
@@ -328,8 +329,8 @@ class TestbedSimulator:
             needed = graph.weight_bytes
         if needed > budget:
             raise ValueError(
-                f"{graph.name} needs {needed / 1e9:.1f} GB per GPU under "
-                f"{arch}, budget is {budget / 1e9:.1f} GB"
+                f"{graph.name} needs {needed / GB:.1f} GB per GPU under "
+                f"{arch}, budget is {budget / GB:.1f} GB"
             )
 
     def _jitter_factors(self, n: int) -> List[float]:

@@ -109,9 +109,9 @@ def _memoized(jobs: List[JobRecord], tag: tuple, compute):
     if hit is not None and hit[0] is jobs:
         return hit[1]
     value = compute()
-    _MEMO[key] = (jobs, value)
+    _MEMO[key] = (jobs, value)  # repro: ignore[fork-safety] per-process memo
     while len(_MEMO) > _MEMO_MAX:
-        _MEMO.pop(next(iter(_MEMO)))
+        _MEMO.pop(next(iter(_MEMO)))  # repro: ignore[fork-safety] per-process memo
     return value
 
 

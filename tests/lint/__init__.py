@@ -1,0 +1,1 @@
+"""Tests for :mod:`repro.lint` (a package so fixtures import relatively)."""

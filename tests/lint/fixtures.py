@@ -1,0 +1,165 @@
+"""Inline-source fixtures for every lint rule.
+
+Each rule maps to positive fixtures (must produce at least one finding
+with that rule id) and negative fixtures (must produce none).  The
+meta-test (:mod:`tests.lint.test_meta`) asserts every registered rule
+has at least one of each, so adding a rule without fixtures fails CI.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+#: rule id -> ("positive" | "negative") -> [(source, module-override)]
+Fixture = Tuple[str, Optional[str]]
+
+RULE_FIXTURES: Dict[str, Dict[str, List[Fixture]]] = {
+    "no-print": {
+        "positive": [
+            ('print("hello")\n', None),
+            ('def f():\n    print("nested")\n', "repro.core.units"),
+        ],
+        "negative": [
+            # Strings and docstrings mentioning print are fine (AST-based).
+            ('"""usage: print(x)"""\nVALUE = "print(x)"\n', None),
+            # The CLIs own stdout.
+            ('print("report")\n', "repro.analysis.cli"),
+            ('print("report")\n', "repro.analysis.report"),
+        ],
+    },
+    "determinism": {
+        "positive": [
+            # Unseeded module-state draw reachable from a registered
+            # experiment through a helper.
+            (
+                "import numpy as np\n"
+                "\n"
+                "def helper():\n"
+                "    return np.random.rand(3)\n"
+                "\n"
+                "def run():\n"
+                "    return helper()\n"
+                "\n"
+                'EXPERIMENTS = {"fig1": run}\n',
+                None,
+            ),
+            # Wall-clock read at module top level runs at import time.
+            ("import time\n\nSTART = time.time()\n", None),
+            # Environment read reachable from an annotated registry.
+            (
+                "import os\n"
+                "from typing import Callable, Dict\n"
+                "\n"
+                "def run():\n"
+                '    return os.environ.get("KNOB", "0")\n'
+                "\n"
+                "EXPERIMENTS: Dict[str, Callable] = {\"fig2\": run}\n",
+                None,
+            ),
+        ],
+        "negative": [
+            # The sanctioned idiom: a seeded generator.
+            (
+                "import numpy as np\n"
+                "\n"
+                "def run(seed=0):\n"
+                "    rng = np.random.default_rng(seed)\n"
+                "    return float(rng.random())\n"
+                "\n"
+                'EXPERIMENTS = {"fig1": run}\n',
+                None,
+            ),
+            # A sin in a function no experiment reaches is not flagged.
+            ("import time\n\ndef helper():\n    return time.time()\n", None),
+        ],
+    },
+    "import-layering": {
+        "positive": [
+            # core (layer 0) must not import analysis (layer 6).
+            ("from repro.analysis import tables\n", "repro.core.units"),
+            ("import repro.runtime.executor\n", "repro.trace.model"),
+            # obs may import nothing of repro.
+            ("from repro.core import units\n", "repro.obs.core"),
+        ],
+        "negative": [
+            # Downward edges are the point.
+            ("from repro.core import units\n", "repro.analysis.report"),
+            # Function-scoped imports are the sanctioned cycle breaker.
+            (
+                "def f():\n"
+                "    from repro.analysis import tables\n"
+                "    return tables\n",
+                "repro.core.units",
+            ),
+            # Same-subpackage imports are not edges.
+            ("from repro.core import units\n", "repro.core.hardware"),
+        ],
+    },
+    "fork-safety": {
+        "positive": [
+            # Mutating a module-level container from a function.
+            (
+                "CACHE = {}\n"
+                "\n"
+                "def put(key, item):\n"
+                "    CACHE[key] = item\n",
+                None,
+            ),
+            ("SEEN = []\n\ndef note(x):\n    SEEN.append(x)\n", None),
+            # global statement rebinding module state.
+            (
+                "_STATE = None\n"
+                "\n"
+                "def install(value):\n"
+                "    global _STATE\n"
+                "    _STATE = value\n",
+                None,
+            ),
+            # Locks and handles created at import time cross the fork.
+            ("import threading\n\nLOCK = threading.Lock()\n", None),
+        ],
+        "negative": [
+            # Function-local mutation is private to the call.
+            (
+                "def f():\n"
+                "    cache = {}\n"
+                '    cache["a"] = 1\n'
+                "    return cache\n",
+                None,
+            ),
+            # Module-level constants that are never mutated.
+            ("LIMITS = (1, 2, 3)\nNAMES = {}\n", None),
+        ],
+    },
+    "units-hygiene": {
+        "positive": [
+            # Magic conversion literals belong in core/units.py.
+            ("def gb(n):\n    return n / 1e9\n", None),
+            ("def mib(n):\n    return n / (1024 * 1024)\n", None),
+            # Non-base-unit name suffixes.
+            ("duration_ms = 5\n", None),
+            ("def f(size_gb):\n    return size_gb\n", None),
+        ],
+        "negative": [
+            # The units module itself defines the constants.
+            ("GB = 1e9\nMIB = 1024 * 1024\n", "repro.core.units"),
+            # Base-unit suffixes are the convention.
+            ("total_bytes = 10\nelapsed_s = 1.5\n", None),
+        ],
+    },
+    "api-hygiene": {
+        "positive": [
+            ("def f(items=[]):\n    return items\n", None),
+            ("def f(memo={}):\n    return memo\n", None),
+            ("try:\n    pass\nexcept:\n    pass\n", None),
+            ("def g(id):\n    return id\n", None),
+            ("def f():\n    for list in ([],):\n        pass\n", None),
+        ],
+        "negative": [
+            ("def f(items=None):\n    return items or []\n", None),
+            ("try:\n    pass\nexcept ValueError:\n    pass\n", None),
+            # Class bodies are their own namespace.
+            ("class C:\n    id = 1\n\n    def set(self, v):\n        self.v = v\n", None),
+        ],
+    },
+}

@@ -1,0 +1,80 @@
+"""Baseline file format, matching semantics and regeneration."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.lint import Baseline, Finding, write_baseline
+from repro.lint.baseline import BaselineEntry
+
+
+def _finding(line=10):
+    return Finding(
+        rule="fork-safety",
+        path="/abs/src/repro/obs/core.py",
+        line=line,
+        col=4,
+        message="global rebinding",
+        context="global _OBS",
+        pkg_path="repro/obs/core.py",
+    )
+
+
+def test_match_is_line_independent():
+    baseline = Baseline(
+        [
+            BaselineEntry(
+                rule="fork-safety",
+                path="repro/obs/core.py",
+                context="global _OBS",
+                reason="process-local singleton",
+            )
+        ]
+    )
+    assert baseline.match(_finding(line=10))
+    assert baseline.match(_finding(line=999))  # moved code still matches
+    assert baseline.unused() == []
+
+
+def test_write_then_load_roundtrip(tmp_path):
+    path = tmp_path / "baseline.json"
+    count = write_baseline([_finding(10), _finding(20)], path)
+    assert count == 1  # same key collapses to one entry
+    payload = json.loads(path.read_text())
+    assert payload["version"] == 1
+    (entry,) = payload["entries"]
+    assert entry["path"] == "repro/obs/core.py"  # pkg path, not filesystem
+    assert entry["context"] == "global _OBS"
+
+    baseline = Baseline.load(path)
+    assert baseline.match(_finding(5))
+
+
+def test_regeneration_preserves_hand_written_reasons(tmp_path):
+    path = tmp_path / "baseline.json"
+    write_baseline([_finding()], path)
+    payload = json.loads(path.read_text())
+    payload["entries"][0]["reason"] = "carefully justified"
+    path.write_text(json.dumps(payload))
+
+    write_baseline([_finding(line=77)], path)  # regenerate
+    reloaded = json.loads(path.read_text())
+    assert reloaded["entries"][0]["reason"] == "carefully justified"
+
+
+def test_unknown_version_is_rejected(tmp_path):
+    path = tmp_path / "baseline.json"
+    path.write_text(json.dumps({"version": 99, "entries": []}))
+    with pytest.raises(ValueError):
+        Baseline.load(path)
+
+
+def test_unmatched_entries_surface_as_unused():
+    entry = BaselineEntry(
+        rule="no-print", path="repro/gone.py", context="print('x')", reason="?"
+    )
+    baseline = Baseline([entry])
+    assert not baseline.match(_finding())
+    assert baseline.unused() == [entry]

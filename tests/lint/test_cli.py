@@ -1,0 +1,78 @@
+"""The ``python -m repro.lint`` / ``repro-lint`` command line."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.lint import rule_ids
+from repro.lint.cli import main
+
+
+@pytest.fixture()
+def dirty_tree(tmp_path, monkeypatch):
+    """A tree with one violation; cwd moved there so no repo baseline
+    is silently picked up."""
+    monkeypatch.chdir(tmp_path)
+    (tmp_path / "mod.py").write_text('print("leak")\n')
+    return tmp_path
+
+
+def test_list_rules_names_every_rule(capsys):
+    assert main(["--list-rules"]) == 0
+    out = capsys.readouterr().out
+    for rule_id in rule_ids():
+        assert rule_id in out
+
+
+def test_findings_exit_1_clean_exit_0(dirty_tree, capsys):
+    assert main([str(dirty_tree)]) == 1
+    assert "no-print" in capsys.readouterr().out
+    (dirty_tree / "mod.py").write_text("VALUE = 1\n")
+    assert main([str(dirty_tree)]) == 0
+
+
+def test_json_format_streams_obs_events(dirty_tree, capsys):
+    assert main([str(dirty_tree), "--format", "json"]) == 1
+    events = [json.loads(line) for line in capsys.readouterr().out.splitlines()]
+    kinds = [event["kind"] for event in events]
+    assert kinds[:-1] == ["lint.finding"] * (len(events) - 1)
+    assert kinds[-1] == "lint.summary"
+    assert events[0]["rule"] == "no-print"
+
+
+def test_rules_flag_restricts_and_validates(dirty_tree, capsys):
+    assert main([str(dirty_tree), "--rules", "units-hygiene"]) == 0
+    with pytest.raises(SystemExit) as excinfo:
+        main([str(dirty_tree), "--rules", "bogus"])
+    assert excinfo.value.code == 2
+
+
+def test_write_baseline_then_clean_run(dirty_tree, capsys):
+    assert main([str(dirty_tree), "--write-baseline"]) == 0
+    assert (dirty_tree / "lint-baseline.json").exists()
+    # The default baseline in cwd is now picked up automatically.
+    assert main([str(dirty_tree)]) == 0
+    out = capsys.readouterr().out
+    assert "1 baselined" in out.splitlines()[-1]
+
+
+def test_explicit_baseline_path(dirty_tree, capsys):
+    baseline = dirty_tree / "custom.json"
+    assert main([str(dirty_tree), "--write-baseline", "--baseline", str(baseline)]) == 0
+    assert main([str(dirty_tree), "--baseline", str(baseline)]) == 0
+
+
+def test_corrupt_baseline_is_a_usage_error(dirty_tree):
+    bad = dirty_tree / "bad.json"
+    bad.write_text("{not json")
+    with pytest.raises(SystemExit) as excinfo:
+        main([str(dirty_tree), "--baseline", str(bad)])
+    assert excinfo.value.code == 2
+
+
+def test_jobs_must_be_positive(dirty_tree):
+    with pytest.raises(SystemExit) as excinfo:
+        main([str(dirty_tree), "--jobs", "0"])
+    assert excinfo.value.code == 2

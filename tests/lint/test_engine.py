@@ -1,0 +1,153 @@
+"""Engine-level tests: the seeded-violations tree from the issue's
+acceptance criteria, parallel equivalence, and the pytest bridge."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lint import Baseline, assert_clean, lint_paths, write_baseline
+
+
+def _seed_tree(root):
+    """A package tree carrying exactly the issue's three violations:
+
+    * an unseeded ``np.random`` draw reachable (cross-file) from a
+      registered experiment,
+    * a ``core`` module importing ``analysis``,
+    * a bare ``print``.
+    """
+    pkg = root / "repro"
+    for sub in (pkg, pkg / "core", pkg / "analysis"):
+        sub.mkdir(parents=True, exist_ok=True)
+        (sub / "__init__.py").write_text("")
+    (pkg / "analysis" / "helpers.py").write_text(
+        "import numpy as np\n"
+        "\n"
+        "\n"
+        "def draw():\n"
+        "    return np.random.rand(4)\n"
+    )
+    (pkg / "analysis" / "registry.py").write_text(
+        "from repro.analysis import helpers\n"
+        "\n"
+        "\n"
+        "def run_fig1():\n"
+        "    return helpers.draw()\n"
+        "\n"
+        "\n"
+        'EXPERIMENTS = {"fig1": run_fig1}\n'
+    )
+    (pkg / "core" / "helper.py").write_text(
+        "from repro.analysis import registry\n"
+        "\n"
+        "\n"
+        "def experiments():\n"
+        "    return registry.EXPERIMENTS\n"
+    )
+    (pkg / "core" / "printer.py").write_text(
+        "def shout():\n"
+        '    print("loud")\n'
+    )
+    return pkg
+
+
+def _by_rule(findings):
+    grouped = {}
+    for finding in findings:
+        grouped.setdefault(finding.rule, []).append(finding)
+    return grouped
+
+
+def test_seeded_violations_are_each_caught_with_location(tmp_path):
+    pkg = _seed_tree(tmp_path)
+    result = lint_paths([tmp_path])
+    grouped = _by_rule(result.findings)
+
+    (determinism,) = grouped["determinism"]
+    assert determinism.path.endswith("helpers.py")
+    assert determinism.line == 5
+    assert "'fig1'" in determinism.message
+    assert "repro.analysis.registry.run_fig1" in determinism.message
+
+    (layering,) = grouped["import-layering"]
+    assert layering.path == str(pkg / "core" / "helper.py")
+    assert layering.line == 1
+    assert "repro.core.helper -> repro.analysis" in layering.message
+
+    (no_print,) = grouped["no-print"]
+    assert no_print.path == str(pkg / "core" / "printer.py")
+    assert no_print.line == 2
+
+    assert set(result.rule_ids) >= {
+        "api-hygiene",
+        "determinism",
+        "fork-safety",
+        "import-layering",
+        "no-print",
+        "units-hygiene",
+    }
+
+
+def test_parallel_jobs_match_serial(tmp_path):
+    _seed_tree(tmp_path)
+    serial = lint_paths([tmp_path], jobs=1)
+    parallel = lint_paths([tmp_path], jobs=2)
+    assert serial.findings == parallel.findings
+    assert serial.suppressed == parallel.suppressed
+
+
+def test_baseline_roundtrip_grandfathers_everything(tmp_path):
+    _seed_tree(tmp_path)
+    dirty = lint_paths([tmp_path])
+    assert not dirty.ok
+
+    baseline_path = tmp_path / "baseline.json"
+    write_baseline(dirty.findings, baseline_path)
+    clean = lint_paths([tmp_path], baseline=Baseline.load(baseline_path))
+    assert clean.ok
+    assert len(clean.baselined) == len(dirty.findings)
+    assert clean.unused_baseline == []
+
+
+def test_stale_baseline_entries_are_reported(tmp_path):
+    pkg = _seed_tree(tmp_path)
+    dirty = lint_paths([tmp_path])
+    baseline_path = tmp_path / "baseline.json"
+    write_baseline(dirty.findings, baseline_path)
+
+    # Fix the print; its baseline entry goes stale.
+    (pkg / "core" / "printer.py").write_text("def shout():\n    return 0\n")
+    result = lint_paths([tmp_path], baseline=Baseline.load(baseline_path))
+    assert result.ok
+    stale = [entry.rule for entry in result.unused_baseline]
+    assert stale == ["no-print"]
+
+
+def test_unparseable_file_is_a_finding_not_a_crash(tmp_path):
+    (tmp_path / "broken.py").write_text("def f(:\n")
+    result = lint_paths([tmp_path])
+    (finding,) = result.findings
+    assert finding.rule == "parse-error"
+    assert finding.path.endswith("broken.py")
+
+
+def test_assert_clean_raises_with_rendered_findings(tmp_path):
+    _seed_tree(tmp_path)
+    with pytest.raises(AssertionError) as excinfo:
+        assert_clean([tmp_path])
+    assert "no-print" in str(excinfo.value)
+    assert "printer.py" in str(excinfo.value)
+
+
+def test_assert_clean_passes_on_a_clean_tree(tmp_path):
+    (tmp_path / "ok.py").write_text("def f(n_bytes):\n    return n_bytes\n")
+    result = assert_clean([tmp_path])
+    assert result.ok and result.files == 1
+
+
+def test_rule_selection_restricts_the_run(tmp_path):
+    _seed_tree(tmp_path)
+    result = lint_paths([tmp_path], rules=["no-print"])
+    assert {f.rule for f in result.findings} == {"no-print"}
+    with pytest.raises(KeyError):
+        lint_paths([tmp_path], rules=["no-such-rule"])

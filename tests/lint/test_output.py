@@ -1,0 +1,78 @@
+"""Output formats: the JSON-lines stream must be valid obs-schema
+events, and the human rendering must carry locations and the summary."""
+
+from __future__ import annotations
+
+import json
+
+from repro.lint import Finding, LintResult
+from repro.lint.output import render_human, render_jsonl, summary_event
+
+
+def _result():
+    finding = Finding(
+        rule="no-print",
+        path="src/repro/core/x.py",
+        line=3,
+        col=4,
+        message="bare print()",
+        context='print("x")',
+        pkg_path="repro/core/x.py",
+    )
+    return LintResult(
+        findings=[finding],
+        files=2,
+        rule_ids=["no-print", "determinism"],
+        suppressed=1,
+    )
+
+
+def test_jsonl_is_obs_schema_events_plus_summary():
+    lines = render_jsonl(_result()).strip().splitlines()
+    events = [json.loads(line) for line in lines]
+
+    # Every event carries the obs envelope: ts / kind / level.
+    for event in events:
+        assert isinstance(event["ts"], float)
+        assert isinstance(event["kind"], str)
+        assert event["level"] in {"info", "warning"}
+
+    finding_event = events[0]
+    assert finding_event["kind"] == "lint.finding"
+    assert finding_event["rule"] == "no-print"
+    assert finding_event["path"] == "src/repro/core/x.py"
+    assert finding_event["pkg_path"] == "repro/core/x.py"
+    assert finding_event["line"] == 3
+    assert finding_event["col"] == 4
+
+    summary = events[-1]
+    assert summary["kind"] == "lint.summary"
+    assert summary["findings"] == 1
+    assert summary["files"] == 2
+    assert summary["suppressed"] == 1
+    assert summary["rules"] == ["no-print", "determinism"]
+
+
+def test_summary_level_tracks_the_verdict():
+    dirty = _result()
+    assert summary_event(dirty)["level"] == "warning"
+    clean = LintResult(files=1, rule_ids=["no-print"])
+    assert summary_event(clean)["level"] == "info"
+
+
+def test_human_rendering_has_location_and_summary():
+    text = render_human(_result())
+    assert "src/repro/core/x.py:3:4: [no-print] bare print()" in text
+    assert 'print("x")' in text
+    assert "repro.lint: 1 finding(s) in 2 file(s)" in text
+
+
+def test_human_rendering_flags_stale_baseline_entries():
+    from repro.lint.baseline import BaselineEntry
+
+    result = _result()
+    result.unused_baseline = [
+        BaselineEntry(rule="no-print", path="repro/gone.py", context="", reason="")
+    ]
+    assert "stale baseline entries" in render_human(result)
+    assert "no-print:repro/gone.py" in render_human(result)

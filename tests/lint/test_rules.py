@@ -1,0 +1,106 @@
+"""Every rule against its inline fixtures, plus suppression semantics."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.lint import lint_source
+from repro.lint.suppressions import (
+    SUPPRESS_ALL,
+    is_suppressed,
+    parse_suppressions,
+)
+
+from .fixtures import RULE_FIXTURES
+
+
+def _cases(kind):
+    for rule_id, fixtures in sorted(RULE_FIXTURES.items()):
+        for index, (source, module) in enumerate(fixtures[kind]):
+            yield pytest.param(
+                rule_id, source, module, id=f"{rule_id}-{kind}-{index}"
+            )
+
+
+@pytest.mark.parametrize("rule_id,source,module", _cases("positive"))
+def test_positive_fixture_fires(rule_id, source, module):
+    findings = lint_source(source, module=module, rules=[rule_id])
+    assert findings, f"{rule_id} missed its positive fixture"
+    assert all(f.rule == rule_id for f in findings)
+    assert all(f.line >= 1 and f.message for f in findings)
+
+
+@pytest.mark.parametrize("rule_id,source,module", _cases("negative"))
+def test_negative_fixture_stays_quiet(rule_id, source, module):
+    findings = lint_source(source, module=module, rules=[rule_id])
+    assert findings == [], f"{rule_id} false-positived: {findings}"
+
+
+@pytest.mark.parametrize("rule_id,source,module", _cases("positive"))
+def test_inline_suppression_silences_every_positive(rule_id, source, module):
+    """Appending ``# repro: ignore[rule]`` to each flagged line mutes it."""
+    baseline_findings = lint_source(source, module=module, rules=[rule_id])
+    flagged = {f.line for f in baseline_findings}
+    lines = source.splitlines()
+    suppressed_src = "\n".join(
+        line + f"  # repro: ignore[{rule_id}]" if number in flagged else line
+        for number, line in enumerate(lines, start=1)
+    ) + "\n"
+    assert lint_source(suppressed_src, module=module, rules=[rule_id]) == []
+
+
+def test_bare_suppression_mutes_all_rules():
+    source = 'print("hi")  # repro: ignore\n'
+    assert lint_source(source, rules=["no-print"]) == []
+
+
+def test_suppression_is_rule_scoped():
+    source = 'print("hi")  # repro: ignore[units-hygiene]\n'
+    findings = lint_source(source, rules=["no-print"])
+    assert [f.rule for f in findings] == ["no-print"]
+
+
+def test_parse_suppressions_maps_lines_to_rules():
+    source = (
+        "x = 1  # repro: ignore[fork-safety]\n"
+        "y = 2  # repro: ignore[a, b]\n"
+        "z = 3  # repro: ignore\n"
+        "w = 4\n"
+    )
+    parsed = parse_suppressions(source)
+    assert parsed[1] == frozenset({"fork-safety"})
+    assert parsed[2] == frozenset({"a", "b"})
+    assert parsed[3] == SUPPRESS_ALL
+    assert 4 not in parsed
+    assert is_suppressed(parsed, "fork-safety", 1)
+    assert not is_suppressed(parsed, "no-print", 1)
+    assert is_suppressed(parsed, "anything", 3)
+
+
+def test_determinism_reports_the_witness_chain():
+    source = (
+        "import numpy as np\n"
+        "\n"
+        "def helper():\n"
+        "    return np.random.rand(3)\n"
+        "\n"
+        "def run():\n"
+        "    return helper()\n"
+        "\n"
+        'EXPERIMENTS = {"fig1": run}\n'
+    )
+    (finding,) = lint_source(source, rules=["determinism"])
+    assert finding.line == 4
+    assert "'fig1'" in finding.message
+    assert "->" in finding.message  # the run -> helper witness path
+
+
+def test_layering_finding_names_the_offending_edge():
+    findings = lint_source(
+        "from repro.analysis import tables\n",
+        module="repro.core.units",
+        rules=["import-layering"],
+    )
+    (finding,) = findings
+    assert "repro.core.units" in finding.message
+    assert "repro.analysis" in finding.message

@@ -1,12 +1,15 @@
 #!/usr/bin/env python
-"""Lint: no bare ``print()`` calls outside the CLI and report renderer.
+"""Deprecated shim: the check lives in ``repro.lint`` now.
 
-Everything else must go through :mod:`repro.obs` sinks, so that ``-q``
-silences it, ``-v`` reveals it, and ``--log-json`` captures it.  The
-check is AST-based: strings mentioning ``print`` (docstrings, examples)
-do not trip it.
+This tool predates the :mod:`repro.lint` engine and survives only so
+existing invocations (CI, editor tasks, muscle memory) keep working.
+It delegates to the engine's ``no-print`` rule; prefer::
 
-Usage::
+    python -m repro.lint src --rules no-print
+
+which honors inline suppressions, baselines and JSON output.
+
+Usage (unchanged)::
 
     python tools/check_no_print.py [SRC_DIR]
 
@@ -15,53 +18,35 @@ Exits non-zero listing every offending ``path:line``.
 
 from __future__ import annotations
 
-import ast
 import sys
 from pathlib import Path
-from typing import List, Tuple
+from typing import List
 
-#: Files (relative to the source root) allowed to print: the CLI owns
-#: stdout, and the report renderer produces user-facing text.
-ALLOWED = frozenset(
-    {
-        "repro/analysis/cli.py",
-        "repro/analysis/report.py",
-    }
-)
+_REPO_ROOT = Path(__file__).resolve().parent.parent
 
+try:  # pragma: no cover - exercised when PYTHONPATH already has src
+    import repro.lint  # noqa: F401
+except ImportError:  # direct invocation without PYTHONPATH=src
+    sys.path.insert(0, str(_REPO_ROOT / "src"))
 
-def find_prints(source: str, filename: str) -> List[Tuple[int, str]]:
-    """``(line, context)`` of every bare ``print(...)`` call."""
-    tree = ast.parse(source, filename=filename)
-    hits = []
-    for node in ast.walk(tree):
-        if (
-            isinstance(node, ast.Call)
-            and isinstance(node.func, ast.Name)
-            and node.func.id == "print"
-        ):
-            hits.append((node.lineno, ast.unparse(node)[:80]))
-    return hits
+from repro.lint import lint_paths
+from repro.lint.rules.no_print import ALLOWED, find_prints  # noqa: F401
+
+__all__ = ["ALLOWED", "find_prints", "main"]
 
 
 def main(argv: List[str]) -> int:
-    root = Path(argv[0]) if argv else Path(__file__).resolve().parent.parent / "src"
-    offenders = []
-    for path in sorted(root.rglob("*.py")):
-        relative = path.relative_to(root).as_posix()
-        if relative in ALLOWED:
-            continue
-        for line, context in find_prints(
-            path.read_text(encoding="utf-8"), str(path)
-        ):
-            offenders.append(f"{path}:{line}: {context}")
-    if offenders:
+    root = Path(argv[0]) if argv else _REPO_ROOT / "src"
+    result = lint_paths([root], rules=["no-print"])
+    if result.findings:
         sys.stderr.write(
             "bare print() outside the CLI/report renderer -- route it "
             "through repro.obs sinks instead:\n"
         )
-        for offender in offenders:
-            sys.stderr.write(f"  {offender}\n")
+        for finding in result.findings:
+            sys.stderr.write(
+                f"  {finding.path}:{finding.line}: {finding.context}\n"
+            )
         return 1
     return 0
 
