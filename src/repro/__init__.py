@@ -71,7 +71,7 @@ from .core import (
     throughput_speedup,
 )
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "ALLREDUCE_LOCAL_MAX_CNODES",

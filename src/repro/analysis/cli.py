@@ -14,6 +14,10 @@ Usage::
     pai-repro advise --flops 1.56T --memory 31.9GB --input 38MB \
                      --traffic 357MB --weights 204MB --cnodes 16
                                        # rank deployments for one job
+    pai-repro serve --trace trace.jsonl --seconds-per-day 0.1
+                                       # resident analytics service:
+                                       # stream the trace in, answer
+                                       # /stats /census /cdf queries
 """
 
 from __future__ import annotations
@@ -150,6 +154,59 @@ def build_parser() -> argparse.ArgumentParser:
     advise_parser.add_argument(
         "--no-nvlink", action="store_true", help="cluster lacks NVLink"
     )
+
+    serve_parser = subparsers.add_parser(
+        "serve", help="run the resident trace-analytics service"
+    )
+    serve_parser.add_argument(
+        "--host", default="127.0.0.1", help="bind address"
+    )
+    serve_parser.add_argument(
+        "--port", type=int, default=0, help="bind port (0 = ephemeral)"
+    )
+    serve_parser.add_argument(
+        "--shards", type=int, default=4, help="population shard count"
+    )
+    source = serve_parser.add_mutually_exclusive_group()
+    source.add_argument(
+        "--trace",
+        default=None,
+        metavar="PATH",
+        help="stream this JSONL trace in (default: start empty and "
+        "accept POST /ingest)",
+    )
+    source.add_argument(
+        "-n",
+        "--num-jobs",
+        type=int,
+        default=None,
+        help="stream a generated synthetic trace of this many jobs",
+    )
+    serve_parser.add_argument(
+        "--seed", type=int, default=20190501, help="generator seed for -n"
+    )
+    serve_parser.add_argument(
+        "--batch-size", type=int, default=500, help="replay batch size"
+    )
+    serve_parser.add_argument(
+        "--seconds-per-day",
+        type=float,
+        default=0.0,
+        help="wall-clock seconds per simulated trace day (0 = as fast "
+        "as ingestion allows)",
+    )
+    serve_parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help="disable the content-addressed query cache",
+    )
+    serve_parser.add_argument(
+        "--cache-dir",
+        default=None,
+        help="query-cache directory (default: $PAI_REPRO_CACHE_DIR "
+        "or ~/.cache/pai-repro)",
+    )
+    _add_obs_options(serve_parser)
     return parser
 
 
@@ -207,6 +264,52 @@ def _command_advise(args: argparse.Namespace) -> int:
             f"x{rec.plan.num_cnodes:<4d} {rec.throughput:14.0f} samples/s  "
             f"step {rec.step_time * 1e3:9.2f} ms  bottleneck: {rec.bottleneck}"
         )
+    return 0
+
+
+def _command_serve(args: argparse.Namespace) -> int:
+    """Run the resident service until SIGTERM/SIGINT, then drain."""
+    import signal
+
+    from ..serve import ShardedState, TraceReplayer, TraceService
+
+    state = ShardedState(num_shards=args.shards)
+    service = TraceService(state=state, cache=_suite_cache(args))
+    service.start(host=args.host, port=args.port)
+
+    def _on_signal(signum, frame):
+        service.request_shutdown()
+
+    signal.signal(signal.SIGTERM, _on_signal)
+    signal.signal(signal.SIGINT, _on_signal)
+
+    if args.trace is not None:
+        from ..trace import iter_trace
+
+        jobs = iter_trace(args.trace)
+    elif args.num_jobs is not None:
+        from ..trace import generate_trace
+
+        jobs = generate_trace(num_jobs=args.num_jobs, seed=args.seed)
+    else:
+        jobs = None
+    if jobs is not None:
+        service.start_replay(
+            TraceReplayer(
+                jobs,
+                batch_size=args.batch_size,
+                seconds_per_day=args.seconds_per_day,
+            )
+        )
+    print(f"serving on {service.url}", flush=True)
+    try:
+        service.wait_for_shutdown()
+    finally:
+        service.stop()
+    print(
+        f"served {state.job_count} jobs "
+        f"(generation {state.generation}); shut down cleanly"
+    )
     return 0
 
 
@@ -295,6 +398,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_observed(args, _command_trace)
     if args.command == "advise":
         return _command_advise(args)
+    if args.command == "serve":
+        return _run_observed(args, _command_serve)
     return 1
 
 

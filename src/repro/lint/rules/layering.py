@@ -3,7 +3,8 @@
 The enforced order (lower layers never import higher ones)::
 
     core(0) -> graphs,trace(1) -> optim,inference,sched(2) -> sim(3)
-            -> profiling(4) -> runtime(5) -> analysis(6) -> lint(7)
+            -> profiling(4) -> runtime(5) -> serve(6) -> analysis(7)
+            -> lint(8)
 
 ``obs`` is the measurement substrate and is importable from anywhere
 (it imports nothing of ``repro`` itself).  Note the order reflects the
@@ -39,8 +40,9 @@ LAYERS: Dict[str, int] = {
     "sim": 3,
     "profiling": 4,
     "runtime": 5,
-    "analysis": 6,
-    "lint": 7,
+    "serve": 6,
+    "analysis": 7,
+    "lint": 8,
 }
 
 #: Subpackages importable from any layer.

@@ -1,0 +1,111 @@
+"""A small stdlib client for the trace-analytics service.
+
+Wraps :mod:`urllib.request` around the JSON endpoints of
+:class:`repro.serve.server.TraceService`: one method per endpoint, plus
+a readiness helper for scripts that must wait for ingestion to finish.
+Used by the load generator (``benchmarks/bench_serve.py``), the CI smoke
+job and the concurrency tests -- anything that talks to the service the
+way an external consumer would.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Dict, Optional, Sequence
+
+from ..trace.schema import JobRecord
+from .server import serialize_jobs
+
+__all__ = ["ServeClient", "ServiceError"]
+
+
+class ServiceError(Exception):
+    """A non-2xx response from the service."""
+
+    def __init__(self, status: int, message: str) -> None:
+        super().__init__(f"HTTP {status}: {message}")
+        self.status = status
+
+
+class ServeClient:
+    """Blocking JSON client for one service base URL."""
+
+    def __init__(self, base_url: str, timeout: float = 30.0) -> None:
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    def _request(
+        self, path: str, body: Optional[Dict[str, Any]] = None
+    ) -> Dict[str, Any]:
+        request = urllib.request.Request(
+            self.base_url + path,
+            data=(
+                json.dumps(body).encode("utf-8") if body is not None else None
+            ),
+            headers=(
+                {"Content-Type": "application/json"}
+                if body is not None
+                else {}
+            ),
+            method="POST" if body is not None else "GET",
+        )
+        try:
+            with urllib.request.urlopen(
+                request, timeout=self.timeout
+            ) as response:
+                return json.loads(response.read().decode("utf-8"))
+        except urllib.error.HTTPError as error:
+            detail = error.read().decode("utf-8", errors="replace")
+            try:
+                detail = json.loads(detail).get("error", detail)
+            except ValueError:
+                pass
+            raise ServiceError(error.code, detail) from None
+
+    # ---- endpoints -------------------------------------------------
+
+    def healthz(self) -> Dict[str, Any]:
+        """Liveness and progress counters."""
+        return self._request("/healthz")
+
+    def stats(self) -> Dict[str, Any]:
+        """Merged population aggregates at both levels."""
+        return self._request("/stats")
+
+    def census(self) -> Dict[str, Any]:
+        """Bottleneck-label population shares."""
+        return self._request("/census")
+
+    def cdf(
+        self, metric: str, level: str = "job", points: int = 50
+    ) -> Dict[str, Any]:
+        """The sketched CDF of one metric."""
+        return self._request(f"/cdf/{metric}?level={level}&points={points}")
+
+    def ingest(self, jobs: Sequence[JobRecord]) -> Dict[str, Any]:
+        """Append a batch of job records to the live population."""
+        return self._request("/ingest", body=serialize_jobs(jobs))
+
+    # ---- convenience -----------------------------------------------
+
+    def wait_until_ingested(
+        self, timeout: float = 60.0, poll_s: float = 0.05
+    ) -> Dict[str, Any]:
+        """Poll ``/healthz`` until the service reports ingest complete.
+
+        Returns the final health payload; raises ``TimeoutError`` if the
+        replay does not finish within ``timeout`` seconds.
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            health = self.healthz()
+            if health.get("ingest_complete"):
+                return health
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"ingestion incomplete after {timeout:.1f}s: {health}"
+                )
+            time.sleep(poll_s)

@@ -1,0 +1,197 @@
+"""Sharded population state: concurrent ingestion, consistent reads.
+
+The resident service splits the live population across N shards, each a
+:class:`~repro.serve.stats.ShardStats` guarded by its own lock.  Writers
+(the replayer, ``POST /ingest``) route each job to ``job_id % N`` and
+only ever hold one shard lock at a time, so concurrent ingest batches
+proceed in parallel across shards and readers never wait on a global
+write lock.
+
+Reads go through :meth:`ShardedState.snapshot`: each shard is copied
+under its lock (a bounded, cheap operation -- dict copies plus sketch
+buffer copies), then the copies are merged *outside* every lock into an
+immutable :class:`StatsSnapshot`.  A snapshot is internally consistent
+by construction -- every aggregate in it derives from the same frozen
+shard states -- and snapshots taken later can only see more jobs, never
+fewer, because shard statistics only grow.  Merged snapshots are memoized
+on the vector of per-shard versions, so an idle service answers every
+query from the same cached merge until the next ingest batch lands.
+Merging is single-flight with stale-while-revalidate: one reader pays
+for each new merge while concurrent readers reuse the previous cached
+snapshot instead of piling up behind the merge lock.
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.efficiency import PAPER_DEFAULT_EFFICIENCY, EfficiencyModel
+from ..core.hardware import HardwareConfig
+from ..core.timemodel import PAPER_MODEL_OPTIONS, ModelOptions
+from ..obs import get_obs
+from ..trace.schema import JobRecord
+from .stats import DEFAULT_SKETCH_CAPACITY, ShardStats
+
+__all__ = ["ShardedState", "StatsSnapshot"]
+
+
+@dataclass(frozen=True)
+class StatsSnapshot:
+    """An immutable merged view of the population at one generation.
+
+    ``generation`` is the total number of ingest batches folded in;
+    ``versions`` records each shard's batch count at snapshot time.
+    The merged :class:`ShardStats` must be treated as read-only.
+    """
+
+    stats: ShardStats = field(repr=False)
+    generation: int
+    versions: Tuple[int, ...]
+
+    @property
+    def job_count(self) -> int:
+        return self.stats.job_count
+
+
+class _Shard:
+    """One lock-guarded slice of the population."""
+
+    __slots__ = ("lock", "stats", "version")
+
+    def __init__(self, stats: ShardStats) -> None:
+        self.lock = threading.Lock()
+        self.stats = stats
+        self.version = 0
+
+
+class ShardedState:
+    """N population shards with lock-free-for-readers merged snapshots."""
+
+    def __init__(
+        self,
+        num_shards: int = 4,
+        hardware: Optional[HardwareConfig] = None,
+        efficiency: EfficiencyModel = PAPER_DEFAULT_EFFICIENCY,
+        options: ModelOptions = PAPER_MODEL_OPTIONS,
+        sketch_capacity: int = DEFAULT_SKETCH_CAPACITY,
+    ) -> None:
+        if num_shards < 1:
+            raise ValueError("num_shards must be at least 1")
+        self.num_shards = int(num_shards)
+        self._shards = [
+            _Shard(
+                ShardStats(
+                    hardware=hardware,
+                    efficiency=efficiency,
+                    options=options,
+                    sketch_capacity=sketch_capacity,
+                )
+            )
+            for _ in range(self.num_shards)
+        ]
+        self._snapshot_lock = threading.Lock()
+        self._merge_lock = threading.Lock()
+        self._cached_snapshot: Optional[StatsSnapshot] = None
+
+    # ---- write side ------------------------------------------------
+
+    def ingest(self, jobs: Sequence[JobRecord]) -> int:
+        """Route a batch to its shards and fold it in; returns the count.
+
+        Each shard lock is held only while that shard's slice of the
+        batch is folded in, so ingestion interleaves with snapshots and
+        with other writers at shard granularity.
+        """
+        batch = list(jobs)
+        if not batch:
+            return 0
+        by_shard: Dict[int, List[JobRecord]] = {}
+        for job in batch:
+            by_shard.setdefault(job.job_id % self.num_shards, []).append(job)
+        obs = get_obs()
+        with obs.trace("serve.ingest", jobs=len(batch), shards=len(by_shard)):
+            for index, shard_jobs in sorted(by_shard.items()):
+                shard = self._shards[index]
+                with shard.lock:
+                    shard.stats.observe(shard_jobs)
+                    shard.version += 1
+        obs.metrics.counter("serve.ingest.jobs").inc(len(batch))
+        obs.metrics.counter("serve.ingest.batches").inc()
+        return len(batch)
+
+    # ---- read side -------------------------------------------------
+
+    @property
+    def generation(self) -> int:
+        """Total ingest batches folded in so far (monotone)."""
+        return sum(shard.version for shard in self._shards)
+
+    @property
+    def job_count(self) -> int:
+        """Jobs ingested so far (monotone)."""
+        return sum(shard.stats.job_count for shard in self._shards)
+
+    def snapshot(self) -> StatsSnapshot:
+        """A consistent merged view of all shards.
+
+        Shard copies are taken one lock at a time; the merge never
+        holds a shard lock, so it does not block ingestion.  Because
+        shard statistics only grow, the merged view is monotone across
+        calls: a later snapshot never reports fewer jobs than an
+        earlier one.  The merge is memoized on the per-shard version
+        vector and *single-flight*: when many readers observe the same
+        new generation at once, exactly one of them pays for the merge
+        and the rest reuse it -- without that, a thundering herd of
+        identical O(sketch capacity) merges starves live ingestion.
+        While a merge is in flight, other readers are served the
+        previous cached snapshot instead of queuing behind it
+        (stale-while-revalidate); that stays monotone because the
+        cache only ever advances in generation.
+        """
+        cached = self._cached_snapshot
+        versions = tuple(shard.version for shard in self._shards)
+        if cached is not None and cached.versions == versions:
+            get_obs().metrics.counter("serve.snapshot.memo_hits").inc()
+            return cached
+        if not self._merge_lock.acquire(blocking=False):
+            if cached is not None:
+                get_obs().metrics.counter("serve.snapshot.stale_served").inc()
+                return cached
+            # No snapshot exists yet; wait for the in-flight merge.
+            self._merge_lock.acquire()
+        try:
+            # Whoever held the lock before us may have merged a view
+            # fresh enough to reuse.
+            cached = self._cached_snapshot
+            versions = tuple(shard.version for shard in self._shards)
+            if cached is not None and cached.versions == versions:
+                get_obs().metrics.counter("serve.snapshot.memo_hits").inc()
+                return cached
+            copies: List[ShardStats] = []
+            versions_at_copy: List[int] = []
+            for shard in self._shards:
+                with shard.lock:
+                    copies.append(shard.stats.copy())
+                    versions_at_copy.append(shard.version)
+            obs = get_obs()
+            with obs.trace("serve.snapshot.merge", shards=self.num_shards):
+                merged = ShardStats.merged(copies)
+            snapshot = StatsSnapshot(
+                stats=merged,
+                generation=sum(versions_at_copy),
+                versions=tuple(versions_at_copy),
+            )
+            with self._snapshot_lock:
+                previous = self._cached_snapshot
+                # Keep whichever snapshot saw more ingest batches.
+                if (
+                    previous is None
+                    or previous.generation <= snapshot.generation
+                ):
+                    self._cached_snapshot = snapshot
+        finally:
+            self._merge_lock.release()
+        obs.metrics.counter("serve.snapshot.merges").inc()
+        return snapshot

@@ -15,6 +15,8 @@ from .groups import GroupProfile, group_profiles, resource_concentration
 from .schema import JobRecord, features_of_type, jobs_of_type
 from .serialization import (
     SCHEMA_VERSION,
+    append_trace,
+    iter_trace,
     job_from_dict,
     job_to_dict,
     load_trace,
@@ -22,6 +24,7 @@ from .serialization import (
 )
 from .statistics import (
     EmpiricalCDF,
+    StreamingCDF,
     fraction_above,
     fraction_below,
     weighted_fraction,
@@ -36,7 +39,9 @@ __all__ = [
     "GroupProfile",
     "JobRecord",
     "SCHEMA_VERSION",
+    "StreamingCDF",
     "TraceConfig",
+    "append_trace",
     "by_cnode_band",
     "by_day_window",
     "by_tenant",
@@ -49,6 +54,7 @@ __all__ = [
     "fraction_below",
     "generate_trace",
     "group_profiles",
+    "iter_trace",
     "job_from_dict",
     "job_to_dict",
     "jobs_of_type",

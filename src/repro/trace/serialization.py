@@ -5,19 +5,33 @@ this module defines the on-disk format (one JSON object per job, schema
 version tagged) and a loader that validates against the feature schema.
 It round-trips the synthetic trace exactly and accepts hand-written or
 externally produced traces with the same fields.
+
+Because the format is line-oriented it also streams: :func:`iter_trace`
+yields validated records one line at a time without materializing the
+trace (the ``repro.serve`` replayer feeds from it), and
+:func:`append_trace` extends an existing file in place, so a trace can
+grow batch by batch the same way a live cluster log does.
 """
 
 from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Iterable, List, Union
+from typing import Iterable, Iterator, List, Union
 
 from ..core.architectures import Architecture
 from ..core.features import WorkloadFeatures
 from .schema import JobRecord
 
-__all__ = ["SCHEMA_VERSION", "job_to_dict", "job_from_dict", "save_trace", "load_trace"]
+__all__ = [
+    "SCHEMA_VERSION",
+    "job_to_dict",
+    "job_from_dict",
+    "save_trace",
+    "load_trace",
+    "iter_trace",
+    "append_trace",
+]
 
 SCHEMA_VERSION = 1
 
@@ -68,11 +82,11 @@ def job_from_dict(payload: dict) -> JobRecord:
     )
 
 
-def save_trace(jobs: Iterable[JobRecord], path: Union[str, Path]) -> int:
-    """Write a trace as JSON lines; returns the job count."""
-    path = Path(path)
+def _write_jobs(
+    jobs: Iterable[JobRecord], path: Path, mode: str
+) -> int:
     count = 0
-    with path.open("w", encoding="utf-8") as handle:
+    with path.open(mode, encoding="utf-8") as handle:
         for job in jobs:
             handle.write(json.dumps(job_to_dict(job), sort_keys=True))
             handle.write("\n")
@@ -80,10 +94,31 @@ def save_trace(jobs: Iterable[JobRecord], path: Union[str, Path]) -> int:
     return count
 
 
-def load_trace(path: Union[str, Path]) -> List[JobRecord]:
-    """Read a JSONL trace, validating every record."""
+def save_trace(jobs: Iterable[JobRecord], path: Union[str, Path]) -> int:
+    """Write a trace as JSON lines; returns the job count."""
+    return _write_jobs(jobs, Path(path), "w")
+
+
+def append_trace(jobs: Iterable[JobRecord], path: Union[str, Path]) -> int:
+    """Append records to a (possibly new) JSONL trace; returns the count.
+
+    Appending is how a streamed trace grows on disk: batches written by
+    successive calls read back, via :func:`iter_trace` or
+    :func:`load_trace`, exactly as if :func:`save_trace` had written
+    them all at once.
+    """
+    return _write_jobs(jobs, Path(path), "a")
+
+
+def iter_trace(path: Union[str, Path]) -> Iterator[JobRecord]:
+    """Yield validated records from a JSONL trace, one line at a time.
+
+    The streaming counterpart of :func:`load_trace`: memory use is one
+    line regardless of trace size, so a replayer can feed a multi-GB
+    trace without materializing it.  Malformed lines raise ``ValueError``
+    tagged with the offending line number, exactly like the batch loader.
+    """
     path = Path(path)
-    jobs: List[JobRecord] = []
     with path.open("r", encoding="utf-8") as handle:
         for line_number, line in enumerate(handle, start=1):
             line = line.strip()
@@ -96,9 +131,13 @@ def load_trace(path: Union[str, Path]) -> List[JobRecord]:
                     f"{path}:{line_number}: invalid JSON: {error}"
                 ) from error
             try:
-                jobs.append(job_from_dict(payload))
+                yield job_from_dict(payload)
             except (KeyError, TypeError, ValueError) as error:
                 raise ValueError(
                     f"{path}:{line_number}: invalid job record: {error}"
                 ) from error
-    return jobs
+
+
+def load_trace(path: Union[str, Path]) -> List[JobRecord]:
+    """Read a JSONL trace, validating every record."""
+    return list(iter_trace(path))

@@ -4,17 +4,32 @@ Every distribution figure in the paper (Figs. 6, 8, 9, 10, 15, 16) is an
 empirical CDF over the job population, sometimes cNode-weighted.  This
 module provides those primitives without pulling in plotting
 dependencies; the benchmark harness prints the resulting series.
+
+Two construction paths exist:
+
+* **batch** -- :meth:`EmpiricalCDF.from_samples` over a fully
+  materialized population (the one-shot ``report`` path);
+* **streaming** -- :class:`StreamingCDF`, a bounded-size mergeable
+  sketch that shards of a live population update independently and
+  combine on demand (the ``repro.serve`` path).  While the number of
+  distinct observations stays within the sketch capacity the combined
+  result is *exactly* the batch CDF; beyond that, compaction bounds the
+  quantile-rank error by ~1/capacity.
+
+:meth:`EmpiricalCDF.merge` combines already-built CDFs (weighted by
+their originating sample mass) into the CDF of the union population.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, List, Sequence, Tuple
+from typing import Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 __all__ = [
     "EmpiricalCDF",
+    "StreamingCDF",
     "fraction_below",
     "fraction_above",
     "weighted_mean",
@@ -95,6 +110,183 @@ class EmpiricalCDF:
             return list(zip(self.values, self.cumulative))
         indices = np.linspace(0, count - 1, points).astype(int)
         return [(self.values[i], self.cumulative[i]) for i in indices]
+
+    def point_masses(self) -> Tuple[np.ndarray, np.ndarray]:
+        """The (values, normalized weights) pairs behind this CDF.
+
+        Recovered by differencing the cumulative series; the weights sum
+        to 1.  This is the inverse of :meth:`from_samples` up to sample
+        order and floating-point rounding.
+        """
+        cumulative = np.asarray(self.cumulative, dtype=float)
+        weights = np.diff(cumulative, prepend=0.0)
+        return np.asarray(self.values, dtype=float), weights
+
+    @staticmethod
+    def merge(
+        cdfs: Sequence["EmpiricalCDF"],
+        total_weights: Optional[Sequence[float]] = None,
+    ) -> "EmpiricalCDF":
+        """The CDF of the union of the populations behind ``cdfs``.
+
+        ``total_weights`` gives the sample mass (e.g. job count or
+        cNode total) each member CDF summarizes; every member is
+        normalized, so without it they combine as equals.  Merging the
+        per-shard CDFs of a partitioned population with their shard
+        masses reproduces the whole-population CDF exactly (up to
+        floating-point rounding and the pinned final 1.0).
+        """
+        members = list(cdfs)
+        if not members:
+            raise ValueError("cannot merge zero CDFs")
+        if total_weights is None:
+            mass = np.ones(len(members), dtype=float)
+        else:
+            mass = np.asarray(total_weights, dtype=float).ravel()
+            if mass.shape != (len(members),):
+                raise ValueError("total_weights must match cdfs in length")
+            if np.any(mass <= 0):
+                raise ValueError("total_weights must be positive")
+        values: List[np.ndarray] = []
+        weights: List[np.ndarray] = []
+        for cdf, cdf_mass in zip(members, mass):
+            member_values, member_weights = cdf.point_masses()
+            values.append(member_values)
+            weights.append(member_weights * cdf_mass)
+        return EmpiricalCDF.from_samples(
+            np.concatenate(values), np.concatenate(weights)
+        )
+
+
+class StreamingCDF:
+    """A bounded-size, mergeable sketch of a weighted distribution.
+
+    Shards of a live population update their own sketches job by job
+    (or batch by batch); :meth:`merge` combines shard sketches into one,
+    and :meth:`to_cdf` renders the usual :class:`EmpiricalCDF` view.
+
+    The sketch keeps exact ``(value, weight)`` point masses until the
+    number of retained points exceeds ``capacity``; it then compacts to
+    at most ``capacity`` centroids of equal cumulative mass (weighted
+    means, with the exact minimum and maximum preserved).  Total weight
+    and observation count are always exact; quantile ranks are exact
+    below capacity and off by at most ~1/capacity after compaction.
+    """
+
+    __slots__ = ("capacity", "count", "_values", "_weights", "_retained")
+
+    def __init__(self, capacity: int = 4096) -> None:
+        if capacity < 8:
+            raise ValueError("capacity must be at least 8")
+        self.capacity = int(capacity)
+        self.count = 0
+        self._values: List[np.ndarray] = []
+        self._weights: List[np.ndarray] = []
+        self._retained = 0
+
+    @property
+    def total_weight(self) -> float:
+        """Exact sum of all observed weights."""
+        return float(sum(float(w.sum()) for w in self._weights))
+
+    def update(self, value: float, weight: float = 1.0) -> None:
+        """Observe one weighted sample."""
+        self.update_many([value], [weight])
+
+    def update_many(
+        self,
+        values: Iterable[float],
+        weights: Optional[Iterable[float]] = None,
+    ) -> None:
+        """Observe a batch of samples with optional per-sample weights."""
+        data = np.asarray(values, dtype=float).ravel()
+        if data.size == 0:
+            return
+        if weights is None:
+            weight_array = np.ones_like(data)
+        else:
+            weight_array = np.asarray(weights, dtype=float).ravel()
+            if weight_array.shape != data.shape:
+                raise ValueError("weights must match values in length")
+            if np.any(weight_array < 0):
+                raise ValueError("weights must be non-negative")
+        self.count += int(data.size)
+        self._values.append(data)
+        self._weights.append(weight_array)
+        self._retained += int(data.size)
+        if self._retained > self.capacity:
+            self._compact()
+
+    def merge(self, other: "StreamingCDF") -> "StreamingCDF":
+        """A new sketch summarizing both populations."""
+        merged = StreamingCDF(capacity=max(self.capacity, other.capacity))
+        for source in (self, other):
+            if source.count:
+                values, weights = source._points()
+                merged.update_many(values, weights)
+        # ``update_many`` counted retained points; observations are what
+        # the sketch reports, and both sides know theirs exactly.
+        merged.count = self.count + other.count
+        return merged
+
+    def copy(self) -> "StreamingCDF":
+        """An independent snapshot of this sketch."""
+        duplicate = StreamingCDF(capacity=self.capacity)
+        duplicate.count = self.count
+        duplicate._values = [np.array(v, copy=True) for v in self._values]
+        duplicate._weights = [np.array(w, copy=True) for w in self._weights]
+        duplicate._retained = self._retained
+        return duplicate
+
+    def _points(self) -> Tuple[np.ndarray, np.ndarray]:
+        if not self._values:
+            return np.empty(0), np.empty(0)
+        return np.concatenate(self._values), np.concatenate(self._weights)
+
+    def _compact(self) -> None:
+        """Collapse retained points into <= capacity mass centroids."""
+        values, weights = self._points()
+        keep = weights > 0
+        values, weights = values[keep], weights[keep]
+        if values.size <= self.capacity:
+            self._values, self._weights = [values], [weights]
+            self._retained = int(values.size)
+            return
+        order = np.argsort(values, kind="stable")
+        values, weights = values[order], weights[order]
+        total = float(weights.sum())
+        # Bucket by the rank of each point's center of mass, so every
+        # centroid summarizes ~total/capacity of cumulative weight.
+        centers = (np.cumsum(weights) - weights / 2.0) / total
+        buckets = np.minimum(
+            (centers * self.capacity).astype(np.int64), self.capacity - 1
+        )
+        bucket_weight = np.bincount(
+            buckets, weights=weights, minlength=self.capacity
+        )
+        bucket_mass = np.bincount(
+            buckets, weights=weights * values, minlength=self.capacity
+        )
+        occupied = bucket_weight > 0
+        centroids = bucket_mass[occupied] / bucket_weight[occupied]
+        # The distribution's support must survive compaction: pin the
+        # outermost centroids to the exact observed extremes.
+        centroids[0] = values[0]
+        centroids[-1] = values[-1]
+        self._values = [centroids]
+        self._weights = [bucket_weight[occupied]]
+        self._retained = int(centroids.size)
+
+    def to_cdf(self) -> EmpiricalCDF:
+        """Render the sketch as an :class:`EmpiricalCDF`."""
+        if self.count == 0:
+            raise ValueError("cannot build a CDF from zero samples")
+        values, weights = self._points()
+        return EmpiricalCDF.from_samples(values, weights)
+
+    def quantile(self, q: float) -> float:
+        """Smallest sketched value with cumulative probability >= q."""
+        return self.to_cdf().quantile(q)
 
 
 def fraction_below(samples: Sequence[float], threshold: float) -> float:

@@ -3,7 +3,12 @@
 from hypothesis import given
 from hypothesis import strategies as st
 
-from repro.trace.statistics import EmpiricalCDF, fraction_above, fraction_below
+from repro.trace.statistics import (
+    EmpiricalCDF,
+    StreamingCDF,
+    fraction_above,
+    fraction_below,
+)
 
 samples = st.lists(
     st.floats(min_value=-1e9, max_value=1e9, allow_nan=False),
@@ -58,6 +63,68 @@ class TestEmpiricalCDF:
         weights = rng.uniform(0.1, 10.0, size=len(data)).tolist()
         cdf = EmpiricalCDF.from_samples(data, weights)
         assert abs(cdf.cumulative[-1] - 1.0) < 1e-9
+
+
+class TestMergedVsBatch:
+    """Splitting a population and merging equals one-shot construction."""
+
+    @given(data=samples, split=st.integers(min_value=0, max_value=200))
+    def test_cdf_merge_equals_batch(self, data, split):
+        split = min(split, len(data))
+        parts = [part for part in (data[:split], data[split:]) if part]
+        merged = EmpiricalCDF.merge(
+            [EmpiricalCDF.from_samples(part) for part in parts],
+            total_weights=[len(part) for part in parts],
+        )
+        batch = EmpiricalCDF.from_samples(data)
+        assert abs(merged.cumulative[-1] - 1.0) < 1e-12
+        for q in (0.01, 0.25, 0.5, 0.75, 0.9, 0.99):
+            got, want = merged.quantile(q), batch.quantile(q)
+            assert abs(got - want) <= 1e-9 * max(1.0, abs(want)), (
+                q, got, want,
+            )
+
+    @given(data=samples, split=st.integers(min_value=0, max_value=200))
+    def test_streaming_merge_equals_batch_under_capacity(self, data, split):
+        split = min(split, len(data))
+        left, right = StreamingCDF(capacity=256), StreamingCDF(capacity=256)
+        left.update_many(data[:split])
+        right.update_many(data[split:])
+        merged = left.merge(right)
+        assert merged.count == len(data)
+        batch = EmpiricalCDF.from_samples(data)
+        # Population fits the sketch: the merged CDF is exact.
+        assert abs(merged.to_cdf().cumulative[-1] - 1.0) < 1e-12
+        for q in (0.05, 0.5, 0.95):
+            assert merged.quantile(q) == batch.quantile(q)
+
+    @given(data=st.lists(
+        st.floats(min_value=-1e9, max_value=1e9, allow_nan=False),
+        min_size=40,
+        max_size=200,
+    ))
+    def test_compacted_sketch_bounds_rank_error(self, data):
+        sketch = StreamingCDF(capacity=16)
+        sketch.update_many(data)
+        batch = EmpiricalCDF.from_samples(data)
+        cdf = sketch.to_cdf()
+        assert abs(cdf.cumulative[-1] - 1.0) < 1e-12
+        # Every sketched quantile sits within a few rank slots of truth;
+        # under ties a value's rank is an interval, so bound both sides.
+        slack = (3.0 / 16) * len(data) + 1
+        for q in (0.25, 0.5, 0.75):
+            value = sketch.quantile(q)
+            at_most = sum(1 for sample in data if sample <= value)
+            at_least = sum(1 for sample in data if sample >= value)
+            assert at_most >= q * len(data) - slack, (q, value)
+            assert at_least >= (1.0 - q) * len(data) - slack, (q, value)
+
+    @given(data=samples)
+    def test_streaming_extremes_are_exact(self, data):
+        sketch = StreamingCDF(capacity=8)
+        sketch.update_many(data)
+        assert sketch.quantile(0.0) == min(data)
+        assert sketch.quantile(1.0) == max(data)
 
 
 class TestFractions:

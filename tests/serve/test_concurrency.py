@@ -1,0 +1,176 @@
+"""Ingestion racing readers: consistent snapshots, graceful shutdown."""
+
+import math
+import os
+import signal
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.serve import (
+    ServeClient,
+    ShardedState,
+    TraceReplayer,
+    TraceService,
+    batch_reference,
+)
+
+SRC = Path(__file__).resolve().parent.parent.parent / "src"
+
+
+def consistent(stats_payload):
+    """Internal-consistency invariants of one /stats response."""
+    jobs = stats_payload["jobs"]
+    assert sum(stats_payload["architectures"].values()) == jobs
+    if jobs:
+        fractions = stats_payload["fractions"]["job"]
+        assert all(0.0 <= share <= 1.0 + 1e-9 for share in fractions.values())
+    return jobs
+
+
+class TestReadersDuringIngestion:
+    def test_snapshots_are_monotone_and_untorn(self, small_trace):
+        state = ShardedState(num_shards=3)
+        service = TraceService(state=state)
+        service.start()
+        stop = threading.Event()
+        failures = []
+        floors = []
+
+        def reader(slot):
+            client = ServeClient(service.url)
+            floor = 0
+            reads = 0
+            try:
+                while not stop.is_set():
+                    payload = client.stats()
+                    jobs = consistent(payload)
+                    assert jobs >= floor, "job count went backwards"
+                    floor = jobs
+                    census = client.census()
+                    if census["jobs"]:
+                        shares = census["census"]["job"].values()
+                        assert math.isclose(
+                            sum(shares), 1.0, rel_tol=1e-9
+                        ), "torn census"
+                    reads += 1
+            except Exception as error:
+                failures.append((slot, error))
+            finally:
+                floors.append((floor, reads))
+
+        try:
+            readers = [
+                threading.Thread(target=reader, args=(slot,), daemon=True)
+                for slot in range(4)
+            ]
+            for thread in readers:
+                thread.start()
+            # Many small batches so readers race many shard-version bumps.
+            service.start_replay(TraceReplayer(small_trace, batch_size=20))
+            assert service.wait_for_ingest(timeout=60)
+            time.sleep(0.05)  # one more read round at the final population
+            stop.set()
+            for thread in readers:
+                thread.join(timeout=30)
+            assert not failures, failures
+            assert all(reads > 0 for _, reads in floors)
+        finally:
+            stop.set()
+            service.stop()
+        # After the drain every reader converged on the full population.
+        assert service.state.job_count == len(small_trace)
+
+    def test_final_state_matches_batch_path(self, small_trace):
+        state = ShardedState(num_shards=3)
+        service = TraceService(state=state)
+        service.start()
+        try:
+            service.start_replay(TraceReplayer(small_trace, batch_size=33))
+            assert service.wait_for_ingest(timeout=60)
+            reference = batch_reference(small_trace)
+            served = state.snapshot().stats.reference_payload()
+            assert served["jobs"] == reference["jobs"]
+            for level in ("job", "cnode"):
+                for key, want in reference["fractions"][level].items():
+                    assert served["fractions"][level][key] == pytest.approx(
+                        want, rel=1e-9
+                    )
+        finally:
+            service.stop()
+
+    def test_concurrent_writers_through_http(self, small_trace):
+        state = ShardedState(num_shards=4)
+        service = TraceService(state=state)
+        service.start()
+        chunk = len(small_trace) // 4
+        failures = []
+
+        def writer(slot):
+            try:
+                client = ServeClient(service.url)
+                start = slot * chunk
+                client.ingest(small_trace[start : start + chunk])
+            except Exception as error:
+                failures.append((slot, error))
+
+        try:
+            writers = [
+                threading.Thread(target=writer, args=(slot,), daemon=True)
+                for slot in range(4)
+            ]
+            for thread in writers:
+                thread.start()
+            for thread in writers:
+                thread.join(timeout=60)
+            assert not failures, failures
+            assert state.job_count == chunk * 4
+        finally:
+            service.stop()
+
+
+class TestGracefulShutdown:
+    def test_sigterm_drains_and_exits_zero(self, tmp_path):
+        """The CLI service drains in-flight work on SIGTERM and exits 0."""
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(SRC) + os.pathsep + env.get("PYTHONPATH", "")
+        process = subprocess.Popen(
+            [
+                sys.executable,
+                "-m",
+                "repro.analysis.cli",
+                "serve",
+                "--port",
+                "0",
+                "--shards",
+                "2",
+                "-n",
+                "300",
+                "--no-cache",
+            ],
+            stdout=subprocess.PIPE,
+            stderr=subprocess.PIPE,
+            text=True,
+            env=env,
+            cwd=tmp_path,
+        )
+        try:
+            banner = process.stdout.readline().strip()
+            assert banner.startswith("serving on "), banner
+            url = banner.removeprefix("serving on ")
+            client = ServeClient(url)
+            client.wait_until_ingested(timeout=60)
+            assert client.stats()["jobs"] == 300
+            process.send_signal(signal.SIGTERM)
+            stdout, stderr = process.communicate(timeout=30)
+            assert process.returncode == 0, stderr
+            assert "shut down cleanly" in stdout
+            assert "served 300 jobs" in stdout
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.communicate()

@@ -15,6 +15,7 @@ PACKAGES = [
     "repro.optim",
     "repro.inference",
     "repro.analysis",
+    "repro.serve",
 ]
 
 

@@ -7,6 +7,8 @@ import pytest
 from repro.trace import generate_trace
 from repro.trace.serialization import (
     SCHEMA_VERSION,
+    append_trace,
+    iter_trace,
     job_from_dict,
     job_to_dict,
     load_trace,
@@ -33,6 +35,45 @@ class TestRoundTrip:
 
     def test_schema_version_stamped(self, small_trace):
         assert job_to_dict(small_trace[0])["schema_version"] == SCHEMA_VERSION
+
+
+class TestStreaming:
+    def test_iter_trace_round_trip(self, tmp_path, small_trace):
+        path = tmp_path / "trace.jsonl"
+        save_trace(small_trace, path)
+        assert list(iter_trace(path)) == list(small_trace)
+
+    def test_iter_trace_is_lazy(self, tmp_path, small_trace):
+        path = tmp_path / "trace.jsonl"
+        save_trace(small_trace, path)
+        stream = iter_trace(path)
+        first = next(stream)
+        assert first == small_trace[0]
+        # A generator, not a list: the rest is still unread.
+        assert list(stream) == list(small_trace[1:])
+
+    def test_append_then_iterate(self, tmp_path, small_trace):
+        path = tmp_path / "trace.jsonl"
+        half = len(small_trace) // 2
+        assert save_trace(small_trace[:half], path) == half
+        assert append_trace(small_trace[half:], path) == len(
+            small_trace
+        ) - half
+        assert list(iter_trace(path)) == list(small_trace)
+
+    def test_append_creates_missing_file(self, tmp_path, small_trace):
+        path = tmp_path / "fresh.jsonl"
+        append_trace(small_trace[:3], path)
+        assert load_trace(path) == list(small_trace[:3])
+
+    def test_iter_trace_reports_line_numbers(self, tmp_path, small_trace):
+        good = json.dumps(job_to_dict(small_trace[0]))
+        path = tmp_path / "mixed.jsonl"
+        path.write_text(good + "\n" + "oops\n")
+        stream = iter_trace(path)
+        next(stream)
+        with pytest.raises(ValueError, match=":2:"):
+            next(stream)
 
 
 class TestRobustness:

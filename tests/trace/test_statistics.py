@@ -4,6 +4,7 @@ import pytest
 
 from repro.trace.statistics import (
     EmpiricalCDF,
+    StreamingCDF,
     fraction_above,
     fraction_below,
     weighted_fraction,
@@ -129,6 +130,65 @@ class TestFinalCumulativeExactlyOne:
         )
         assert cdf.probability_at(1.0) == pytest.approx(0.25)
         assert cdf.cumulative[-1] == 1.0
+
+
+class TestStreamingCDF:
+    def test_exact_under_capacity(self):
+        data = [5.0, 1.0, 3.0, 3.0, 2.0]
+        sketch = StreamingCDF(capacity=8)
+        sketch.update_many(data)
+        exact = EmpiricalCDF.from_samples(data)
+        assert sketch.count == len(data)
+        for q in (0.0, 0.25, 0.5, 0.9, 1.0):
+            assert sketch.quantile(q) == exact.quantile(q)
+
+    def test_compaction_bounds_retained_points(self):
+        sketch = StreamingCDF(capacity=16)
+        for value in range(1000):
+            sketch.update(float(value))
+        assert sketch.count == 1000
+        values, _ = sketch._points()
+        assert len(values) <= 2 * 16
+
+    def test_compaction_preserves_extremes_and_mass(self):
+        sketch = StreamingCDF(capacity=16)
+        sketch.update_many([float(v) for v in range(1000)])
+        assert sketch.quantile(0.0) == 0.0
+        assert sketch.quantile(1.0) == 999.0
+        assert sketch.total_weight == pytest.approx(1000.0)
+        assert abs(sketch.to_cdf().cumulative[-1] - 1.0) < 1e-12
+
+    def test_merge_preserves_count_and_weight(self):
+        left, right = StreamingCDF(capacity=32), StreamingCDF(capacity=32)
+        left.update_many([1.0, 2.0])
+        right.update_many([3.0], [5.0])
+        merged = left.merge(right)
+        assert merged.count == 3
+        assert merged.total_weight == pytest.approx(7.0)
+
+    def test_weighted_updates_shift_quantiles(self):
+        sketch = StreamingCDF(capacity=32)
+        sketch.update_many([1.0, 10.0], [99.0, 1.0])
+        assert sketch.quantile(0.5) == 1.0
+
+    def test_copy_is_independent(self):
+        sketch = StreamingCDF(capacity=32)
+        sketch.update_many([1.0, 2.0])
+        duplicate = sketch.copy()
+        sketch.update(100.0)
+        assert duplicate.count == 2
+        assert duplicate.quantile(1.0) == 2.0
+
+    def test_empty_sketch_rejects_reads(self):
+        sketch = StreamingCDF()
+        with pytest.raises(ValueError):
+            sketch.quantile(0.5)
+        with pytest.raises(ValueError):
+            sketch.to_cdf()
+
+    def test_capacity_floor(self):
+        with pytest.raises(ValueError):
+            StreamingCDF(capacity=4)
 
 
 class TestFractions:
