@@ -193,6 +193,21 @@ class ResultCache:
         self.sweep_tmp(max_age_s=STALE_TMP_AGE_S)
         return path
 
+    def discard(self, key: str) -> bool:
+        """Delete one entry if present; True when a file was removed.
+
+        Lets a long-lived writer (the serve query layer) evict entries
+        it has superseded instead of accumulating one file per
+        generation forever.  Races with concurrent writers are benign:
+        a missing file is simply False.
+        """
+        try:
+            self.path_for(key).unlink()
+        except OSError:
+            return False
+        get_obs().event("cache.discard", level=DEBUG, key=key)
+        return True
+
     def sweep_tmp(self, max_age_s: float = 0.0) -> int:
         """Delete orphaned ``*.tmp`` write temporaries; returns the count.
 

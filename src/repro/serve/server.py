@@ -18,8 +18,12 @@ Endpoints (all JSON):
 
 Query responses are content-addressed into the existing
 :class:`repro.runtime.cache.ResultCache` keyed by (endpoint, params,
-per-shard version vector, model-config fingerprint), so a hot query at
-an unchanged generation is served without re-merging or re-rendering.
+per-shard content-digest vector, model-config fingerprint), so a hot
+query at an unchanged generation is served without re-merging or
+re-rendering.  The digests identify the ingested data itself -- two
+service runs over different traces can never alias, even at identical
+batch counts -- and each store evicts the entry it supersedes so a
+long-lived service keeps at most one live entry per (endpoint, params).
 
 Shutdown is graceful: ``shutdown()`` stops accepting new connections,
 then joins every in-flight handler thread before returning (the HTTP/1.0
@@ -47,7 +51,7 @@ from .stats import AGGREGATION_LEVELS, CDF_METRICS
 
 __all__ = ["MAX_INGEST_BYTES", "QueryError", "TraceService", "serialize_jobs"]
 
-#: Response body cap for ``POST /ingest`` (guards the resident process
+#: Request body cap for ``POST /ingest`` (guards the resident process
 #: against one unbounded request, not a real security boundary).
 MAX_INGEST_BYTES = 64 * 1024 * 1024
 
@@ -90,7 +94,18 @@ class _Handler(BaseHTTPRequestHandler):
         params = dict(parse_qsl(split.query))
         body: Optional[bytes] = None
         if method == "POST":
-            length = int(self.headers.get("Content-Length") or 0)
+            raw_length = self.headers.get("Content-Length") or "0"
+            try:
+                length = int(raw_length)
+            except ValueError:
+                length = -1
+            if length < 0:
+                # A malformed header must produce a 400, not a handler
+                # thread abort and a dropped connection.
+                self._respond(
+                    400, {"error": f"invalid Content-Length: {raw_length!r}"}
+                )
+                return
             if length > MAX_INGEST_BYTES:
                 self._respond(413, {"error": "ingest body too large"})
                 return
@@ -144,6 +159,12 @@ class TraceService:
     ) -> None:
         self.state = state if state is not None else ShardedState(num_shards)
         self.cache = cache
+        # (endpoint, params) -> (generation, key) of the newest stored
+        # cache entry, so each store can evict the one it supersedes.
+        self._live_entries: Dict[
+            Tuple[str, Tuple[Tuple[str, str], ...]], Tuple[int, str]
+        ] = {}
+        self._live_entries_lock = threading.Lock()
         self._server: Optional[_Server] = None
         self._server_thread: Optional[threading.Thread] = None
         self._replayer: Optional[TraceReplayer] = None
@@ -315,10 +336,17 @@ class TraceService:
         """Serve a read endpoint through the content-addressed cache.
 
         The key covers the endpoint, its parameters, the per-shard
-        version vector and the model-config fingerprint, so an entry can
-        never be served for a population it does not describe -- the
-        same validity-by-construction argument the experiment cache
-        makes.
+        content-digest vector and the model-config fingerprint, so an
+        entry can never be served for a population it does not describe
+        -- the same validity-by-construction argument the experiment
+        cache makes.  The digests hash the ingested jobs themselves:
+        a different trace produces different keys even when its shards
+        reach identical batch counts, which keeps a shared persistent
+        cache dir safe across service runs.
+
+        Storing a new generation's entry evicts the one it supersedes
+        for the same (endpoint, params), so live ingestion leaves at
+        most one entry per query shape behind instead of one per batch.
         """
         snapshot = self.state.snapshot()
         obs = get_obs()
@@ -329,6 +357,7 @@ class TraceService:
                 "serve": endpoint,
                 "params": sorted(params.items()),
                 "versions": list(snapshot.versions),
+                "digests": list(snapshot.digests),
             },
             snapshot.stats.config_fingerprint,
         )
@@ -347,7 +376,34 @@ class TraceService:
                 notes=[f"params={sorted(params.items())!r}"],
             ),
         )
+        self._evict_superseded(endpoint, params, snapshot.generation, key)
         return payload
+
+    def _evict_superseded(
+        self,
+        endpoint: str,
+        params: Dict[str, str],
+        generation: int,
+        key: str,
+    ) -> None:
+        """Record ``key`` as the live entry for its query shape.
+
+        Whatever older-generation entry it replaces is discarded from
+        the cache; racing misses settle on the newest generation, and a
+        loser's orphaned entry costs one file, not unbounded growth.
+        """
+        shape = (endpoint, tuple(sorted(params.items())))
+        superseded: Optional[str] = None
+        with self._live_entries_lock:
+            previous = self._live_entries.get(shape)
+            if previous is not None and previous[0] > generation:
+                superseded = key  # we lost the race; drop our own entry
+            else:
+                self._live_entries[shape] = (generation, key)
+                if previous is not None and previous[1] != key:
+                    superseded = previous[1]
+        if superseded is not None:
+            self.cache.discard(superseded)
 
     @staticmethod
     def _level(params: Dict[str, str]) -> str:

@@ -19,10 +19,21 @@ query from the same cached merge until the next ingest batch lands.
 Merging is single-flight with stale-while-revalidate: one reader pays
 for each new merge while concurrent readers reuse the previous cached
 snapshot instead of piling up behind the merge lock.
+
+Alongside its version counter, every shard maintains a running SHA-256
+digest over the canonical serialization of the jobs it has ingested, in
+order.  The digest vector in a snapshot therefore identifies the
+*content* of the population, not just how many batches arrived -- two
+different traces that happen to reach the same batch counts still get
+distinct digests, which is what lets the query layer key persistent
+caches by snapshot without ever serving one population's numbers for
+another.
 """
 
 from __future__ import annotations
 
+import hashlib
+import json
 import threading
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -32,6 +43,7 @@ from ..core.hardware import HardwareConfig
 from ..core.timemodel import PAPER_MODEL_OPTIONS, ModelOptions
 from ..obs import get_obs
 from ..trace.schema import JobRecord
+from ..trace.serialization import job_to_dict
 from .stats import DEFAULT_SKETCH_CAPACITY, ShardStats
 
 __all__ = ["ShardedState", "StatsSnapshot"]
@@ -42,28 +54,42 @@ class StatsSnapshot:
     """An immutable merged view of the population at one generation.
 
     ``generation`` is the total number of ingest batches folded in;
-    ``versions`` records each shard's batch count at snapshot time.
+    ``versions`` records each shard's batch count at snapshot time, and
+    ``digests`` each shard's running content digest -- together they
+    identify both how much *and which* data the snapshot describes.
     The merged :class:`ShardStats` must be treated as read-only.
     """
 
     stats: ShardStats = field(repr=False)
     generation: int
     versions: Tuple[int, ...]
+    digests: Tuple[str, ...]
 
     @property
     def job_count(self) -> int:
         return self.stats.job_count
 
 
+def _job_digest_bytes(job: JobRecord) -> bytes:
+    """The canonical byte serialization of one job for content digests.
+
+    Built on the trace schema's own dict form with sorted keys, so the
+    digest chain depends only on the per-shard job sequence -- not on
+    batching, dataclass repr, or dict insertion order.
+    """
+    return json.dumps(job_to_dict(job), sort_keys=True).encode("utf-8")
+
+
 class _Shard:
     """One lock-guarded slice of the population."""
 
-    __slots__ = ("lock", "stats", "version")
+    __slots__ = ("lock", "stats", "version", "digest")
 
     def __init__(self, stats: ShardStats) -> None:
         self.lock = threading.Lock()
         self.stats = stats
         self.version = 0
+        self.digest = hashlib.sha256()
 
 
 class ShardedState:
@@ -116,6 +142,8 @@ class ShardedState:
                 shard = self._shards[index]
                 with shard.lock:
                     shard.stats.observe(shard_jobs)
+                    for job in shard_jobs:
+                        shard.digest.update(_job_digest_bytes(job))
                     shard.version += 1
         obs.metrics.counter("serve.ingest.jobs").inc(len(batch))
         obs.metrics.counter("serve.ingest.batches").inc()
@@ -171,10 +199,12 @@ class ShardedState:
                 return cached
             copies: List[ShardStats] = []
             versions_at_copy: List[int] = []
+            digests_at_copy: List[str] = []
             for shard in self._shards:
                 with shard.lock:
                     copies.append(shard.stats.copy())
                     versions_at_copy.append(shard.version)
+                    digests_at_copy.append(shard.digest.hexdigest())
             obs = get_obs()
             with obs.trace("serve.snapshot.merge", shards=self.num_shards):
                 merged = ShardStats.merged(copies)
@@ -182,6 +212,7 @@ class ShardedState:
                 stats=merged,
                 generation=sum(versions_at_copy),
                 versions=tuple(versions_at_copy),
+                digests=tuple(digests_at_copy),
             )
             with self._snapshot_lock:
                 previous = self._cached_snapshot

@@ -118,6 +118,18 @@ class TestResultCache:
         cache.store(KEY, updated)
         assert cache.load(KEY).title == "Toy v2"
 
+    def test_discard_removes_one_entry(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.store(KEY, sample_result())
+        other = "1" * 64
+        cache.store(other, sample_result())
+        assert cache.discard(KEY) is True
+        assert cache.load(KEY) is None
+        assert cache.load(other) is not None
+
+    def test_discard_missing_entry_is_false(self, tmp_path):
+        assert ResultCache(tmp_path).discard(KEY) is False
+
 
 class TestTmpFileHygiene:
     """A process dying between temp-file creation and ``os.replace``

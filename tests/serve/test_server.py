@@ -136,6 +136,24 @@ class TestValidation:
             client._request("/ingest", body=body)
         assert failure.value.status == 400
 
+    def test_malformed_content_length_is_400(self, service):
+        import http.client
+
+        for bad_length in ("abc", "-5"):
+            conn = http.client.HTTPConnection(
+                service.host, service.port, timeout=10
+            )
+            try:
+                conn.putrequest("POST", "/ingest")
+                conn.putheader("Content-Length", bad_length)
+                conn.endheaders()
+                response = conn.getresponse()
+                assert response.status == 400
+                payload = json.loads(response.read().decode("utf-8"))
+                assert "Content-Length" in payload["error"]
+            finally:
+                conn.close()
+
 
 class TestQueryCache:
     def test_repeat_queries_hit_the_cache(self, small_trace, tmp_path):
@@ -168,6 +186,71 @@ class TestQueryCache:
             assert after["jobs"] == before["jobs"] + 50
         finally:
             service.stop()
+
+    def test_shared_cache_dir_isolates_different_traces(
+        self, small_trace, tmp_path
+    ):
+        # Two service runs over *different* data whose shards reach the
+        # same batch counts must not alias in a shared persistent cache
+        # dir: the key hashes the ingested jobs, not just batch counts.
+        def serve_stats(jobs):
+            state = ShardedState(num_shards=2)
+            state.ingest(jobs)
+            service = TraceService(state=state, cache=ResultCache(tmp_path))
+            service.start()
+            try:
+                return ServeClient(service.url).stats()
+            finally:
+                service.stop()
+
+        first = serve_stats(small_trace[:100])
+        second = serve_stats(small_trace[100:250])
+        assert first["jobs"] == 100
+        assert second["jobs"] == 150
+
+    def test_superseded_entries_are_evicted(self, small_trace, tmp_path):
+        state = ShardedState(num_shards=2)
+        state.ingest(small_trace[:50])
+        service = TraceService(state=state, cache=ResultCache(tmp_path))
+        service.start()
+        try:
+            client = ServeClient(service.url)
+            for start in range(50, 250, 50):
+                client.ingest(small_trace[start : start + 50])
+                client.stats()
+            # Five generations of /stats were rendered, but each store
+            # evicted the entry it superseded: one live file remains.
+            assert len(list(tmp_path.glob("*.json"))) == 1
+            assert client.stats()["jobs"] == 250
+        finally:
+            service.stop()
+
+
+class TestContentDigests:
+    def test_digests_identify_content_not_batch_counts(self, small_trace):
+        # The review scenario: identical shard/batch structure over
+        # different jobs must yield different snapshot identities.
+        first = ShardedState(num_shards=2)
+        second = ShardedState(num_shards=2)
+        first.ingest(small_trace[:100])
+        second.ingest(small_trace[100:200])
+        assert first.snapshot().versions == second.snapshot().versions
+        assert first.snapshot().digests != second.snapshot().digests
+
+    def test_digests_are_batching_independent(self, small_trace):
+        whole = ShardedState(num_shards=3)
+        split = ShardedState(num_shards=3)
+        whole.ingest(small_trace[:120])
+        for start in range(0, 120, 40):
+            split.ingest(small_trace[start : start + 40])
+        assert whole.snapshot().digests == split.snapshot().digests
+
+    def test_same_content_same_digests(self, small_trace):
+        first = ShardedState(num_shards=2)
+        second = ShardedState(num_shards=2)
+        first.ingest(small_trace[:80])
+        second.ingest(small_trace[:80])
+        assert first.snapshot().digests == second.snapshot().digests
 
 
 class TestLifecycle:
