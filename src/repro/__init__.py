@@ -16,6 +16,9 @@ The package provides:
   extraction pipeline of Fig. 4;
 * :mod:`repro.optim` -- mixed-precision and XLA-style fusion passes
   (Sec. IV-D);
+* :mod:`repro.faults` -- deterministic fault injection into the
+  simulator and scheduler, with a telemetry-only root-cause-analysis
+  pipeline graded by a scored scenario harness;
 * :mod:`repro.analysis` -- one experiment module per table/figure of the
   paper, plus a text report renderer and CLI.
 
@@ -71,7 +74,7 @@ from .core import (
     throughput_speedup,
 )
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "ALLREDUCE_LOCAL_MAX_CNODES",

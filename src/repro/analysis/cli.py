@@ -18,6 +18,9 @@ Usage::
                                        # resident analytics service:
                                        # stream the trace in, answer
                                        # /stats /census /cdf queries
+    pai-repro faults -n 25 -o faults.json --events events.jsonl
+                                       # scored fault-injection suite:
+                                       # inject, detect, localize, grade
 """
 
 from __future__ import annotations
@@ -74,6 +77,14 @@ def _add_suite_options(parser: argparse.ArgumentParser) -> None:
         default=None,
         help="result-cache directory (default: $PAI_REPRO_CACHE_DIR "
         "or ~/.cache/pai-repro)",
+    )
+    parser.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        help="re-run each failed experiment up to N extra times "
+        "(default: 0; the suite is deterministic, so opt in only "
+        "for flaky externals)",
     )
 
 
@@ -207,6 +218,40 @@ def build_parser() -> argparse.ArgumentParser:
         "or ~/.cache/pai-repro)",
     )
     _add_obs_options(serve_parser)
+
+    faults_parser = subparsers.add_parser(
+        "faults", help="run the scored fault-injection scenario suite"
+    )
+    faults_parser.add_argument(
+        "-n",
+        "--scenarios",
+        type=int,
+        default=25,
+        help="scenario count (kinds cycle round-robin; >= 5 covers all)",
+    )
+    faults_parser.add_argument(
+        "--seed", type=int, default=20190501, help="suite seed"
+    )
+    faults_parser.add_argument(
+        "-o",
+        "--output",
+        default=None,
+        metavar="PATH",
+        help="write the full JSON scenario report to PATH",
+    )
+    faults_parser.add_argument(
+        "--events",
+        default=None,
+        metavar="PATH",
+        help="write the canonical telemetry stream (JSONL) to PATH",
+    )
+    faults_parser.add_argument(
+        "--min-accuracy",
+        type=float,
+        default=0.8,
+        help="exit non-zero if localization accuracy falls below this",
+    )
+    _add_obs_options(faults_parser)
     return parser
 
 
@@ -313,6 +358,47 @@ def _command_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_faults(args: argparse.Namespace) -> int:
+    """Run the scored fault-injection suite; grade telemetry-only RCA."""
+    import json
+    from pathlib import Path
+
+    from ..faults import canonical_events, capture, score_suite
+
+    with capture() as sink:
+        report = score_suite(args.scenarios, args.seed)
+    localized = sum(r.localized for r in report.results)
+    for kind, (kind_localized, total) in sorted(report.by_kind().items()):
+        print(f"  {kind:20s} {kind_localized}/{total} localized")
+    print(
+        f"localization accuracy {report.accuracy:.0%} "
+        f"({localized}/{len(report.results)} scenarios), "
+        f"onset accuracy {report.onset_accuracy:.0%}, "
+        f"digest {report.digest[:16]}"
+    )
+    if args.output is not None:
+        path = Path(args.output)
+        path.write_text(
+            json.dumps(report.to_dict(), indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        print(f"wrote {path}")
+    if args.events is not None:
+        path = Path(args.events)
+        with path.open("w", encoding="utf-8") as handle:
+            for event in canonical_events(sink.events):
+                handle.write(json.dumps(event, sort_keys=True) + "\n")
+        print(f"wrote {path}")
+    if report.accuracy < args.min_accuracy:
+        print(
+            f"accuracy {report.accuracy:.0%} is below the required "
+            f"{args.min_accuracy:.0%}",
+            file=sys.stderr,
+        )
+        return 1
+    return 0
+
+
 def _suite_cache(args: argparse.Namespace):
     from ..runtime import ResultCache
 
@@ -339,7 +425,9 @@ def _report_failures(outcomes) -> int:
 def _command_all(args: argparse.Namespace) -> int:
     from ..runtime import run_suite
 
-    outcomes = run_suite(jobs=args.jobs, cache=_suite_cache(args))
+    outcomes = run_suite(
+        jobs=args.jobs, cache=_suite_cache(args), retries=args.retries
+    )
     for outcome in outcomes:
         if outcome.ok:
             print(outcome.result.render())
@@ -353,7 +441,9 @@ def _command_report(args: argparse.Namespace) -> int:
 
     from pathlib import Path
 
-    outcomes = run_suite(jobs=args.jobs, cache=_suite_cache(args))
+    outcomes = run_suite(
+        jobs=args.jobs, cache=_suite_cache(args), retries=args.retries
+    )
     path = Path(args.output)
     path.write_text(render_outcomes(outcomes), encoding="utf-8")
     print(f"wrote {path}")
@@ -400,6 +490,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _command_advise(args)
     if args.command == "serve":
         return _run_observed(args, _command_serve)
+    if args.command == "faults":
+        return _run_observed(args, _command_faults)
     return 1
 
 

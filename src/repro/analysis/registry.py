@@ -21,6 +21,7 @@ from . import (
 from .batch_scaling import run as run_batch_scaling
 from .calibration_report import run as run_calibration
 from .census import run as run_census
+from .faults_scenarios import run as run_faults_scenarios
 from .inference_report import run as run_inference
 from .observations import run as run_observations
 from .pipeline_check import run as run_pipeline
@@ -62,6 +63,7 @@ EXPERIMENTS: Dict[str, Callable[[], ExperimentResult]] = {
     "pipeline": run_pipeline,
     "sched_policies": run_sched_policies,
     "sched_whatif": run_sched_whatif,
+    "faults_scenarios": run_faults_scenarios,
 }
 
 

@@ -1,0 +1,86 @@
+"""``repro.faults`` -- deterministic fault injection and telemetry-only RCA.
+
+The simulator and scheduler are failure-free by construction; the PAI
+clusters the paper characterizes are multi-tenant and failure-prone.
+This package closes that gap with three layers:
+
+* **injection** -- a seeded :class:`FaultPlan` of typed
+  :class:`FaultSpec` records (compute straggler, link degradation,
+  worker crash, PS shard hotspot, preemption storm) compiled down to
+  the low-layer hooks :class:`repro.sim.StepFaults` and
+  :class:`repro.sched.SchedFaults` by :mod:`repro.faults.injector`;
+* **anomaly telemetry** -- fault *symptoms* (never identities) stream
+  into :mod:`repro.obs` as structured events
+  (:mod:`repro.faults.telemetry` documents the schema);
+* **detection + attribution** -- rolling-baseline changepoint
+  detection (:mod:`repro.faults.detect`) feeding a symptom-signature
+  decision list (:mod:`repro.faults.localize`), graded end to end by
+  the scored scenario harness (:mod:`repro.faults.scenarios`).
+
+Everything is seeded: the same ``(count, seed)`` reproduces
+byte-identical scenario telemetry and scores.
+"""
+
+from .detect import Anomaly, detect, detect_series, rolling_baseline
+from .injector import sched_faults_for, step_faults_at
+from .localize import Diagnosis, diagnose, localize
+from .scenarios import (
+    ScenarioReport,
+    ScenarioResult,
+    ScenarioSpec,
+    run_scenario,
+    scenario_specs,
+    score_suite,
+)
+from .spec import (
+    SCHED_KINDS,
+    SIM_KINDS,
+    FaultKind,
+    FaultPlan,
+    FaultSpec,
+    fleet_target,
+    job_target,
+    link_target,
+    parse_target,
+    ps_target,
+    replica_target,
+)
+from .telemetry import (
+    TELEMETRY_KINDS,
+    canonical_events,
+    capture,
+    events_digest,
+)
+
+__all__ = [
+    "Anomaly",
+    "Diagnosis",
+    "FaultKind",
+    "FaultPlan",
+    "FaultSpec",
+    "SCHED_KINDS",
+    "SIM_KINDS",
+    "ScenarioReport",
+    "ScenarioResult",
+    "ScenarioSpec",
+    "TELEMETRY_KINDS",
+    "canonical_events",
+    "capture",
+    "detect",
+    "detect_series",
+    "diagnose",
+    "events_digest",
+    "fleet_target",
+    "job_target",
+    "link_target",
+    "localize",
+    "parse_target",
+    "ps_target",
+    "replica_target",
+    "rolling_baseline",
+    "run_scenario",
+    "scenario_specs",
+    "sched_faults_for",
+    "score_suite",
+    "step_faults_at",
+]

@@ -1,0 +1,277 @@
+"""Changepoint detection over the captured symptom stream.
+
+The detector is deliberately operator-shaped: establish a rolling
+baseline per metric series from a warmup window, flag sustained
+relative deviations, and emit typed :class:`Anomaly` records.  It sees
+only :mod:`repro.faults.telemetry` events -- never the
+:class:`~repro.faults.spec.FaultPlan`.
+
+Symptoms and their series:
+
+* ``compute_inflation`` / ``step_inflation`` -- per-replica
+  ``telemetry.step`` timings rise above baseline;
+* ``link_rate_drop`` -- a ``telemetry.link`` channel's observed
+  throughput falls below baseline;
+* ``shard_skew`` -- the max/mean ratio of ``telemetry.ps_shard``
+  traffic counters rises (one shard runs hot);
+* ``job_failure`` -- a ``sched.job_failed`` event;
+* ``preemption_burst`` -- >= :data:`BURST_MIN_EVENTS` preemptions
+  hitting >= :data:`BURST_MIN_JOBS` distinct jobs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Tuple
+
+from .spec import fleet_target, job_target, link_target, ps_target, replica_target
+
+__all__ = [
+    "Anomaly",
+    "detect",
+    "detect_series",
+    "rolling_baseline",
+]
+
+#: Samples used to establish a series baseline.
+WARMUP_SAMPLES = 8
+#: Relative deviation that counts as anomalous (25%).
+REL_THRESHOLD = 0.25
+#: Throughput-drop threshold (link rates are low-noise; 15%).
+DROP_THRESHOLD = 0.15
+#: Consecutive anomalous samples required before flagging.
+SUSTAIN = 3
+#: Max/mean shard-traffic ratio that counts as a hotspot.
+SKEW_THRESHOLD = 1.5
+#: Preemption events / distinct victims that count as a storm.
+BURST_MIN_EVENTS = 3
+BURST_MIN_JOBS = 2
+
+
+@dataclass(frozen=True)
+class Anomaly:
+    """One flagged symptom.
+
+    Attributes:
+        symptom: Symptom family (see module docstring).
+        target: Canonical target label of the affected entity.
+        onset: First tick/hour of the sustained deviation.
+        magnitude: Peak relative deviation (or event count for
+            discrete symptoms).
+    """
+
+    symptom: str
+    target: str
+    onset: float
+    magnitude: float
+
+
+def rolling_baseline(
+    values: Sequence[float], warmup: int = WARMUP_SAMPLES
+) -> float:
+    """Median of the warmup window (robust to a single early outlier)."""
+    if not values:
+        raise ValueError("cannot baseline an empty series")
+    window = sorted(values[: max(1, warmup)])
+    mid = len(window) // 2
+    if len(window) % 2:
+        return window[mid]
+    return 0.5 * (window[mid - 1] + window[mid])
+
+
+def detect_series(
+    times: Sequence[float],
+    values: Sequence[float],
+    *,
+    direction: str,
+    threshold: float = REL_THRESHOLD,
+    warmup: int = WARMUP_SAMPLES,
+    sustain: int = SUSTAIN,
+) -> Optional[Tuple[float, float]]:
+    """First sustained relative deviation of a series from its baseline.
+
+    Args:
+        times: Sample timestamps (ticks or hours), ascending.
+        values: Sample values, parallel to ``times``.
+        direction: ``"up"`` flags inflation, ``"down"`` flags drops.
+        threshold: Relative deviation that counts.
+        warmup: Baseline window length.
+        sustain: Consecutive anomalous samples required.
+
+    Returns:
+        ``(onset, peak_relative_deviation)`` or ``None``.
+    """
+    if direction not in ("up", "down"):
+        raise ValueError("direction must be 'up' or 'down'")
+    if len(times) != len(values):
+        raise ValueError("times and values must be parallel")
+    if len(values) <= warmup:
+        return None
+    baseline = rolling_baseline(values, warmup)
+    if baseline <= 0:
+        return None
+    run_start: Optional[int] = None
+    run_length = 0
+    peak = 0.0
+    for index in range(warmup, len(values)):
+        deviation = values[index] / baseline - 1.0
+        if direction == "down":
+            deviation = -deviation
+        if deviation > threshold:
+            if run_start is None:
+                run_start = index
+            run_length += 1
+            peak = max(peak, deviation)
+            if run_length >= sustain:
+                # Scan on: the peak over the whole excursion is a
+                # better magnitude estimate than the first 3 samples.
+                for later in range(index + 1, len(values)):
+                    later_dev = values[later] / baseline - 1.0
+                    if direction == "down":
+                        later_dev = -later_dev
+                    if later_dev <= threshold:
+                        break
+                    peak = max(peak, later_dev)
+                return times[run_start], peak
+        else:
+            run_start = None
+            run_length = 0
+            peak = 0.0
+    return None
+
+
+def _series(
+    events: Iterable[Dict[str, Any]],
+    kind: str,
+    key_field: str,
+    time_field: str,
+    value_field: str,
+) -> Dict[Any, Tuple[List[float], List[float]]]:
+    """Group one event kind into per-key (times, values) series."""
+    series: Dict[Any, Tuple[List[float], List[float]]] = {}
+    for event in events:
+        if event.get("kind") != kind:
+            continue
+        times, values = series.setdefault(event[key_field], ([], []))
+        times.append(float(event[time_field]))
+        values.append(float(event[value_field]))
+    return series
+
+
+def _detect_step(events: List[Dict[str, Any]]) -> List[Anomaly]:
+    anomalies: List[Anomaly] = []
+    for field, symptom in (
+        ("compute_s", "compute_inflation"),
+        ("step_s", "step_inflation"),
+    ):
+        for replica, (times, values) in sorted(
+            _series(events, "telemetry.step", "replica", "tick", field).items()
+        ):
+            hit = detect_series(times, values, direction="up")
+            if hit is not None:
+                anomalies.append(
+                    Anomaly(symptom, replica_target(replica), hit[0], hit[1])
+                )
+    return anomalies
+
+
+def _detect_link(events: List[Dict[str, Any]]) -> List[Anomaly]:
+    anomalies: List[Anomaly] = []
+    for field, link_kind in (("nic_rate", "nic"), ("pcie_rate", "pcie")):
+        for server, (times, values) in sorted(
+            _series(events, "telemetry.link", "server", "tick", field).items()
+        ):
+            hit = detect_series(
+                times, values, direction="down", threshold=DROP_THRESHOLD
+            )
+            if hit is not None:
+                anomalies.append(
+                    Anomaly(
+                        "link_rate_drop",
+                        link_target(server, link_kind),
+                        hit[0],
+                        hit[1],
+                    )
+                )
+    return anomalies
+
+
+def _detect_shards(events: List[Dict[str, Any]]) -> List[Anomaly]:
+    # Re-shape per-shard counters into a per-tick skew-ratio series.
+    by_tick: Dict[float, Dict[int, float]] = {}
+    for event in events:
+        if event.get("kind") != "telemetry.ps_shard":
+            continue
+        by_tick.setdefault(float(event["tick"]), {})[event["shard"]] = float(
+            event["bytes"]
+        )
+    if not by_tick:
+        return []
+    ticks = sorted(by_tick)
+    ratios: List[float] = []
+    hottest: List[int] = []
+    for tick in ticks:
+        loads = by_tick[tick]
+        mean = sum(loads.values()) / len(loads)
+        hot_shard = max(sorted(loads), key=lambda s: loads[s])
+        ratios.append(loads[hot_shard] / mean if mean > 0 else 1.0)
+        hottest.append(hot_shard)
+    # Skew ratios baseline at ~1; flag absolute threshold crossings.
+    run_start: Optional[int] = None
+    run_length = 0
+    for index, ratio in enumerate(ratios):
+        if ratio > SKEW_THRESHOLD:
+            if run_start is None:
+                run_start = index
+            run_length += 1
+            if run_length >= SUSTAIN:
+                peak = max(ratios[run_start:])
+                return [
+                    Anomaly(
+                        "shard_skew",
+                        ps_target(hottest[run_start]),
+                        ticks[run_start],
+                        peak,
+                    )
+                ]
+        else:
+            run_start = None
+            run_length = 0
+    return []
+
+
+def _detect_sched(events: List[Dict[str, Any]]) -> List[Anomaly]:
+    anomalies: List[Anomaly] = []
+    failures = [e for e in events if e.get("kind") == "sched.job_failed"]
+    for failure in failures:
+        anomalies.append(
+            Anomaly(
+                "job_failure",
+                job_target(failure["job_id"]),
+                float(failure["hour"]),
+                float(failure.get("retries", 1)),
+            )
+        )
+    preemptions = [e for e in events if e.get("kind") == "sched.preempted"]
+    victims = {e["job_id"] for e in preemptions}
+    if len(preemptions) >= BURST_MIN_EVENTS and len(victims) >= BURST_MIN_JOBS:
+        anomalies.append(
+            Anomaly(
+                "preemption_burst",
+                fleet_target(),
+                min(float(e["hour"]) for e in preemptions),
+                float(len(preemptions)),
+            )
+        )
+    return anomalies
+
+
+def detect(events: Iterable[Dict[str, Any]]) -> Tuple[Anomaly, ...]:
+    """All anomalies flagged in one captured telemetry stream."""
+    stream = list(events)
+    anomalies: List[Anomaly] = []
+    anomalies.extend(_detect_sched(stream))
+    anomalies.extend(_detect_step(stream))
+    anomalies.extend(_detect_link(stream))
+    anomalies.extend(_detect_shards(stream))
+    return tuple(anomalies)

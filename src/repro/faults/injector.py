@@ -1,0 +1,91 @@
+"""Compile a :class:`~repro.faults.spec.FaultPlan` to the injection hooks.
+
+The plan layer speaks in typed specs with activation windows; the
+simulator and scheduler speak in their own narrow hook records
+(:class:`repro.sim.StepFaults` per step, :class:`repro.sched.SchedFaults`
+per run).  This module owns the translation in one direction only --
+the hooks never learn fault identities, and the detection layer never
+imports this module.
+"""
+
+from __future__ import annotations
+
+from .spec import FaultKind, FaultPlan, parse_target
+
+from ..sched import CrashSpec, SchedFaults, StormSpec
+from ..sim import LINK_KINDS, StepFaults
+
+__all__ = ["sched_faults_for", "step_faults_at"]
+
+#: Waves per preemption storm; the spec's window is split evenly.
+STORM_TICKS = 3
+
+
+def step_faults_at(
+    plan: FaultPlan, tick: float, num_shards: int
+) -> StepFaults:
+    """The :class:`StepFaults` record active during one simulator tick.
+
+    Overlapping faults compose: the worst slowdown per replica, the
+    worst bandwidth fraction per link, the last hotspot's weights.
+    """
+    if num_shards < 1:
+        raise ValueError("num_shards must be at least 1")
+    compute = {}
+    links = {}
+    weights = None
+    for fault in plan.sim_faults:
+        if not fault.active_at(tick):
+            continue
+        parts = parse_target(fault.target)
+        if fault.kind is FaultKind.STRAGGLER:
+            replica = int(parts[1])
+            compute[replica] = max(compute.get(replica, 1.0), fault.severity)
+        elif fault.kind is FaultKind.LINK_DEGRADATION:
+            server, kind = int(parts[1]), parts[2]
+            if kind not in LINK_KINDS:
+                raise ValueError(f"unknown link kind in target: {kind!r}")
+            key = (server, kind)
+            links[key] = min(links.get(key, 1.0), fault.severity)
+        elif fault.kind is FaultKind.PS_HOTSPOT:
+            shard = int(parts[1])
+            if shard >= num_shards:
+                raise ValueError(
+                    f"hotspot shard {shard} outside fleet of {num_shards}"
+                )
+            weights = tuple(
+                fault.severity if i == shard else 1.0
+                for i in range(num_shards)
+            )
+    return StepFaults(
+        compute_multipliers=compute,
+        link_bandwidth=links,
+        ps_shard_weights=weights,
+    )
+
+
+def sched_faults_for(plan: FaultPlan) -> SchedFaults:
+    """The :class:`SchedFaults` record for one engine run."""
+    crashes = []
+    storms = []
+    for fault in plan.sched_faults:
+        if fault.kind is FaultKind.WORKER_CRASH:
+            parts = parse_target(fault.target)
+            job_id = None if parts[1] == "*" else int(parts[1])
+            crashes.append(
+                CrashSpec(
+                    hour=fault.onset,
+                    job_id=job_id,
+                    backoff_hours=fault.severity,
+                )
+            )
+        else:  # PREEMPTION_STORM
+            storms.append(
+                StormSpec(
+                    start_hour=fault.onset,
+                    ticks=STORM_TICKS,
+                    interval_hours=fault.duration / STORM_TICKS,
+                    victims_per_tick=int(fault.severity),
+                )
+            )
+    return SchedFaults(crashes=tuple(crashes), storms=tuple(storms))

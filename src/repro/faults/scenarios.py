@@ -1,0 +1,501 @@
+"""The scored scenario harness: inject, observe, diagnose, grade.
+
+One scenario is one seeded :class:`~repro.faults.spec.FaultPlan` with a
+single root cause, run end to end:
+
+1. **inject** -- sim-kind faults drive a 48-tick PS/Worker training-run
+   replay (two :func:`repro.sim.simulate_step` configurations -- healthy
+   and fault-active -- with seeded measurement noise per tick);
+   sched-kind faults drive a compressed 60-job trace replay through
+   :func:`repro.sched.run_schedule`;
+2. **observe** -- symptoms stream into :mod:`repro.obs` as
+   ``telemetry.*`` / ``sched.*`` events captured by
+   :func:`repro.faults.telemetry.capture`;
+3. **diagnose** -- :func:`repro.faults.localize.diagnose` sees only the
+   canonical event stream (never the plan);
+4. **grade** -- the diagnosis is scored against the plan's ground truth
+   on fault kind, target and onset.
+
+Everything is seeded, so a :class:`ScenarioReport` for a given
+``(count, seed)`` is byte-identical across runs -- asserted via the
+per-scenario telemetry digests.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..core.architectures import Architecture
+from ..graphs.features_from_graph import Deployment
+from ..graphs.graph import ModelGraph
+from ..graphs.ops import matmul_op
+from ..obs import DEBUG, get_obs
+from ..sched import FifoPolicy, Fleet, run_schedule
+from ..sim import SimulationOptions, shard_loads, simulate_step
+from ..trace.generator import generate_trace
+from .injector import sched_faults_for, step_faults_at
+from .localize import Diagnosis, diagnose
+from .spec import (
+    SCHED_KINDS,
+    FaultKind,
+    FaultPlan,
+    FaultSpec,
+    fleet_target,
+    job_target,
+    link_target,
+    ps_target,
+    replica_target,
+)
+from .telemetry import canonical_events, capture, events_digest
+
+__all__ = [
+    "ScenarioReport",
+    "ScenarioResult",
+    "ScenarioSpec",
+    "run_scenario",
+    "scenario_specs",
+    "score_suite",
+]
+
+#: Default suite seed (the trace generator's PAI-era default).
+DEFAULT_SEED = 20190501
+
+# ---- sim-scenario geometry ------------------------------------------
+SIM_TICKS = 48
+NUM_REPLICAS = 4
+NUM_SHARDS = 4
+#: Log-space sigma of the per-sample measurement noise.
+NOISE_SIGMA = 0.02
+
+# ---- sched-scenario geometry ----------------------------------------
+SCHED_TRACE_JOBS = 60
+SCHED_SERVERS = 8
+SCHED_ARRIVAL_DAYS = 3
+
+#: Onset-grading tolerance: ticks for sim kinds, hours for sched kinds.
+ONSET_TOLERANCE_SIM = 3.0
+ONSET_TOLERANCE_SCHED = 6.0
+
+#: All five kinds, in round-robin order over scenario ids, so any
+#: suite of >= 5 scenarios covers every kind.
+_KIND_CYCLE = (
+    FaultKind.STRAGGLER,
+    FaultKind.LINK_DEGRADATION,
+    FaultKind.WORKER_CRASH,
+    FaultKind.PS_HOTSPOT,
+    FaultKind.PREEMPTION_STORM,
+)
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One runnable scenario: id, seed and its single-fault plan."""
+
+    scenario_id: int
+    plan: FaultPlan
+
+    @property
+    def fault(self) -> FaultSpec:
+        return self.plan.faults[0]
+
+    @property
+    def is_sched(self) -> bool:
+        return self.fault.kind in SCHED_KINDS
+
+
+def _sim_fault(kind: FaultKind, rng: np.random.Generator) -> FaultSpec:
+    onset = float(rng.integers(12, 30))
+    duration = float(rng.integers(8, 18))
+    if kind is FaultKind.STRAGGLER:
+        target = replica_target(int(rng.integers(0, NUM_REPLICAS)))
+        severity = 1.6 + 1.4 * float(rng.random())
+    elif kind is FaultKind.LINK_DEGRADATION:
+        server = int(rng.integers(0, NUM_REPLICAS))
+        link_kind = ("nic", "pcie")[int(rng.integers(0, 2))]
+        target = link_target(server, link_kind)
+        severity = 0.25 + 0.35 * float(rng.random())
+    else:  # PS_HOTSPOT
+        target = ps_target(int(rng.integers(0, NUM_SHARDS)))
+        severity = 2.5 + 2.5 * float(rng.random())
+    return FaultSpec(kind, target, onset, duration, severity)
+
+
+def _sched_fault(kind: FaultKind, rng: np.random.Generator) -> FaultSpec:
+    # Strike shortly after one of the arrival waves (hour 0/24/48),
+    # while the fleet is reliably busy.
+    day = int(rng.integers(0, SCHED_ARRIVAL_DAYS))
+    onset = day * 24.0 + 0.5 + 2.0 * float(rng.random())
+    if kind is FaultKind.WORKER_CRASH:
+        backoff = 2.0 + 4.0 * float(rng.random())
+        return FaultSpec(kind, job_target("*"), onset, backoff, backoff)
+    duration = 1.5 + 1.5 * float(rng.random())
+    victims = float(rng.integers(2, 4))
+    return FaultSpec(kind, fleet_target(), onset, duration, victims)
+
+
+def scenario_specs(count: int, seed: int = DEFAULT_SEED) -> List[ScenarioSpec]:
+    """Generate ``count`` seeded single-fault scenarios.
+
+    Kinds cycle round-robin, so ``count >= 5`` covers all five; every
+    other parameter (onset, duration, target, severity) is drawn from a
+    per-scenario ``default_rng((seed, scenario_id))`` stream.
+    """
+    if count < 1:
+        raise ValueError("count must be at least 1")
+    specs = []
+    for scenario_id in range(count):
+        kind = _KIND_CYCLE[scenario_id % len(_KIND_CYCLE)]
+        rng = np.random.default_rng((seed, scenario_id))
+        if kind in SCHED_KINDS:
+            fault = _sched_fault(kind, rng)
+        else:
+            fault = _sim_fault(kind, rng)
+        specs.append(
+            ScenarioSpec(
+                scenario_id=scenario_id,
+                plan=FaultPlan(
+                    seed=seed * 100003 + scenario_id, faults=(fault,)
+                ),
+            )
+        )
+    return specs
+
+
+@lru_cache(maxsize=1)
+def _scenario_graph() -> ModelGraph:
+    """A tiny dense model: two matmul layers, PS-friendly."""
+    ops = (
+        matmul_op("fc1", 512, 512, 512, batch=32, param_bytes=512 * 512 * 4),
+        matmul_op("fc2", 512, 512, 256, batch=32, param_bytes=512 * 256 * 4),
+    )
+    return ModelGraph(
+        name="faults-probe",
+        domain="synthetic",
+        forward=ops,
+        batch_size=32,
+        input_bytes_per_sample=4096.0,
+    )
+
+
+def _scenario_deployment() -> Deployment:
+    return Deployment(
+        architecture=Architecture.PS_WORKER,
+        num_cnodes=NUM_REPLICAS,
+        num_parameter_servers=NUM_SHARDS,
+    )
+
+
+def _link_rates(measurement) -> Dict[Tuple[int, str], float]:
+    """Observed bytes/s per (server, channel) from the step timeline."""
+    sums: Dict[Tuple[int, str], Tuple[float, float]] = {}
+    for record in measurement.records:
+        if "/" not in record.resource:
+            continue
+        server_name, channel = record.resource.split("/", 1)
+        if channel not in ("nic", "pcie"):
+            continue
+        server = int(server_name.removeprefix("server"))
+        volume, busy = sums.get((server, channel), (0.0, 0.0))
+        sums[(server, channel)] = (
+            volume + record.volume,
+            busy + record.duration,
+        )
+    return {
+        key: (volume / busy if busy > 0 else 0.0)
+        for key, (volume, busy) in sums.items()
+    }
+
+
+def _run_sim_scenario(spec: ScenarioSpec) -> None:
+    """Replay SIM_TICKS steps, emitting per-tick telemetry events.
+
+    Only two distinct cluster states exist (healthy, fault-active), so
+    the simulator runs twice; per-tick samples are the corresponding
+    measurement under seeded multiplicative noise -- the shape a
+    per-worker metrics agent exports.
+    """
+    obs = get_obs()
+    graph = _scenario_graph()
+    deployment = _scenario_deployment()
+    options = SimulationOptions(jitter_sigma=0.0)
+    fault = spec.fault
+
+    healthy = simulate_step(graph, deployment, options=options)
+    faulted = simulate_step(
+        graph,
+        deployment,
+        options=options,
+        faults=step_faults_at(spec.plan, fault.onset, NUM_SHARDS),
+    )
+    rates = {
+        False: _link_rates(healthy),
+        True: _link_rates(faulted),
+    }
+    total_traffic = 2.0 * graph.dense_trainable_bytes * NUM_REPLICAS
+    even = (1.0,) * NUM_SHARDS
+    loads = {
+        False: shard_loads(total_traffic, even),
+        True: shard_loads(
+            total_traffic,
+            step_faults_at(spec.plan, fault.onset, NUM_SHARDS).ps_shard_weights
+            or even,
+        ),
+    }
+
+    noise = np.random.default_rng((spec.plan.seed, 7))
+
+    def sample(value: float) -> float:
+        return float(value * noise.lognormal(mean=0.0, sigma=NOISE_SIGMA))
+
+    for tick in range(SIM_TICKS):
+        active = fault.active_at(tick)
+        measurement = faulted if active else healthy
+        for replica in range(NUM_REPLICAS):
+            obs.event(
+                "telemetry.step",
+                level=DEBUG,
+                tick=tick,
+                replica=replica,
+                compute_s=sample(measurement.replica_compute_s[replica]),
+                step_s=sample(measurement.replica_step_s[replica]),
+            )
+        for server in range(NUM_REPLICAS):
+            obs.event(
+                "telemetry.link",
+                level=DEBUG,
+                tick=tick,
+                server=server,
+                nic_rate=sample(rates[active].get((server, "nic"), 0.0)),
+                pcie_rate=sample(rates[active].get((server, "pcie"), 0.0)),
+            )
+        for shard in range(NUM_SHARDS):
+            obs.event(
+                "telemetry.ps_shard",
+                level=DEBUG,
+                tick=tick,
+                shard=shard,
+                bytes=sample(loads[active][shard]),
+            )
+
+
+def _sched_trace(seed: int) -> List:
+    """A 60-job trace with arrivals compressed into three days."""
+    from dataclasses import replace
+
+    jobs = generate_trace(num_jobs=SCHED_TRACE_JOBS, seed=seed)
+    return [
+        replace(job, submit_day=index % SCHED_ARRIVAL_DAYS)
+        for index, job in enumerate(jobs)
+    ]
+
+
+def _run_sched_scenario(spec: ScenarioSpec) -> Optional[str]:
+    """Replay the compressed trace under injection; returns the crash
+    victim's target label (harvested ground truth) when applicable."""
+    obs = get_obs()
+    jobs = _sched_trace(spec.plan.seed)
+    outcome = run_schedule(
+        jobs,
+        Fleet(num_servers=SCHED_SERVERS),
+        FifoPolicy(),
+        faults=sched_faults_for(spec.plan),
+    )
+    for sample in outcome.telemetry.samples:
+        obs.event(
+            "telemetry.sched",
+            level=DEBUG,
+            hour=sample.hour,
+            queue_depth=sample.queue_depth,
+            running_jobs=sample.running_jobs,
+            busy_gpus=sample.busy_gpus,
+        )
+    victims = [o.job.job_id for o in outcome.outcomes if o.retries > 0]
+    if victims:
+        return job_target(min(victims))
+    return None
+
+
+@dataclass(frozen=True)
+class ScenarioResult:
+    """One graded scenario."""
+
+    scenario_id: int
+    truth_kind: str
+    truth_target: str
+    truth_onset: float
+    detected_kind: Optional[str]
+    detected_target: Optional[str]
+    detected_onset: Optional[float]
+    kind_correct: bool
+    target_correct: bool
+    onset_correct: bool
+    confidence: float
+    num_events: int
+    digest: str
+
+    @property
+    def localized(self) -> bool:
+        """The acceptance bar: root cause (kind + target) nailed."""
+        return self.kind_correct and self.target_correct
+
+
+def _grade(
+    spec: ScenarioSpec,
+    truth_target: str,
+    diagnosis: Diagnosis,
+    num_events: int,
+    digest: str,
+) -> ScenarioResult:
+    fault = spec.fault
+    tolerance = (
+        ONSET_TOLERANCE_SCHED if spec.is_sched else ONSET_TOLERANCE_SIM
+    )
+    kind_correct = diagnosis.kind is fault.kind
+    target_correct = diagnosis.target == truth_target
+    onset_correct = (
+        diagnosis.onset is not None
+        and abs(diagnosis.onset - fault.onset) <= tolerance
+    )
+    return ScenarioResult(
+        scenario_id=spec.scenario_id,
+        truth_kind=fault.kind.value,
+        truth_target=truth_target,
+        truth_onset=fault.onset,
+        detected_kind=diagnosis.kind.value if diagnosis.kind else None,
+        detected_target=diagnosis.target,
+        detected_onset=diagnosis.onset,
+        kind_correct=kind_correct,
+        target_correct=target_correct,
+        onset_correct=onset_correct,
+        confidence=diagnosis.confidence,
+        num_events=num_events,
+        digest=digest,
+    )
+
+
+def run_scenario(spec: ScenarioSpec) -> ScenarioResult:
+    """Inject, capture, diagnose and grade one scenario."""
+    with capture() as sink:
+        harvested: Optional[str] = None
+        if spec.is_sched:
+            harvested = _run_sched_scenario(spec)
+        else:
+            _run_sim_scenario(spec)
+    events = canonical_events(sink.events)
+    diagnosis = diagnose(events)
+    truth_target = harvested if harvested is not None else spec.fault.target
+    return _grade(
+        spec,
+        truth_target,
+        diagnosis,
+        num_events=len(events),
+        digest=events_digest(sink.events),
+    )
+
+
+@dataclass(frozen=True)
+class ScenarioReport:
+    """A graded scenario suite."""
+
+    seed: int
+    results: Tuple[ScenarioResult, ...]
+
+    @property
+    def accuracy(self) -> float:
+        """Fraction of scenarios with the root cause fully localized."""
+        if not self.results:
+            return 0.0
+        return sum(r.localized for r in self.results) / len(self.results)
+
+    @property
+    def kind_accuracy(self) -> float:
+        if not self.results:
+            return 0.0
+        return sum(r.kind_correct for r in self.results) / len(self.results)
+
+    @property
+    def onset_accuracy(self) -> float:
+        if not self.results:
+            return 0.0
+        return sum(r.onset_correct for r in self.results) / len(self.results)
+
+    def by_kind(self) -> Dict[str, Tuple[int, int]]:
+        """Per-kind (localized, total) counts."""
+        counts: Dict[str, Tuple[int, int]] = {}
+        for result in self.results:
+            localized, total = counts.get(result.truth_kind, (0, 0))
+            counts[result.truth_kind] = (
+                localized + int(result.localized),
+                total + 1,
+            )
+        return counts
+
+    @property
+    def digest(self) -> str:
+        """SHA-256 over every scenario's digest and grade."""
+        digest = hashlib.sha256()
+        for result in self.results:
+            digest.update(
+                json.dumps(
+                    {
+                        "id": result.scenario_id,
+                        "digest": result.digest,
+                        "localized": result.localized,
+                        "onset_correct": result.onset_correct,
+                    },
+                    sort_keys=True,
+                ).encode("utf-8")
+            )
+        return digest.hexdigest()
+
+    def to_dict(self) -> Dict:
+        """JSON-friendly report (the CLI's ``--output`` payload)."""
+        return {
+            "seed": self.seed,
+            "scenarios": len(self.results),
+            "accuracy": self.accuracy,
+            "kind_accuracy": self.kind_accuracy,
+            "onset_accuracy": self.onset_accuracy,
+            "digest": self.digest,
+            "by_kind": {
+                kind: {"localized": localized, "total": total}
+                for kind, (localized, total) in sorted(self.by_kind().items())
+            },
+            "results": [
+                {
+                    "scenario_id": r.scenario_id,
+                    "truth_kind": r.truth_kind,
+                    "truth_target": r.truth_target,
+                    "truth_onset": r.truth_onset,
+                    "detected_kind": r.detected_kind,
+                    "detected_target": r.detected_target,
+                    "detected_onset": r.detected_onset,
+                    "localized": r.localized,
+                    "onset_correct": r.onset_correct,
+                    "confidence": r.confidence,
+                    "digest": r.digest,
+                }
+                for r in self.results
+            ],
+        }
+
+
+def score_suite(
+    count: int = 25, seed: int = DEFAULT_SEED
+) -> ScenarioReport:
+    """Run and grade a full scenario suite."""
+    obs = get_obs()
+    results = []
+    with obs.trace("faults.suite", count=count, seed=seed):
+        for spec in scenario_specs(count, seed):
+            results.append(run_scenario(spec))
+            obs.metrics.counter("faults.scenarios").inc()
+    report = ScenarioReport(seed=seed, results=tuple(results))
+    obs.metrics.gauge("faults.accuracy").set(report.accuracy)
+    return report

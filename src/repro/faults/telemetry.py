@@ -1,0 +1,100 @@
+"""Anomaly telemetry: the symptom stream the detector is allowed to see.
+
+Faults are injected below (sim/sched); their *symptoms* surface here as
+structured :mod:`repro.obs` events.  Nothing in the stream names the
+injected cause -- the detector works from exactly what a metrics agent
+on a real cluster would export:
+
+======================  ============================================
+kind                    fields
+======================  ============================================
+``telemetry.step``      ``tick``, ``replica``, ``compute_s``,
+                        ``step_s`` -- per-replica step timings
+``telemetry.link``      ``tick``, ``server``, ``nic_rate``,
+                        ``pcie_rate`` -- observed bytes/s per channel
+``telemetry.ps_shard``  ``tick``, ``shard``, ``bytes`` -- per-shard
+                        traffic counters
+``telemetry.sched``     ``hour``, ``queue_depth``, ``running_jobs``,
+                        ``busy_gpus`` -- fleet state samples
+``sched.job_failed``    ``job_id``, ``hour``, ``retries``,
+                        ``backoff_hours`` -- emitted by the engine
+``sched.preempted``     ``job_id``, ``hour``, ``num_cnodes`` --
+                        emitted by the engine
+======================  ============================================
+
+:func:`capture` attaches an in-memory sink for the duration of a
+scenario run; :func:`canonical_events` strips the wall-clock ``ts`` /
+``level`` fields and filters to the kinds above, giving the
+byte-identical canonical stream that determinism tests and report
+digests are computed over.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from contextlib import contextmanager
+from typing import Any, Dict, Iterable, Iterator, List, Tuple
+
+from ..obs import MemorySink, get_obs
+
+__all__ = [
+    "TELEMETRY_KINDS",
+    "canonical_events",
+    "capture",
+    "events_digest",
+]
+
+#: Event kinds that constitute the detector-visible symptom stream.
+TELEMETRY_KINDS = (
+    "telemetry.step",
+    "telemetry.link",
+    "telemetry.ps_shard",
+    "telemetry.sched",
+    "sched.job_failed",
+    "sched.preempted",
+)
+
+
+@contextmanager
+def capture() -> Iterator[MemorySink]:
+    """Attach a :class:`MemorySink` to the process obs for a scenario."""
+    obs = get_obs()
+    sink = MemorySink()
+    obs.add_sink(sink)
+    try:
+        yield sink
+    finally:
+        if sink in obs.sinks:
+            obs.sinks.remove(sink)
+
+
+def canonical_events(
+    events: Iterable[Dict[str, Any]]
+) -> Tuple[Dict[str, Any], ...]:
+    """The telemetry stream in canonical, reproducible form.
+
+    Drops the wall-clock ``ts`` and the ``level`` tag (neither carries
+    signal), keeps emission order (which is deterministic under a fixed
+    seed), and filters to :data:`TELEMETRY_KINDS`.
+    """
+    wanted = set(TELEMETRY_KINDS)
+    canonical: List[Dict[str, Any]] = []
+    for event in events:
+        if event.get("kind") not in wanted:
+            continue
+        canonical.append(
+            {k: v for k, v in event.items() if k not in ("ts", "level")}
+        )
+    return tuple(canonical)
+
+
+def events_digest(events: Iterable[Dict[str, Any]]) -> str:
+    """SHA-256 over the canonical stream (scenario determinism check)."""
+    digest = hashlib.sha256()
+    for event in canonical_events(events):
+        digest.update(
+            json.dumps(event, sort_keys=True, default=str).encode("utf-8")
+        )
+        digest.update(b"\n")
+    return digest.hexdigest()

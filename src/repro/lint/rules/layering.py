@@ -3,8 +3,8 @@
 The enforced order (lower layers never import higher ones)::
 
     core(0) -> graphs,trace(1) -> optim,inference,sched(2) -> sim(3)
-            -> profiling(4) -> runtime(5) -> serve(6) -> analysis(7)
-            -> lint(8)
+            -> profiling,faults(4) -> runtime(5) -> serve(6)
+            -> analysis(7) -> lint(8)
 
 ``obs`` is the measurement substrate and is importable from anywhere
 (it imports nothing of ``repro`` itself).  Note the order reflects the
@@ -39,6 +39,7 @@ LAYERS: Dict[str, int] = {
     "sched": 2,
     "sim": 3,
     "profiling": 4,
+    "faults": 4,
     "runtime": 5,
     "serve": 6,
     "analysis": 7,

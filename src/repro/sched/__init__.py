@@ -25,6 +25,7 @@ and measures whether fleet-wide queueing delay shrinks.
 """
 
 from .engine import run_schedule
+from .faults import CrashSpec, SchedFaults, StormSpec
 from .fleet import Fleet, Placement
 from .outcomes import (
     ExecutionSegment,
@@ -50,6 +51,7 @@ from .whatif import WhatIfReport, project_trace, run_projection_what_if
 
 __all__ = [
     "BackfillPolicy",
+    "CrashSpec",
     "ExecutionSegment",
     "FifoPolicy",
     "Fleet",
@@ -61,10 +63,12 @@ __all__ = [
     "Policy",
     "PriorityPolicy",
     "RunningJob",
+    "SchedFaults",
     "ScheduleOutcome",
     "SchedulingContext",
     "SchedulingDecision",
     "SjfPolicy",
+    "StormSpec",
     "TelemetrySample",
     "WhatIfReport",
     "default_priority",

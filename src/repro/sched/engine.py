@@ -27,8 +27,9 @@ from __future__ import annotations
 import heapq
 from typing import Dict, Iterable, List, Optional, Tuple
 
-from ..obs import DEBUG, get_obs
+from ..obs import DEBUG, WARNING, get_obs
 from ..trace.schema import JobRecord
+from .faults import SchedFaults
 from .fleet import Fleet, Placement
 from .outcomes import (
     ExecutionSegment,
@@ -67,6 +68,7 @@ class _JobState:
         "placement",
         "segment_start",
         "incarnation",
+        "retries",
     )
 
     def __init__(self, job: JobRecord, arrival_hour: float, service_hours: float):
@@ -80,6 +82,8 @@ class _JobState:
         #: Bumped on every (re)start so stale completion events are
         #: recognizable after a preemption.
         self.incarnation = 0
+        #: Failure/requeue cycles (injected worker crashes).
+        self.retries = 0
 
 
 def _resolve_durations(
@@ -102,6 +106,7 @@ def run_schedule(
     predictor: Optional[ModelRuntimePredictor] = None,
     on_unplaceable: str = "reject",
     collect_telemetry: bool = True,
+    faults: Optional[SchedFaults] = None,
 ) -> ScheduleOutcome:
     """Schedule a trace onto a fleet under a policy.
 
@@ -121,12 +126,16 @@ def run_schedule(
             ``repro.sim.multijob`` contract).  Jobs wider than the whole
             fleet are always rejected.
         collect_telemetry: Sample fleet state at every event timestamp.
+        faults: Injected disruptions (worker crashes, preemption
+            storms); ``None`` = failure-free replay.
 
     Returns:
         The per-job outcomes, rejects and fleet telemetry.
     """
     if on_unplaceable not in ("reject", "raise"):
         raise ValueError("on_unplaceable must be 'reject' or 'raise'")
+    if faults is None:
+        faults = SchedFaults()
     obs = get_obs()
     trace = sorted(jobs, key=lambda j: (j.submit_day, j.job_id))
     service = _resolve_durations(trace, durations, predictor)
@@ -149,14 +158,25 @@ def run_schedule(
         arrivals.append((arrival, job.job_id, job))
         states[job.job_id] = _JobState(job, arrival, service[job.job_id])
 
-    # Event heap: (hour, sequence, kind, job_id, incarnation); kind 0 =
+    # Event heap: (hour, sequence, kind, key, incarnation); kind 0 =
     # completion, 1 = arrival, so completions at a timestamp release
-    # GPUs before that timestamp's scheduling pass.
+    # GPUs before that timestamp's scheduling pass.  Injected faults
+    # ride the same heap: kind 2 = worker crash (key = index into
+    # ``faults.crashes``), kind 3 = storm wave (key = index into
+    # ``faults.storms``), ordered after the timestamp's arrivals so a
+    # crash can hit a job that just started.
     events: List[Tuple[float, int, int, int, int]] = []
     sequence = 0
     for arrival, job_id, _ in arrivals:
         events.append((arrival, sequence, 1, job_id, 0))
         sequence += 1
+    for crash_index, crash in enumerate(faults.crashes):
+        events.append((crash.hour, sequence, 2, crash_index, 0))
+        sequence += 1
+    for storm_index, storm in enumerate(faults.storms):
+        for tick in storm.tick_hours():
+            events.append((tick, sequence, 3, storm_index, 0))
+            sequence += 1
     heapq.heapify(events)
 
     queue: List[PendingJob] = []
@@ -165,6 +185,11 @@ def run_schedule(
     samples: List[TelemetrySample] = []
     active_gpu_hours = 0.0
     previous_hour = events[0][0] if events else 0.0
+    #: Fault events whose hour has passed but which have not found a
+    #: running victim yet (indices into ``faults.crashes`` /
+    #: ``faults.storms``).
+    pending_crashes: List[int] = []
+    pending_storm_ticks: List[int] = []
 
     def start_job(state: _JobState, placement: Placement, now: float) -> None:
         nonlocal sequence
@@ -183,6 +208,13 @@ def run_schedule(
 
     def preempt_job(state: _JobState, now: float) -> None:
         obs.metrics.counter("sched.preemptions").inc()
+        obs.event(
+            "sched.preempted",
+            level=DEBUG,
+            job_id=state.job.job_id,
+            hour=now,
+            num_cnodes=state.job.num_cnodes,
+        )
         state.segments.append(
             ExecutionSegment(
                 start_hour=state.segment_start,
@@ -203,6 +235,44 @@ def run_schedule(
             )
         )
 
+    def crash_job(state: _JobState, now: float, backoff_hours: float) -> None:
+        """A worker of a running job dies: fail, back off, re-queue.
+
+        Work is conserved (the retry resumes from the crashed segment's
+        progress, as checkpoint-restore would); the operational symptom
+        is the failure event, the retry counter and the backoff gap --
+        not lost service hours.
+        """
+        nonlocal sequence
+        state.segments.append(
+            ExecutionSegment(
+                start_hour=state.segment_start,
+                end_hour=now,
+                placement=state.placement,
+            )
+        )
+        state.remaining_hours -= now - state.segment_start
+        fleet.release(state.placement)
+        state.placement = None
+        state.incarnation += 1  # invalidate the in-flight completion
+        state.retries += 1
+        del running[state.job.job_id]
+        obs.metrics.counter("sched.failures").inc()
+        obs.event(
+            "sched.job_failed",
+            level=WARNING,
+            job_id=state.job.job_id,
+            hour=now,
+            retries=state.retries,
+            backoff_hours=backoff_hours,
+        )
+        # The retry is a fresh arrival after the backoff.
+        sequence += 1
+        heapq.heappush(
+            events,
+            (now + backoff_hours, sequence, 1, state.job.job_id, 0),
+        )
+
     while events:
         now = events[0][0]
         # Integrate GPU activity over the idle gap just ended.
@@ -210,6 +280,15 @@ def run_schedule(
         previous_hour = now
         while events and events[0][0] == now:
             _, _, kind, job_id, incarnation = heapq.heappop(events)
+            if kind == 2:
+                # Crashes fire after this timestamp's scheduling pass
+                # (below), when jobs started at this instant are
+                # visible as running victims.
+                pending_crashes.append(job_id)
+                continue
+            if kind == 3:
+                pending_storm_ticks.append(job_id)
+                continue
             state = states[job_id]
             if kind == 0:
                 if incarnation != state.incarnation or state.placement is None:
@@ -231,6 +310,7 @@ def run_schedule(
                         arrival_hour=state.arrival_hour,
                         service_hours=state.service_hours,
                         segments=tuple(state.segments),
+                        retries=state.retries,
                     )
                 )
                 obs.metrics.counter("sched.completions").inc()
@@ -282,6 +362,33 @@ def run_schedule(
                 applied += 1
             if applied == 0:
                 break  # non-empty decision that changed nothing
+
+        # Injected faults fire once the timestamp's scheduling settled:
+        # storms evict whoever is running now; a crash kills its victim
+        # (or waits armed until one exists).  Evicted/failed jobs sit
+        # queued until the next event -- their freed GPUs are claimed
+        # then, exactly as a monitoring-loop detection lag would.
+        if pending_storm_ticks:
+            for storm_index in pending_storm_ticks:
+                storm = faults.storms[storm_index]
+                for victim in sorted(running)[: storm.victims_per_tick]:
+                    preempt_job(states[victim], now)
+            pending_storm_ticks.clear()
+        if pending_crashes:
+            still_armed: List[int] = []
+            for crash_index in pending_crashes:
+                crash = faults.crashes[crash_index]
+                victim: Optional[int] = None
+                if running:
+                    if crash.job_id is not None and crash.job_id in running:
+                        victim = crash.job_id
+                    else:
+                        victim = min(running)
+                if victim is None:
+                    still_armed.append(crash_index)
+                    continue
+                crash_job(states[victim], now, crash.backoff_hours)
+            pending_crashes[:] = still_armed
 
         if collect_telemetry:
             samples.append(

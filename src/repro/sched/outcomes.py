@@ -66,6 +66,9 @@ class JobOutcome:
     arrival_hour: float
     service_hours: float
     segments: Tuple[ExecutionSegment, ...]
+    #: Failure/requeue cycles (injected worker crashes); preemption
+    #: resumes are counted separately via :attr:`preemptions`.
+    retries: int = 0
 
     @property
     def first_start_hour(self) -> float:
@@ -96,8 +99,12 @@ class JobOutcome:
 
     @property
     def preemptions(self) -> int:
-        """How many times the job was evicted and later resumed."""
-        return len(self.segments) - 1
+        """How many times the job was evicted and later resumed.
+
+        Failure/requeue cycles split segments too but are accounted in
+        :attr:`retries`, not here.
+        """
+        return max(0, len(self.segments) - 1 - self.retries)
 
     @property
     def executed_hours(self) -> float:
@@ -237,6 +244,11 @@ class ScheduleOutcome:
     def total_preemptions(self) -> int:
         """Evictions across all jobs."""
         return sum(o.preemptions for o in self.outcomes)
+
+    @property
+    def total_retries(self) -> int:
+        """Failure/requeue cycles across all jobs."""
+        return sum(o.retries for o in self.outcomes)
 
     def gpu_hours_by_type(self) -> Dict[Architecture, float]:
         """GPU-hours consumed per Table II workload type."""

@@ -19,7 +19,7 @@ the CI ``serve-smoke`` job.  Run it via ``pai-repro serve`` and talk to
 it with :class:`~repro.serve.client.ServeClient`.
 """
 
-from .client import ServeClient, ServiceError
+from .client import TRANSIENT_ERRORS, ServeClient, ServiceError
 from .replay import ReplayBatch, TraceReplayer
 from .server import QueryError, TraceService, serialize_jobs
 from .state import ShardedState, StatsSnapshot
@@ -38,6 +38,7 @@ __all__ = [
     "ReplayBatch",
     "ServeClient",
     "ServiceError",
+    "TRANSIENT_ERRORS",
     "ShardStats",
     "ShardedState",
     "StatsSnapshot",

@@ -10,6 +10,7 @@ from .collectives import (
 )
 from .events import Event, EventQueue, TimelineRecord
 from .executor import SimulationOptions, TestbedSimulator, simulate_step
+from .injection import LINK_KINDS, StepFaults
 from .measurement import StepMeasurement, medium_of_resource
 from .multijob import (
     ClusterScheduler,
@@ -20,9 +21,11 @@ from .multijob import (
 from .pearl import PearlPartition, PearlSchedule, pearl_schedule, plan_pearl
 from .ps import (
     PsProvisioning,
+    hotspot_load_factor,
     ps_scaling_curve,
     ps_sync_time,
     recommended_ps_count,
+    shard_loads,
 )
 from .resources import Channel, Device
 from .stragglers import (
@@ -43,6 +46,7 @@ __all__ = [
     "EventQueue",
     "JitterModel",
     "JobExecution",
+    "LINK_KINDS",
     "ScheduleResult",
     "PearlPartition",
     "PearlSchedule",
@@ -50,6 +54,7 @@ __all__ = [
     "SimCluster",
     "SimServer",
     "SimulationOptions",
+    "StepFaults",
     "StepMeasurement",
     "TestbedSimulator",
     "TimelineRecord",
@@ -58,6 +63,7 @@ __all__ = [
     "build_cluster",
     "expected_straggler_factor",
     "busy_fraction_by_resource",
+    "hotspot_load_factor",
     "medium_of_resource",
     "pearl_schedule",
     "plan_pearl",
@@ -69,6 +75,7 @@ __all__ = [
     "render_timeline",
     "ring_allreduce_time",
     "sample_durations",
+    "shard_loads",
     "simulate_step",
     "straggled_step_time",
     "synchronization_penalty_curve",

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass
-from typing import List
+from typing import List, Optional
 
 import numpy as np
 
@@ -29,8 +29,10 @@ from ..optim.mixed_precision import TENSOR_CORE_UTILIZATION
 from ..optim.xla import fused_memory_efficiency
 from .collectives import ring_allreduce_time
 from .events import TimelineRecord
+from .injection import StepFaults
 from .measurement import StepMeasurement
 from .pearl import pearl_schedule
+from .ps import hotspot_load_factor
 from .resources import Device
 from .topology import SimCluster, build_cluster
 
@@ -189,6 +191,7 @@ class TestbedSimulator:
         graph: ModelGraph,
         deployment: Deployment,
         grads_ready: List[float],
+        faults: StepFaults = StepFaults(),
     ) -> List[float]:
         """Run the architecture's synchronization; returns end times."""
         arch = deployment.architecture
@@ -215,9 +218,17 @@ class TestbedSimulator:
                     # An under-provisioned PS fleet (p < w) funnels the
                     # aggregate traffic through fewer PS NICs; the
                     # worker sees that incast as a stretched wire time.
-                    ps_factor = max(
-                        1.0, n / deployment.ps_fleet_size
-                    )
+                    # An injected shard hotspot has the same shape: the
+                    # hottest shard's NIC becomes the wire bottleneck.
+                    if faults.ps_shard_weights is not None:
+                        ps_factor = max(
+                            1.0,
+                            hotspot_load_factor(n, faults.ps_shard_weights),
+                        )
+                    else:
+                        ps_factor = max(
+                            1.0, n / deployment.ps_fleet_size
+                        )
                     eth_end = server.nic.reserve(
                         grads_ready[index],
                         volume * ps_factor,
@@ -341,8 +352,17 @@ class TestbedSimulator:
             rng.lognormal(mean=0.0, sigma=self.options.jitter_sigma, size=n)
         )
 
-    def run_step(self, graph: ModelGraph, deployment: Deployment) -> StepMeasurement:
-        """Simulate one training step; returns its measurement."""
+    def run_step(
+        self,
+        graph: ModelGraph,
+        deployment: Deployment,
+        faults: Optional[StepFaults] = None,
+    ) -> StepMeasurement:
+        """Simulate one training step; returns its measurement.
+
+        ``faults`` injects the :class:`StepFaults` active during this
+        step (``None`` = healthy cluster).
+        """
         obs = get_obs()
         obs.metrics.counter("sim.steps").inc()
         with obs.trace(
@@ -351,15 +371,21 @@ class TestbedSimulator:
             architecture=str(deployment.architecture),
             num_cnodes=deployment.num_cnodes,
         ):
-            return self._run_step(graph, deployment)
+            return self._run_step(graph, deployment, faults)
 
     def _run_step(
-        self, graph: ModelGraph, deployment: Deployment
+        self,
+        graph: ModelGraph,
+        deployment: Deployment,
+        faults: Optional[StepFaults] = None,
     ) -> StepMeasurement:
+        if faults is None:
+            faults = StepFaults()
         if self.options.check_memory:
             self._check_memory(graph, deployment)
         cluster = self._cluster_for(deployment)
         cluster.reset()
+        faults.degrade_cluster(cluster)
         n = deployment.num_cnodes
         input_ready = self._load_input(cluster, graph, deployment)
 
@@ -401,17 +427,25 @@ class TestbedSimulator:
                 graph.training_step,
                 gather_done[index],
                 mixed,
-                jitter[index],
+                jitter[index] * faults.compute_multiplier(index),
             )
             grads_ready.append(end)
 
-        sync_ends = self._sync_weights(cluster, graph, deployment, grads_ready)
+        sync_ends = self._sync_weights(
+            cluster, graph, deployment, grads_ready, faults
+        )
         step_time = max(sync_ends) if sync_ends else max(grads_ready)
+        replica_compute = tuple(
+            grads_ready[i] - gather_done[i] for i in range(n)
+        )
+        replica_step = tuple(sync_ends) if sync_ends else tuple(grads_ready)
         return StepMeasurement(
             workload=graph.name,
             records=tuple(cluster.records()),
             step_time=step_time,
             num_cnodes=n,
+            replica_compute_s=replica_compute,
+            replica_step_s=replica_step,
         )
 
 
@@ -421,7 +455,8 @@ def simulate_step(
     hardware: HardwareConfig = None,
     efficiency: EfficiencyModel = PAPER_DEFAULT_EFFICIENCY,
     options: SimulationOptions = SimulationOptions(),
+    faults: Optional[StepFaults] = None,
 ) -> StepMeasurement:
     """One-call convenience wrapper around :class:`TestbedSimulator`."""
     simulator = TestbedSimulator(hardware, efficiency, options)
-    return simulator.run_step(graph, deployment)
+    return simulator.run_step(graph, deployment, faults)

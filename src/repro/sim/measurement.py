@@ -30,12 +30,21 @@ def medium_of_resource(resource: str) -> str:
 
 @dataclass(frozen=True)
 class StepMeasurement:
-    """All timeline records of one simulated training step."""
+    """All timeline records of one simulated training step.
+
+    ``replica_compute_s`` / ``replica_step_s`` expose the per-replica
+    compute phase and end-to-end times (empty for measurements built
+    before these fields existed).  They are what a per-worker metrics
+    agent would export, so the fault-telemetry layer samples them
+    directly instead of re-deriving them from the timeline records.
+    """
 
     workload: str
     records: Tuple[TimelineRecord, ...]
     step_time: float
     num_cnodes: int
+    replica_compute_s: Tuple[float, ...] = ()
+    replica_step_s: Tuple[float, ...] = ()
 
     def __post_init__(self) -> None:
         if self.step_time < 0:

@@ -18,16 +18,18 @@ fleet that keeps the PS side off the critical path.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List
+from typing import List, Optional, Sequence
 
 from ..core.efficiency import PAPER_DEFAULT_EFFICIENCY, EfficiencyModel
 from ..core.hardware import HardwareConfig
 
 __all__ = [
     "PsProvisioning",
+    "hotspot_load_factor",
     "ps_sync_time",
     "recommended_ps_count",
     "ps_scaling_curve",
+    "shard_loads",
 ]
 
 
@@ -55,18 +57,71 @@ class PsProvisioning:
         return self.ps_load_factor > 1.0
 
 
+def shard_loads(
+    total_traffic: float, shard_weights: Sequence[float]
+) -> List[float]:
+    """Bytes each PS shard carries per step under a weight vector.
+
+    ``shard_weights`` are relative (normalized here); even weights give
+    the classic ``total / p`` split.  This is exactly the per-shard
+    byte counter a real PS fleet exports, which is why the telemetry
+    layer samples it as a hotspot symptom.
+    """
+    if total_traffic < 0:
+        raise ValueError("total_traffic must be non-negative")
+    if not shard_weights:
+        raise ValueError("shard_weights must be non-empty")
+    if any(weight <= 0 for weight in shard_weights):
+        raise ValueError("shard weights must be positive")
+    total_weight = float(sum(shard_weights))
+    return [total_traffic * weight / total_weight for weight in shard_weights]
+
+
+def hotspot_load_factor(
+    num_workers: int, shard_weights: Sequence[float]
+) -> float:
+    """NIC load factor of the hottest shard relative to one worker.
+
+    With even sharding this reduces to ``w / p`` (the classic
+    :attr:`PsProvisioning.ps_load_factor`); a skewed weight vector
+    funnels a larger share of the aggregate ``w * V`` traffic through
+    the hot shard's NIC, stretching the incast wall accordingly.
+    """
+    if num_workers < 1:
+        raise ValueError("num_workers must be at least 1")
+    loads = shard_loads(float(num_workers), shard_weights)
+    return max(loads)
+
+
 def ps_sync_time(
     traffic_per_worker: float,
     provisioning: PsProvisioning,
     hardware: HardwareConfig,
     efficiency: EfficiencyModel = PAPER_DEFAULT_EFFICIENCY,
+    shard_weights: Optional[Sequence[float]] = None,
 ) -> float:
-    """Per-step weight-synchronization time with an explicit PS fleet."""
+    """Per-step weight-synchronization time with an explicit PS fleet.
+
+    ``shard_weights`` (one per parameter server) skews the variable
+    sharding: the synchronization then waits on the hottest shard's NIC
+    instead of the even ``w / p`` split.
+    """
     if traffic_per_worker < 0:
         raise ValueError("traffic_per_worker must be non-negative")
+    if shard_weights is not None and len(shard_weights) != (
+        provisioning.num_parameter_servers
+    ):
+        raise ValueError(
+            "shard_weights must have one entry per parameter server"
+        )
     ethernet = hardware.ethernet.bandwidth * efficiency.network
     pcie = hardware.pcie.bandwidth * efficiency.pcie
-    wire = max(traffic_per_worker, traffic_per_worker * provisioning.ps_load_factor)
+    load_factor = provisioning.ps_load_factor
+    if shard_weights is not None:
+        load_factor = hotspot_load_factor(
+            provisioning.num_workers, shard_weights
+        )
+    wire = max(traffic_per_worker, traffic_per_worker * load_factor)
     return wire / ethernet + traffic_per_worker / pcie
 
 

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from functools import lru_cache
-from typing import List, Optional
+from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -61,31 +61,57 @@ class JitterModel:
 
 @lru_cache(maxsize=1024)
 def _expected_max_lognormal(
-    sigma: float, samples: int, seed: int, num_cnodes: int
+    sigma: float,
+    samples: int,
+    seed: int,
+    num_cnodes: int,
+    slowdowns: Optional[Tuple[float, ...]] = None,
 ) -> float:
     """Monte Carlo E[max of n log-normals], memoized on its full key.
 
-    The estimate is deterministic in ``(sigma, samples, seed, n)``, so
-    repeated queries (the penalty curve asks twice per cNode count, and
-    sweeps revisit the same counts) skip the 4000-sample draw entirely.
+    The estimate is deterministic in ``(sigma, samples, seed, n,
+    slowdowns)``, so repeated queries (the penalty curve asks twice per
+    cNode count, and sweeps revisit the same counts) skip the
+    4000-sample draw entirely.  ``slowdowns`` (one deterministic
+    multiplier per replica) scales each replica's draws before the max,
+    modeling a persistently sick replica on top of i.i.d. jitter.
     """
     rng = np.random.default_rng(seed)
     draws = rng.lognormal(mean=0.0, sigma=sigma, size=(samples, num_cnodes))
+    if slowdowns is not None:
+        draws = draws * np.asarray(slowdowns)
     return float(draws.max(axis=1).mean())
 
 
-def expected_straggler_factor(num_cnodes: int, jitter: JitterModel = JitterModel()) -> float:
+def expected_straggler_factor(
+    num_cnodes: int,
+    jitter: JitterModel = JitterModel(),
+    slowdowns: Optional[Sequence[float]] = None,
+) -> float:
     """E[max of n log-normal jitter factors] (median-1 normalization).
 
     Equals 1 for a single replica or zero jitter; grows without bound
     (slowly, ~exp(sigma * sqrt(2 ln n))) as the replica count grows.
+    With ``slowdowns`` (a deterministic >=1 multiplier per replica,
+    e.g. from an injected fault), the barrier waits for the slowest
+    *slowed* replica: at zero jitter the factor is exactly
+    ``max(slowdowns)``.
     """
     if num_cnodes < 1:
         raise ValueError("num_cnodes must be at least 1")
+    key: Optional[Tuple[float, ...]] = None
+    if slowdowns is not None:
+        if len(slowdowns) != num_cnodes:
+            raise ValueError("slowdowns must have one entry per cNode")
+        if any(s < 1.0 for s in slowdowns):
+            raise ValueError("slowdowns must be >= 1")
+        key = tuple(float(s) for s in slowdowns)
+        if all(s == 1.0 for s in key):
+            key = None
     if jitter.sigma == 0 or num_cnodes == 1:
-        return 1.0
+        return max(key) if key is not None else 1.0
     return _expected_max_lognormal(
-        jitter.sigma, jitter.samples, jitter.seed, num_cnodes
+        jitter.sigma, jitter.samples, jitter.seed, num_cnodes, key
     )
 
 

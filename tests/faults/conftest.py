@@ -1,0 +1,33 @@
+"""Shared fixtures for the fault-injection tests."""
+
+import pytest
+
+from repro.core.architectures import Architecture
+from repro.graphs.features_from_graph import Deployment
+from repro.graphs.graph import ModelGraph
+from repro.graphs.ops import matmul_op
+
+
+@pytest.fixture(scope="session")
+def probe_graph():
+    """The same tiny dense model the scenario harness replays."""
+    ops = (
+        matmul_op("fc1", 512, 512, 512, batch=32, param_bytes=512 * 512 * 4),
+        matmul_op("fc2", 512, 512, 256, batch=32, param_bytes=512 * 256 * 4),
+    )
+    return ModelGraph(
+        name="faults-test-probe",
+        domain="synthetic",
+        forward=ops,
+        batch_size=32,
+        input_bytes_per_sample=4096.0,
+    )
+
+
+@pytest.fixture(scope="session")
+def probe_deployment():
+    return Deployment(
+        architecture=Architecture.PS_WORKER,
+        num_cnodes=4,
+        num_parameter_servers=4,
+    )

@@ -1,0 +1,26 @@
+"""Shared job factory for the fault-injection tests."""
+
+from repro.core.architectures import Architecture
+from repro.core.features import WorkloadFeatures
+from repro.trace.schema import JobRecord
+
+
+def make_job(job_id, num_cnodes=1, submit_day=0):
+    """One synthetic job for engine-level fault tests."""
+    architecture = (
+        Architecture.SINGLE
+        if num_cnodes == 1
+        else Architecture.LOCAL_CENTRALIZED
+    )
+    features = WorkloadFeatures(
+        name=f"job-{job_id}",
+        architecture=architecture,
+        num_cnodes=num_cnodes,
+        batch_size=32,
+        flop_count=1e9,
+        memory_access_bytes=1e6,
+        input_bytes=1e3,
+        weight_traffic_bytes=0.0 if num_cnodes == 1 else 1e6,
+        dense_weight_bytes=1e6,
+    )
+    return JobRecord(job_id=job_id, features=features, submit_day=submit_day)

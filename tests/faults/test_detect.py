@@ -1,0 +1,137 @@
+"""The changepoint detector: baselines, sustained deviations, bursts."""
+
+import pytest
+
+from repro.faults import Anomaly, detect, detect_series, rolling_baseline
+from repro.faults.detect import BURST_MIN_EVENTS, SUSTAIN, WARMUP_SAMPLES
+
+
+def series(values):
+    return list(range(len(values))), list(values)
+
+
+def healthy_then(level, *, healthy=1.0, warmup=WARMUP_SAMPLES, tail=6):
+    return [healthy] * warmup + [level] * tail
+
+
+class TestRollingBaseline:
+    def test_median_of_warmup_window(self):
+        assert rolling_baseline([1.0, 2.0, 3.0], warmup=3) == 2.0
+        assert rolling_baseline([1.0, 2.0, 3.0, 4.0], warmup=4) == 2.5
+
+    def test_robust_to_an_early_outlier(self):
+        values = [1.0, 50.0, 1.0, 1.0, 1.0, 1.0, 1.0, 1.0]
+        assert rolling_baseline(values) == 1.0
+
+    def test_empty_series_rejected(self):
+        with pytest.raises(ValueError):
+            rolling_baseline([])
+
+
+class TestDetectSeries:
+    def test_flat_series_is_clean(self):
+        times, values = series([1.0] * 20)
+        assert detect_series(times, values, direction="up") is None
+
+    def test_sustained_inflation_is_flagged_at_onset(self):
+        times, values = series(healthy_then(1.5))
+        hit = detect_series(times, values, direction="up")
+        assert hit is not None
+        onset, peak = hit
+        assert onset == WARMUP_SAMPLES
+        assert peak == pytest.approx(0.5)
+
+    def test_blip_shorter_than_sustain_is_ignored(self):
+        values = [1.0] * WARMUP_SAMPLES
+        values += [1.5] * (SUSTAIN - 1)
+        values += [1.0] * 6
+        times, values = series(values)
+        assert detect_series(times, values, direction="up") is None
+
+    def test_downward_direction_flags_drops(self):
+        times, values = series(healthy_then(0.6))
+        hit = detect_series(
+            times, values, direction="down", threshold=0.15
+        )
+        assert hit is not None
+        assert hit[1] == pytest.approx(0.4)
+
+    def test_drop_is_invisible_to_up_direction(self):
+        times, values = series(healthy_then(0.6))
+        assert detect_series(times, values, direction="up") is None
+
+    def test_peak_spans_the_whole_excursion(self):
+        values = [1.0] * WARMUP_SAMPLES + [1.5, 1.5, 1.5, 2.0, 1.5]
+        times, values = series(values)
+        hit = detect_series(times, values, direction="up")
+        assert hit is not None
+        assert hit[1] == pytest.approx(1.0)  # the late 2.0 sample
+
+    def test_too_short_series_is_clean(self):
+        times, values = series([1.0] * WARMUP_SAMPLES)
+        assert detect_series(times, values, direction="up") is None
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            detect_series([0.0], [1.0], direction="sideways")
+        with pytest.raises(ValueError):
+            detect_series([0.0, 1.0], [1.0], direction="up")
+
+
+def step_event(tick, replica, compute_s, step_s):
+    return {
+        "kind": "telemetry.step",
+        "tick": tick,
+        "replica": replica,
+        "compute_s": compute_s,
+        "step_s": step_s,
+    }
+
+
+class TestDetect:
+    def test_compute_inflation_yields_replica_anomaly(self):
+        events = []
+        for tick in range(WARMUP_SAMPLES + 6):
+            sick = tick >= WARMUP_SAMPLES
+            events.append(step_event(tick, 0, 2.0 if sick else 1.0, 1.0))
+            events.append(step_event(tick, 1, 1.0, 1.0))
+        anomalies = detect(events)
+        assert (
+            Anomaly("compute_inflation", "replica:0", float(WARMUP_SAMPLES), 1.0)
+            in anomalies
+        )
+        assert all(a.target != "replica:1" for a in anomalies)
+
+    def test_single_failure_is_not_a_burst(self):
+        events = [
+            {
+                "kind": "sched.job_failed",
+                "job_id": 4,
+                "hour": 12.0,
+                "retries": 1,
+            }
+        ]
+        anomalies = detect(events)
+        assert [a.symptom for a in anomalies] == ["job_failure"]
+        assert anomalies[0].target == "job:4"
+
+    def test_preemption_burst_needs_events_and_distinct_jobs(self):
+        one_job = [
+            {"kind": "sched.preempted", "job_id": 1, "hour": float(h)}
+            for h in range(BURST_MIN_EVENTS)
+        ]
+        assert not any(
+            a.symptom == "preemption_burst" for a in detect(one_job)
+        )
+        two_jobs = one_job + [
+            {"kind": "sched.preempted", "job_id": 2, "hour": 9.0}
+        ]
+        bursts = [
+            a for a in detect(two_jobs) if a.symptom == "preemption_burst"
+        ]
+        assert len(bursts) == 1
+        assert bursts[0].target == "fleet"
+        assert bursts[0].onset == 0.0
+
+    def test_empty_stream_is_clean(self):
+        assert detect([]) == ()

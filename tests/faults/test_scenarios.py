@@ -1,0 +1,111 @@
+"""The scored scenario harness: coverage, accuracy, determinism."""
+
+import inspect
+import json
+
+import pytest
+
+from repro.faults import (
+    FaultKind,
+    run_scenario,
+    scenario_specs,
+    score_suite,
+)
+
+#: The committed acceptance bar (>= 25 scenarios, >= 80% localized).
+SUITE_SIZE = 25
+MIN_ACCURACY = 0.8
+
+
+@pytest.fixture(scope="module")
+def report():
+    return score_suite(SUITE_SIZE)
+
+
+class TestSpecs:
+    def test_count_validated(self):
+        with pytest.raises(ValueError):
+            scenario_specs(0)
+
+    def test_kinds_cycle_round_robin(self):
+        specs = scenario_specs(SUITE_SIZE)
+        kinds = [s.fault.kind for s in specs]
+        for kind in FaultKind:
+            assert kinds.count(kind) == SUITE_SIZE // len(FaultKind)
+
+    def test_specs_are_deterministic(self):
+        assert scenario_specs(10) == scenario_specs(10)
+
+    def test_seed_changes_the_plans(self):
+        assert scenario_specs(10, seed=1) != scenario_specs(10, seed=2)
+
+    def test_single_fault_per_plan(self):
+        for spec in scenario_specs(SUITE_SIZE):
+            assert len(spec.plan.faults) == 1
+
+
+class TestAcceptance:
+    def test_suite_meets_the_localization_bar(self, report):
+        assert len(report.results) == SUITE_SIZE
+        assert report.accuracy >= MIN_ACCURACY
+        assert report.kind_accuracy >= MIN_ACCURACY
+
+    def test_every_kind_is_covered_and_localized(self, report):
+        by_kind = report.by_kind()
+        assert set(by_kind) == {k.value for k in FaultKind}
+        for kind, (localized, total) in by_kind.items():
+            assert total == SUITE_SIZE // len(FaultKind)
+            assert localized / total >= MIN_ACCURACY, kind
+
+    def test_onsets_are_localized_in_time(self, report):
+        assert report.onset_accuracy >= MIN_ACCURACY
+
+    def test_report_round_trips_through_json(self, report):
+        payload = json.loads(json.dumps(report.to_dict()))
+        assert payload["scenarios"] == SUITE_SIZE
+        assert payload["accuracy"] == report.accuracy
+        assert payload["digest"] == report.digest
+        assert len(payload["results"]) == SUITE_SIZE
+
+
+class TestDeterminism:
+    def test_rerun_reproduces_byte_identical_scores(self, report):
+        again = score_suite(SUITE_SIZE)
+        assert again.digest == report.digest
+        assert again.results == report.results
+
+    def test_single_scenario_reruns_identically(self):
+        spec = scenario_specs(3)[2]  # a sched-kind scenario (crash)
+        first = run_scenario(spec)
+        second = run_scenario(spec)
+        assert first == second
+        assert first.digest == second.digest
+
+
+class TestBlindness:
+    """The detection pipeline never sees the ground truth."""
+
+    def test_detector_modules_never_touch_the_plan(self):
+        import repro.faults.detect as detect_module
+        import repro.faults.localize as localize_module
+
+        for module in (detect_module, localize_module):
+            source = inspect.getsource(module)
+            assert "FaultPlan" not in source
+            assert "injector" not in source
+
+    def test_diagnosis_works_from_captured_events_only(self):
+        from repro.faults import canonical_events, capture, diagnose
+        from repro.faults.scenarios import _run_sim_scenario
+
+        spec = scenario_specs(1)[0]  # a straggler scenario
+        with capture() as sink:
+            _run_sim_scenario(spec)
+        events = canonical_events(sink.events)
+        # Nothing in the stream names the cause...
+        for event in events:
+            assert "straggler" not in json.dumps(event)
+        # ...yet the pipeline recovers it.
+        diagnosis = diagnose(events)
+        assert diagnosis.kind is FaultKind.STRAGGLER
+        assert diagnosis.target == spec.fault.target

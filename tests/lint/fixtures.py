@@ -80,10 +80,24 @@ RULE_FIXTURES: Dict[str, Dict[str, List[Fixture]]] = {
             ("import repro.runtime.executor\n", "repro.trace.model"),
             # obs may import nothing of repro.
             ("from repro.core import units\n", "repro.obs.core"),
+            # The injection hooks live below the fault plans: sim must
+            # never import the faults package above it.
+            ("from repro.faults import FaultPlan\n", "repro.sim.executor"),
+            # profiling and faults share a rank; neither may import the
+            # other at module level.
+            ("from repro.profiling import flame\n", "repro.faults.detect"),
         ],
         "negative": [
             # Downward edges are the point.
             ("from repro.core import units\n", "repro.analysis.report"),
+            # faults sits above the layers it injects into...
+            ("from repro.sim import StepFaults\n", "repro.faults.injector"),
+            ("from repro.sched import CrashSpec\n", "repro.faults.injector"),
+            # ...and below its consumers.
+            (
+                "from repro.faults import score_suite\n",
+                "repro.analysis.faults_scenarios",
+            ),
             # Function-scoped imports are the sanctioned cycle breaker.
             (
                 "def f():\n"

@@ -16,6 +16,7 @@ PACKAGES = [
     "repro.inference",
     "repro.analysis",
     "repro.serve",
+    "repro.faults",
 ]
 
 
