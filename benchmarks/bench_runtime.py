@@ -11,7 +11,17 @@ variant as an artifact):
 * ``scalar_loop_s`` / ``vectorized_s`` / ``vectorized_speedup`` -- the
   per-job Python-loop evaluation the figure experiments used before the
   columnar path, replayed on the same populations the suite analyzes,
-  against the batch path.
+  against the batch path;
+* ``populations`` -- per-size rows (20k / 200k / 1M full, smaller for
+  ``--quick``) timing scalar vs vectorized analysis and JSONL parsing
+  vs columnar-mmap loading, with a byte-identity check on the Fig. 7
+  statistics both load paths produce.
+
+The payload is stamped with the package version (read from
+``repro.__version__``, never hardcoded) and, when ``--output`` is
+given, also written to a ``BENCH_<version>.json`` trajectory sibling;
+``tools/bench_gate.py`` compares a fresh quick run against the
+committed trajectory entry and fails CI on >25% speedup regressions.
 
 Usage::
 
@@ -32,6 +42,12 @@ from pathlib import Path
 #: Trace size of ``--quick`` mode (CI smoke); full mode uses the
 #: suite default of 20000.
 QUICK_TRACE_JOBS = 2000
+
+#: Population sizes for the per-size scalar/vectorized/columnar rows.
+#: Quick mode still includes 20000 so the regression gate can compare
+#: speedup ratios against the committed full-mode baseline.
+FULL_POPULATION_SIZES = (20_000, 200_000, 1_000_000)
+QUICK_POPULATION_SIZES = (QUICK_TRACE_JOBS, 20_000)
 
 
 def _time(fn):
@@ -153,6 +169,101 @@ def bench_vectorization() -> dict:
     }
 
 
+def bench_populations(sizes) -> list:
+    """Per-size rows: scalar vs vectorized analysis, JSONL vs columnar.
+
+    For each population size this generates one calibrated trace and
+    measures, on identical jobs:
+
+    * ``scalar_analysis_s`` -- the per-job Python loop producing the
+      Fig. 7 cNode-weighted averages;
+    * ``vectorized_analysis_s`` -- the columnar batch path on the same
+      population;
+    * ``jsonl_load_s`` -- parsing the trace from JSONL into an
+      analysis-ready :class:`FeatureArrays`;
+    * ``columnar_load_s`` -- the same endpoint via the memory-mapped
+      columnar store (no per-job objects);
+    * ``stats_identical`` -- whether both load paths produce
+      byte-identical Fig. 7 statistics.
+    """
+    from repro.analysis.context import DEFAULT_TRACE_SEED, default_hardware
+    from repro.core.population import (
+        FeatureArrays,
+        analyze_population,
+        average_fractions,
+        batch_breakdowns,
+    )
+    from repro.trace.columnar import ColumnarTrace, write_columnar
+    from repro.trace.generator import generate_trace
+    from repro.trace.serialization import load_trace, save_trace
+
+    hardware = default_hardware()
+    rows = []
+    for size in sizes:
+        jobs = generate_trace(num_jobs=size, seed=DEFAULT_TRACE_SEED)
+        with tempfile.TemporaryDirectory() as tmp:
+            jsonl_path = Path(tmp) / "trace.jsonl"
+            store_path = Path(tmp) / "trace.columnar"
+            save_trace(jobs, jsonl_path)
+            write_columnar(jobs, store_path)
+
+            def load_jsonl():
+                records = load_trace(jsonl_path)
+                return FeatureArrays.from_workloads(
+                    record.features for record in records
+                )
+
+            def load_columnar():
+                return ColumnarTrace.open(store_path).feature_arrays()
+
+            jsonl_load_s, from_jsonl = _time(load_jsonl)
+            columnar_load_s, from_columnar = _time(load_columnar)
+            jsonl_stats = batch_breakdowns(
+                from_jsonl, hardware
+            ).average_fractions(cnode_level=True)
+            columnar_stats = batch_breakdowns(
+                from_columnar, hardware
+            ).average_fractions(cnode_level=True)
+            stats_identical = jsonl_stats == columnar_stats
+
+        features = [job.features for job in jobs]
+        del jobs
+        scalar_analysis_s, scalar_stats = _time(
+            lambda: average_fractions(
+                analyze_population(features, hardware), cnode_level=True
+            )
+        )
+        vectorized_analysis_s, batch_stats = _time(
+            lambda: batch_breakdowns(
+                FeatureArrays.from_workloads(features), hardware
+            ).average_fractions(cnode_level=True)
+        )
+        drift = max(
+            abs(scalar_stats[key] - batch_stats[key]) for key in scalar_stats
+        )
+        if drift > 1e-9:
+            raise RuntimeError(
+                f"scalar/vector drift {drift:.3e} exceeds 1e-9 at {size}"
+            )
+        rows.append(
+            {
+                "jobs": size,
+                "scalar_analysis_s": round(scalar_analysis_s, 4),
+                "vectorized_analysis_s": round(vectorized_analysis_s, 4),
+                "vectorized_speedup": round(
+                    scalar_analysis_s / vectorized_analysis_s, 1
+                ),
+                "jsonl_load_s": round(jsonl_load_s, 4),
+                "columnar_load_s": round(columnar_load_s, 4),
+                "columnar_load_speedup": round(
+                    jsonl_load_s / columnar_load_s, 1
+                ),
+                "stats_identical": stats_identical,
+            }
+        )
+    return rows
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -180,6 +291,7 @@ def main(argv=None) -> int:
     from repro import __version__
     from repro.analysis.context import default_trace_config
 
+    sizes = QUICK_POPULATION_SIZES if args.quick else FULL_POPULATION_SIZES
     payload = {
         "bench": "runtime",
         "version": __version__,
@@ -187,11 +299,16 @@ def main(argv=None) -> int:
         "trace_jobs": default_trace_config().num_jobs,
         "suite": bench_suite(args.parallel),
         "vectorization": bench_vectorization(),
+        "populations": bench_populations(sizes),
     }
     text = json.dumps(payload, indent=2) + "\n"
     print(text, end="")
     if args.output:
-        Path(args.output).write_text(text, encoding="utf-8")
+        output = Path(args.output)
+        output.write_text(text, encoding="utf-8")
+        trajectory = output.with_name(f"BENCH_{__version__}.json")
+        trajectory.write_text(text, encoding="utf-8")
+        print(f"trajectory entry: {trajectory}", file=sys.stderr)
     return 0
 
 

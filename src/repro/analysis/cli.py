@@ -120,7 +120,7 @@ def build_parser() -> argparse.ArgumentParser:
     _add_obs_options(report_parser)
 
     trace_parser = subparsers.add_parser(
-        "trace", help="generate a calibrated synthetic trace (JSONL)"
+        "trace", help="generate a calibrated synthetic trace"
     )
     trace_parser.add_argument(
         "-o", "--output", default="trace.jsonl", help="output path"
@@ -132,11 +132,34 @@ def build_parser() -> argparse.ArgumentParser:
         "--seed", type=int, default=20190501, help="generator seed"
     )
     trace_parser.add_argument(
+        "--format",
+        choices=("jsonl", "columnar"),
+        default="jsonl",
+        dest="trace_format",
+        help="on-disk format: line-oriented JSON, or the sharded "
+        "columnar store (mmap-loadable; use for 200k+ jobs)",
+    )
+    trace_parser.add_argument(
         "--check",
         action="store_true",
         help="also run the calibration targets against the trace",
     )
     _add_obs_options(trace_parser)
+
+    convert_parser = subparsers.add_parser(
+        "convert",
+        help="convert a trace between JSONL and the columnar store "
+        "(direction auto-detected from the input)",
+    )
+    convert_parser.add_argument("input", help="existing trace path")
+    convert_parser.add_argument("output", help="converted trace path")
+    convert_parser.add_argument(
+        "--shard-rows",
+        type=int,
+        default=None,
+        help="rows per columnar shard (JSONL->columnar only)",
+    )
+    _add_obs_options(convert_parser)
 
     advise_parser = subparsers.add_parser(
         "advise", help="rank feasible deployments for one workload"
@@ -183,8 +206,9 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace",
         default=None,
         metavar="PATH",
-        help="stream this JSONL trace in (default: start empty and "
-        "accept POST /ingest)",
+        help="stream this trace in -- a JSONL file or a columnar store "
+        "directory, auto-detected (default: start empty and accept "
+        "POST /ingest)",
     )
     source.add_argument(
         "-n",
@@ -257,10 +281,14 @@ def build_parser() -> argparse.ArgumentParser:
 
 def _command_trace(args: argparse.Namespace) -> int:
     from ..trace import evaluate_targets, generate_trace, save_trace
+    from ..trace.columnar import write_columnar
 
     jobs = generate_trace(num_jobs=args.num_jobs, seed=args.seed)
-    count = save_trace(jobs, args.output)
-    print(f"wrote {count} jobs to {args.output}")
+    if args.trace_format == "columnar":
+        count = write_columnar(jobs, args.output)
+    else:
+        count = save_trace(jobs, args.output)
+    print(f"wrote {count} jobs to {args.output} ({args.trace_format})")
     if args.check:
         failures = [
             check for check in evaluate_targets(jobs) if not check["ok"]
@@ -273,6 +301,35 @@ def _command_trace(args: argparse.Namespace) -> int:
                 )
             return 1
         print("all calibration targets within tolerance")
+    return 0
+
+
+def _command_convert(args: argparse.Namespace) -> int:
+    """Convert between JSONL and the columnar store, either direction."""
+    from ..trace.columnar import (
+        DEFAULT_SHARD_ROWS,
+        columnar_to_jsonl,
+        is_columnar_store,
+        jsonl_to_columnar,
+    )
+
+    if is_columnar_store(args.input):
+        if args.shard_rows is not None:
+            print(
+                "--shard-rows applies only when converting to columnar",
+                file=sys.stderr,
+            )
+            return 2
+        count = columnar_to_jsonl(args.input, args.output)
+        direction = "columnar -> jsonl"
+    else:
+        count = jsonl_to_columnar(
+            args.input,
+            args.output,
+            shard_rows=args.shard_rows or DEFAULT_SHARD_ROWS,
+        )
+        direction = "jsonl -> columnar"
+    print(f"converted {count} jobs ({direction}) to {args.output}")
     return 0
 
 
@@ -330,8 +387,12 @@ def _command_serve(args: argparse.Namespace) -> int:
 
     if args.trace is not None:
         from ..trace import iter_trace
+        from ..trace.columnar import ColumnarTrace, is_columnar_store
 
-        jobs = iter_trace(args.trace)
+        if is_columnar_store(args.trace):
+            jobs = ColumnarTrace.open(args.trace).iter_records()
+        else:
+            jobs = iter_trace(args.trace)
     elif args.num_jobs is not None:
         from ..trace import generate_trace
 
@@ -486,6 +547,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         return _run_observed(args, _command_report)
     if args.command == "trace":
         return _run_observed(args, _command_trace)
+    if args.command == "convert":
+        return _run_observed(args, _command_convert)
     if args.command == "advise":
         return _command_advise(args)
     if args.command == "serve":

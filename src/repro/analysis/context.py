@@ -15,6 +15,7 @@ the environment can reset everything through :func:`clear_caches`.
 from __future__ import annotations
 
 import functools
+import hashlib
 import os
 from collections import OrderedDict
 from typing import List, Optional, Tuple
@@ -23,17 +24,22 @@ from ..core.architectures import Architecture
 from ..core.features import WorkloadFeatures
 from ..core.hardware import HardwareConfig, pai_default_hardware, testbed_v100_hardware
 from ..core.population import FeatureArrays
+from ..trace.columnar import ColumnarTrace, is_columnar_store
 from ..trace.generator import TraceConfig, generate_trace
 from ..trace.schema import features_of_type
+from ..trace.serialization import load_trace
 
 __all__ = [
     "DEFAULT_TRACE_JOBS",
     "DEFAULT_TRACE_SEED",
     "TRACE_JOBS_ENV_VAR",
+    "TRACE_PATH_ENV_VAR",
     "default_trace_config",
     "default_trace",
     "default_hardware",
     "testbed_hardware",
+    "external_trace_path",
+    "trace_source_identity",
     "trace_features",
     "trace_feature_arrays",
     "ps_worker_features",
@@ -51,6 +57,65 @@ DEFAULT_TRACE_SEED = 20190501
 #: benchmark mode and CI smoke runs).  The value participates in the
 #: trace config, and therefore in result-cache fingerprints.
 TRACE_JOBS_ENV_VAR = "PAI_REPRO_TRACE_JOBS"
+
+#: Environment override pointing the whole suite at an on-disk trace
+#: instead of the synthetic generator: either a JSONL file or a
+#: columnar store directory (:mod:`repro.trace.columnar`).  Columnar
+#: stores feed the vectorized experiments straight from memory-mapped
+#: columns, so figs 7-11 run against million-job populations without
+#: materializing per-job records.  The trace's content digest
+#: participates in result-cache fingerprints.
+TRACE_PATH_ENV_VAR = "PAI_REPRO_TRACE_PATH"
+
+
+def external_trace_path() -> Optional[str]:
+    """The :data:`TRACE_PATH_ENV_VAR` override, if set and non-empty."""
+    return os.environ.get(TRACE_PATH_ENV_VAR) or None
+
+
+@functools.lru_cache(maxsize=2)
+def _external_columnar_store(path: str) -> ColumnarTrace:
+    return ColumnarTrace.open(path)
+
+
+@functools.lru_cache(maxsize=2)
+def _cached_external_trace(path: str) -> tuple:
+    if is_columnar_store(path):
+        return tuple(_external_columnar_store(path).iter_records())
+    return tuple(load_trace(path))
+
+
+@functools.lru_cache(maxsize=4)
+def _jsonl_digest(path: str, size: int, mtime_ns: int) -> str:
+    digest = hashlib.sha256()
+    with open(path, "rb") as handle:
+        for chunk in iter(lambda: handle.read(1 << 20), b""):
+            digest.update(chunk)
+    return digest.hexdigest()
+
+
+def trace_source_identity() -> Optional[dict]:
+    """Content identity of the external trace override, or ``None``.
+
+    Result-cache fingerprints include this, so pointing
+    :data:`TRACE_PATH_ENV_VAR` at a different trace (or rewriting the
+    same path) can never serve a stale cached result.  Columnar stores
+    identify by their manifest digest; JSONL traces hash their bytes
+    (re-hashed whenever size or mtime changes).
+    """
+    path = external_trace_path()
+    if path is None:
+        return None
+    if is_columnar_store(path):
+        return {
+            "format": "columnar",
+            "digest": _external_columnar_store(path).digest(),
+        }
+    stat = os.stat(path)
+    return {
+        "format": "jsonl",
+        "digest": _jsonl_digest(path, stat.st_size, stat.st_mtime_ns),
+    }
 
 
 def default_trace_config(num_jobs: Optional[int] = None) -> TraceConfig:
@@ -72,12 +137,23 @@ def _cached_trace(config: TraceConfig) -> tuple:
 def default_trace(
     num_jobs: Optional[int] = None, config: Optional[TraceConfig] = None
 ) -> tuple:
-    """The calibrated synthetic trace (cached, deterministic).
+    """The suite's trace (cached, deterministic).
 
-    The cache key is the complete :class:`TraceConfig` -- two calls with
-    the same job count but different seeds or calibration parameters are
-    distinct entries, never a silently shared stale trace.
+    By default this is the calibrated synthetic trace; with
+    :data:`TRACE_PATH_ENV_VAR` set (and no explicit ``num_jobs`` or
+    ``config``) it is the on-disk trace at that path instead --
+    materialized as records here, while the vectorized experiments
+    bypass this entirely via :func:`trace_feature_arrays`.
+
+    The synthetic cache key is the complete :class:`TraceConfig` -- two
+    calls with the same job count but different seeds or calibration
+    parameters are distinct entries, never a silently shared stale
+    trace.
     """
+    if num_jobs is None and config is None:
+        path = external_trace_path()
+        if path is not None:
+            return _cached_external_trace(path)
     if config is None:
         config = default_trace_config(num_jobs)
     elif num_jobs is not None and config.num_jobs != num_jobs:
@@ -126,8 +202,27 @@ def trace_feature_arrays(
     Population columns feed the vectorized batch-evaluation path
     (:mod:`repro.core.population`); experiments sharing a population
     (Figs. 7-11, calibration, observations) share one extraction.
+
+    When :data:`TRACE_PATH_ENV_VAR` points at a columnar store and no
+    explicit ``jobs`` are passed, the columns come straight off the
+    memory-mapped shards (:meth:`ColumnarTrace.feature_arrays`) --
+    no ``JobRecord`` objects exist at any point, which is what lets
+    the figure experiments run against 1M+ job populations.
     """
     if jobs is None:
+        path = external_trace_path()
+        if path is not None and is_columnar_store(path):
+            store = _external_columnar_store(path)
+            skey = (id(store), architecture)
+            hit = _FEATURE_ARRAYS.get(skey)
+            if hit is not None and hit[0] is store:
+                _FEATURE_ARRAYS.move_to_end(skey)  # repro: ignore[fork-safety] per-process memo
+                return hit[1]
+            arrays = store.feature_arrays(architecture)
+            _FEATURE_ARRAYS[skey] = (store, arrays)  # repro: ignore[fork-safety] per-process memo
+            while len(_FEATURE_ARRAYS) > _FEATURE_ARRAYS_MAX:
+                _FEATURE_ARRAYS.popitem(last=False)  # repro: ignore[fork-safety] per-process memo
+            return arrays
         jobs = default_trace()
     key = (id(jobs), architecture)
     hit = _FEATURE_ARRAYS.get(key)
@@ -149,4 +244,7 @@ def ps_worker_features(jobs: tuple = None) -> List[WorkloadFeatures]:
 def clear_caches() -> None:
     """Drop every cached trace and feature extraction (test hook)."""
     _cached_trace.cache_clear()
+    _cached_external_trace.cache_clear()
+    _external_columnar_store.cache_clear()
+    _jsonl_digest.cache_clear()
     _FEATURE_ARRAYS.clear()  # repro: ignore[fork-safety] test hook

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 from ..core.architectures import Architecture
 from ..core.population import batch_breakdowns
-from .context import default_hardware, default_trace, trace_feature_arrays
+from .context import default_hardware, trace_feature_arrays
 from .paper_constants import FIG7
 from .result import ExperimentResult
 
@@ -19,9 +19,12 @@ _TYPES = (
 
 
 def run(jobs: tuple = None) -> ExperimentResult:
-    """Regenerate the Fig. 7 stacked-bar averages (both columns)."""
-    if jobs is None:
-        jobs = default_trace()
+    """Regenerate the Fig. 7 stacked-bar averages (both columns).
+
+    ``jobs=None`` stays ``None`` all the way into
+    :func:`trace_feature_arrays`, whose columnar fast path never
+    materializes records for on-disk columnar traces.
+    """
     hardware = default_hardware()
     rows = []
     for arch in _TYPES:

@@ -12,7 +12,7 @@ from typing import Dict
 from ..core.architectures import Architecture
 from ..core.population import COMPONENT_KEYS, HARDWARE_KEYS, batch_breakdowns
 from ..trace.statistics import EmpiricalCDF
-from .context import default_hardware, default_trace, trace_feature_arrays
+from .context import default_hardware, trace_feature_arrays
 from .result import ExperimentResult
 
 __all__ = ["run", "component_cdfs", "hardware_cdfs"]
@@ -49,8 +49,6 @@ def hardware_cdfs(jobs: tuple, cnode_level: bool = False) -> Dict[str, Empirical
 
 def run(jobs: tuple = None) -> ExperimentResult:
     """Regenerate the Fig. 8 quantile summaries and markers."""
-    if jobs is None:
-        jobs = default_trace()
     rows = []
     for arch in (
         Architecture.SINGLE,

@@ -5,7 +5,7 @@ from __future__ import annotations
 from ..core.architectures import Architecture
 from ..core.population import ProjectionArrays, batch_projection_speedups
 from ..trace.statistics import EmpiricalCDF
-from .context import default_hardware, default_trace, trace_feature_arrays
+from .context import default_hardware, trace_feature_arrays
 from .paper_constants import FIG9
 from .result import ExperimentResult
 
@@ -23,8 +23,6 @@ def project_all(jobs: tuple, target: Architecture) -> ProjectionArrays:
 
 def run(jobs: tuple = None) -> ExperimentResult:
     """Regenerate the Fig. 9 speedup CDFs and their markers."""
-    if jobs is None:
-        jobs = default_trace()
     local = project_all(jobs, Architecture.ALLREDUCE_LOCAL)
     cluster = project_all(jobs, Architecture.ALLREDUCE_CLUSTER)
 

@@ -8,7 +8,7 @@ from __future__ import annotations
 
 from ..core.architectures import Architecture
 from ..core.population import batch_breakdowns
-from .context import default_hardware, default_trace, trace_feature_arrays
+from .context import default_hardware, trace_feature_arrays
 from .result import ExperimentResult
 
 __all__ = ["run"]
@@ -16,8 +16,6 @@ __all__ = ["run"]
 
 def run(jobs: tuple = None) -> ExperimentResult:
     """Regenerate the Fig. 10 before/after breakdown."""
-    if jobs is None:
-        jobs = default_trace()
     hardware = default_hardware()
     originals = trace_feature_arrays(jobs, Architecture.PS_WORKER)
     projected = originals.project_ps_to(Architecture.ALLREDUCE_LOCAL)

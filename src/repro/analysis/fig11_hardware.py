@@ -11,7 +11,7 @@ from typing import Dict
 
 from ..core.architectures import Architecture
 from ..core.sweep import SweepSeries, sweep_all_resources
-from .context import default_hardware, default_trace, trace_feature_arrays
+from .context import default_hardware, trace_feature_arrays
 from .result import ExperimentResult
 
 __all__ = ["run", "panel"]
@@ -47,8 +47,6 @@ def panel(jobs: tuple, name: str) -> Dict[str, SweepSeries]:
 
 def run(jobs: tuple = None) -> ExperimentResult:
     """Regenerate all four Fig. 11 panels."""
-    if jobs is None:
-        jobs = default_trace()
     rows = []
     most_sensitive = {}
     for name in _PANEL_RESOURCES:

@@ -201,6 +201,25 @@ _ARCH_CODE: Dict[Architecture, int] = {
     arch: code for code, arch in enumerate(_ARCHITECTURES)
 }
 
+# Per-architecture lookup tables (indexed by population arch code) for
+# the deployment-derived columns.  They vectorize the corresponding
+# ``WorkloadFeatures`` properties so a columnar store can become a
+# population without instantiating a single record.
+_ARCH_PACKS_SERVERS = np.array(
+    [
+        arch in (Architecture.PEARL, Architecture.ALLREDUCE_CLUSTER)
+        for arch in _ARCHITECTURES
+    ]
+)
+_ARCH_IS_LOCAL = np.array([arch.is_local for arch in _ARCHITECTURES])
+_ARCH_CONTENDS = np.array(
+    [arch.input_contends_for_pcie for arch in _ARCHITECTURES]
+)
+_ARCH_MAX_LOCAL = np.array(
+    [arch.max_local_cnodes for arch in _ARCHITECTURES], dtype=np.int64
+)
+_GPUS_PER_SERVER = 8
+
 
 @dataclass(frozen=True)
 class FeatureArrays:
@@ -266,6 +285,117 @@ class FeatureArrays:
             embedding_traffic_bytes=embedding_traffic,
             local_cnodes=local_cnodes,
             contends_for_pcie=contends,
+        )
+
+    @staticmethod
+    def from_columnar(
+        columns: Dict[str, np.ndarray],
+        architectures: Sequence[Architecture] = _ARCHITECTURES,
+    ) -> "FeatureArrays":
+        """Build a population directly from feature columns.
+
+        The zero-materialization path for columnar trace stores
+        (:mod:`repro.trace.columnar`): ``columns`` maps column names to
+        equal-length arrays, with ``"architecture"`` holding integer
+        codes into ``architectures`` (the store's label table).  No
+        ``WorkloadFeatures`` objects are created; the per-record
+        ``__post_init__`` invariants are enforced vectorized instead,
+        and the derived columns (``dense_traffic_bytes``,
+        ``local_cnodes``, ``contends_for_pcie``) are computed with the
+        identical arithmetic as :meth:`from_workloads`, so both
+        constructors produce byte-identical arrays for the same jobs.
+
+        Columns may be memory-mapped; they are never written to.
+        """
+        required = (
+            "architecture",
+            "num_cnodes",
+            "batch_size",
+            "flop_count",
+            "memory_access_bytes",
+            "input_bytes",
+            "weight_traffic_bytes",
+            "embedding_traffic_bytes",
+        )
+        missing = [name for name in required if name not in columns]
+        if missing:
+            raise KeyError(f"missing columns: {', '.join(missing)}")
+        store_codes = np.asarray(columns["architecture"], dtype=np.int64)
+        count = int(store_codes.shape[0])
+        if count == 0:
+            raise ValueError("workload population is empty")
+        for name in required:
+            if np.asarray(columns[name]).shape[0] != count:
+                raise ValueError(
+                    f"column {name!r} has "
+                    f"{np.asarray(columns[name]).shape[0]} rows, "
+                    f"expected {count}"
+                )
+        translation = np.array(
+            [_ARCH_CODE[arch] for arch in architectures], dtype=np.int64
+        )
+        if store_codes.min() < 0 or store_codes.max() >= len(translation):
+            raise ValueError(
+                "architecture code out of range for the given label table"
+            )
+        arch_codes = translation[store_codes]
+        num_cnodes = np.asarray(columns["num_cnodes"], dtype=np.int64)
+        batch_size = np.asarray(columns["batch_size"], dtype=np.int64)
+        flop_count = np.asarray(columns["flop_count"], dtype=float)
+        memory_access = np.asarray(columns["memory_access_bytes"], dtype=float)
+        input_bytes = np.asarray(columns["input_bytes"], dtype=float)
+        weight_traffic = np.asarray(
+            columns["weight_traffic_bytes"], dtype=float
+        )
+        embedding_traffic = np.asarray(
+            columns["embedding_traffic_bytes"], dtype=float
+        )
+
+        def _reject(mask: np.ndarray, message: str) -> None:
+            if np.any(mask):
+                raise ValueError(f"row {int(np.argmax(mask))}: {message}")
+
+        _reject(num_cnodes < 1, "num_cnodes must be at least 1")
+        _reject(batch_size < 1, "batch_size must be at least 1")
+        for name, column in (
+            ("flop_count", flop_count),
+            ("memory_access_bytes", memory_access),
+            ("input_bytes", input_bytes),
+            ("weight_traffic_bytes", weight_traffic),
+            ("embedding_traffic_bytes", embedding_traffic),
+        ):
+            _reject(column < 0, f"{name} must be non-negative")
+        _reject(
+            embedding_traffic > weight_traffic,
+            "embedding_traffic_bytes cannot exceed weight_traffic_bytes",
+        )
+        single = arch_codes == _ARCH_CODE[Architecture.SINGLE]
+        _reject(single & (num_cnodes != 1), "1w1g workloads use exactly one cNode")
+        _reject(
+            single & (weight_traffic != 0),
+            "1w1g workloads exchange no weights",
+        )
+        _reject(
+            num_cnodes > _ARCH_MAX_LOCAL[arch_codes],
+            "num_cnodes exceeds the architecture's local-cNode bound",
+        )
+        local_cnodes = np.where(
+            _ARCH_PACKS_SERVERS[arch_codes],
+            np.minimum(num_cnodes, _GPUS_PER_SERVER),
+            np.where(_ARCH_IS_LOCAL[arch_codes], num_cnodes, 1),
+        )
+        return FeatureArrays(
+            arch_codes=arch_codes,
+            num_cnodes=num_cnodes,
+            batch_size=batch_size,
+            flop_count=flop_count,
+            memory_access_bytes=memory_access,
+            input_bytes=input_bytes,
+            weight_traffic_bytes=weight_traffic,
+            dense_traffic_bytes=weight_traffic - embedding_traffic,
+            embedding_traffic_bytes=embedding_traffic,
+            local_cnodes=local_cnodes,
+            contends_for_pcie=_ARCH_CONTENDS[arch_codes],
         )
 
     @staticmethod

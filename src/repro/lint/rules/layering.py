@@ -10,6 +10,11 @@ The enforced order (lower layers never import higher ones)::
 (it imports nothing of ``repro`` itself).  Note the order reflects the
 *actual* dependency direction of the code: ``sim.multijob`` is a thin
 client of ``sched`` since PR 1, so ``sched`` sits below ``sim``.
+``trace.columnar`` lives in layer 1 like the rest of ``trace``: the
+columnar store depends only on ``core`` (for the feature schema and
+``FeatureArrays``) and ``obs``, which is what lets every higher layer
+-- ``runtime`` suites, ``serve`` replay, ``analysis`` figures -- load
+populations through it without new edges.
 
 Only module-level imports are edges.  A function-scoped import is the
 sanctioned cycle-breaking idiom (e.g. ``runtime.executor`` pulling the

@@ -86,10 +86,16 @@ def experiment_fingerprint(
     """The cache key of one experiment under the current configuration.
 
     Covers the experiment id, the suite's trace-generator config (which
-    includes the ``PAI_REPRO_TRACE_JOBS`` override), the Table I hardware
-    model, the analytical-model defaults, and the package version.
+    includes the ``PAI_REPRO_TRACE_JOBS`` override), the content
+    identity of any ``PAI_REPRO_TRACE_PATH`` external trace, the
+    Table I hardware model, the analytical-model defaults, and the
+    package version.
     """
-    from ..analysis.context import default_hardware, default_trace_config
+    from ..analysis.context import (
+        default_hardware,
+        default_trace_config,
+        trace_source_identity,
+    )
 
     if trace_config is None:
         trace_config = default_trace_config()
@@ -98,6 +104,7 @@ def experiment_fingerprint(
     return fingerprint(
         {"experiment": experiment_id, "version": __version__},
         trace_config,
+        {"trace_source": trace_source_identity()},
         hardware,
         PAPER_DEFAULT_EFFICIENCY,
         PAPER_MODEL_OPTIONS,

@@ -20,7 +20,9 @@ the telemetry in :mod:`repro.sched.outcomes` tracks.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import Optional, Tuple
+
+import numpy as np
 
 from ..core.architectures import Architecture
 
@@ -45,14 +47,23 @@ class Placement:
 
 
 class Fleet:
-    """Per-server free-GPU accounting for a homogeneous cluster."""
+    """Per-server free-GPU accounting for a homogeneous cluster.
+
+    Free counts live in one ``int64`` array, so the placement scans --
+    first-fit for local gangs, greedy left-to-right fill for cluster
+    shapes -- are single NumPy operations rather than per-server Python
+    loops.  On the multi-thousand-server fleets the scheduler
+    experiments sweep, the scan is the scheduler's hot path.
+    """
 
     def __init__(self, num_servers: int, gpus_per_server: int = 8) -> None:
         if num_servers < 1 or gpus_per_server < 1:
             raise ValueError("cluster dimensions must be positive")
         self.num_servers = num_servers
         self.gpus_per_server = gpus_per_server
-        self._free: List[int] = [gpus_per_server] * num_servers
+        self._free: np.ndarray = np.full(
+            num_servers, gpus_per_server, dtype=np.int64
+        )
 
     # ---- capacity accounting -----------------------------------------
 
@@ -64,7 +75,7 @@ class Fleet:
     @property
     def free_gpus(self) -> int:
         """Currently unallocated GPUs."""
-        return sum(self._free)
+        return int(self._free.sum())
 
     @property
     def busy_gpus(self) -> int:
@@ -74,12 +85,12 @@ class Fleet:
     @property
     def free_by_server(self) -> Tuple[int, ...]:
         """Free GPU count per server."""
-        return tuple(self._free)
+        return tuple(int(free) for free in self._free)
 
     @property
     def largest_free_block(self) -> int:
         """Largest single-server free block (bounds local gang size)."""
-        return max(self._free)
+        return int(self._free.max())
 
     def utilization(self) -> float:
         """Fraction of GPUs currently allocated."""
@@ -101,35 +112,42 @@ class Fleet:
     def clone(self) -> "Fleet":
         """An independent copy, for trial placements."""
         copy = Fleet(self.num_servers, self.gpus_per_server)
-        copy._free = list(self._free)
+        copy._free = self._free.copy()
         return copy
 
     # ---- placement ---------------------------------------------------
 
-    def _shape(self, architecture: Architecture, num_gpus: int) -> Optional[List[int]]:
+    def _shape(
+        self, architecture: Architecture, num_gpus: int
+    ) -> Optional[np.ndarray]:
         """Per-server counts for a placement, or ``None`` if it does
-        not fit right now.  Does not mutate the fleet."""
+        not fit right now.  Does not mutate the fleet.
+
+        Both shapes reproduce the greedy left-to-right scan exactly:
+        first-fit picks the lowest-indexed server with room, and the
+        cluster fill takes ``min(free, cap)`` per server until the
+        running total (a cumulative sum) reaches the request.
+        """
         if num_gpus < 1:
             raise ValueError("num_gpus must be positive")
-        taken = [0] * self.num_servers
         if architecture.is_local:
-            for index, free in enumerate(self._free):
-                if free >= num_gpus:
-                    taken[index] = num_gpus
-                    return taken
-            return None
+            fits_here = self._free >= num_gpus
+            if not fits_here.any():
+                return None
+            taken = np.zeros(self.num_servers, dtype=np.int64)
+            taken[int(fits_here.argmax())] = num_gpus
+            return taken
         per_server_cap = (
             1 if architecture is Architecture.PS_WORKER else self.gpus_per_server
         )
-        remaining = num_gpus
-        for index, free in enumerate(self._free):
-            if remaining == 0:
-                break
-            grab = min(free, per_server_cap, remaining)
-            taken[index] = grab
-            remaining -= grab
-        if remaining > 0:
+        grab_cap = np.minimum(self._free, per_server_cap)
+        cumulative = np.cumsum(grab_cap)
+        if cumulative[-1] < num_gpus:
             return None
+        stop = int(np.searchsorted(cumulative, num_gpus))
+        taken = np.zeros(self.num_servers, dtype=np.int64)
+        taken[: stop + 1] = grab_cap[: stop + 1]
+        taken[stop] -= int(cumulative[stop]) - num_gpus
         return taken
 
     def fits(self, architecture: Architecture, num_gpus: int) -> bool:
@@ -153,16 +171,16 @@ class Fleet:
         taken = self._shape(architecture, num_gpus)
         if taken is None:
             return None
-        for index, grab in enumerate(taken):
-            self._free[index] -= grab
-        return Placement(gpus_by_server=tuple(taken))
+        self._free -= taken
+        return Placement(gpus_by_server=tuple(int(grab) for grab in taken))
 
     def release(self, placement: Placement) -> None:
         """Return a placement's GPUs to the free pool."""
         if len(placement.gpus_by_server) != self.num_servers:
             raise ValueError("placement does not match this fleet's geometry")
-        for index, grab in enumerate(placement.gpus_by_server):
-            new_free = self._free[index] + grab
-            if new_free > self.gpus_per_server:
-                raise ValueError("release would exceed server capacity")
-            self._free[index] = new_free
+        released = self._free + np.asarray(
+            placement.gpus_by_server, dtype=np.int64
+        )
+        if bool((released > self.gpus_per_server).any()):
+            raise ValueError("release would exceed server capacity")
+        self._free = released

@@ -8,6 +8,7 @@ overhead the analytical model deliberately ignores (Sec. IV).
 
 from __future__ import annotations
 
+import functools
 from dataclasses import dataclass
 from typing import Dict, List, Tuple
 
@@ -53,10 +54,43 @@ class StepMeasurement:
     def records_of(self, category: str) -> List[TimelineRecord]:
         return [r for r in self.records if r.category == category]
 
+    @functools.cached_property
+    def _aggregates(
+        self,
+    ) -> Tuple[float, int, Dict[str, float], Dict[str, float]]:
+        """Single pass over the timeline: every per-category total.
+
+        The multi-job step loop reads several aggregate views of every
+        measurement (breakdown, summary, serial total); computing them
+        as independent property scans re-walked the record tuple once
+        per view.  One cached pass yields the input-end sum/count, the
+        per-category duration totals and the per-medium weight totals
+        that all of them derive from.  (``functools.cached_property``
+        stores via ``__dict__`` and therefore works on this frozen
+        dataclass; the records tuple is immutable, so the cache can
+        never go stale.)
+        """
+        input_end_sum = 0.0
+        input_count = 0
+        category_totals = {"compute": 0.0, "memory": 0.0, "overhead": 0.0}
+        weight_totals: Dict[str, float] = {}
+        for record in self.records:
+            category = record.category
+            if category == "input":
+                input_end_sum += record.end
+                input_count += 1
+            elif category == "weight":
+                medium = medium_of_resource(record.resource)
+                weight_totals[medium] = (
+                    weight_totals.get(medium, 0.0) + record.duration
+                )
+            elif category in category_totals:
+                category_totals[category] += record.duration
+        return input_end_sum, input_count, category_totals, weight_totals
+
     def _per_cnode_time(self, category: str) -> float:
         """Average busy seconds per cNode in one category."""
-        total = sum(r.duration for r in self.records if r.category == category)
-        return total / max(self.num_cnodes, 1)
+        return self._aggregates[2][category] / max(self.num_cnodes, 1)
 
     @property
     def data_io_time(self) -> float:
@@ -67,10 +101,10 @@ class StepMeasurement:
         queueing delay behind sibling GPUs on the shared PCIe complex --
         which is exactly the contention the analytical model charges.
         """
-        ends = [r.end for r in self.records if r.category == "input"]
-        if not ends:
+        input_end_sum, input_count, _, _ = self._aggregates
+        if not input_count:
             return 0.0
-        return sum(ends) / len(ends)
+        return input_end_sum / input_count
 
     @property
     def compute_time(self) -> float:
@@ -87,15 +121,9 @@ class StepMeasurement:
 
     def weight_times(self) -> Dict[str, float]:
         """Per-medium weight-traffic seconds, averaged per cNode."""
-        per_medium: Dict[str, float] = {}
-        for record in self.records:
-            if record.category != "weight":
-                continue
-            medium = medium_of_resource(record.resource)
-            per_medium[medium] = per_medium.get(medium, 0.0) + record.duration
         return {
             medium: seconds / max(self.num_cnodes, 1)
-            for medium, seconds in per_medium.items()
+            for medium, seconds in self._aggregates[3].items()
         }
 
     @property

@@ -1,6 +1,13 @@
 """Synthetic PAI cluster trace: schema, generator, calibration, stats."""
 
 from .calibration import CALIBRATION_TARGETS, CalibrationTarget, evaluate_targets
+from .columnar import (
+    ColumnarTrace,
+    columnar_to_jsonl,
+    is_columnar_store,
+    jsonl_to_columnar,
+    write_columnar,
+)
 from .filters import (
     by_cnode_band,
     by_day_window,
@@ -35,7 +42,9 @@ __all__ = [
     "CALIBRATION_TARGETS",
     "CalibrationTarget",
     "ClusterTraceGenerator",
+    "ColumnarTrace",
     "EmpiricalCDF",
+    "columnar_to_jsonl",
     "GroupProfile",
     "JobRecord",
     "SCHEMA_VERSION",
@@ -54,7 +63,9 @@ __all__ = [
     "fraction_below",
     "generate_trace",
     "group_profiles",
+    "is_columnar_store",
     "iter_trace",
+    "jsonl_to_columnar",
     "job_from_dict",
     "job_to_dict",
     "jobs_of_type",
@@ -64,4 +75,5 @@ __all__ = [
     "split_by",
     "weighted_fraction",
     "weighted_mean",
+    "write_columnar",
 ]

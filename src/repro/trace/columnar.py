@@ -1,0 +1,634 @@
+"""Sharded columnar trace store: million-job traces without Python loops.
+
+The JSONL format (:mod:`repro.trace.serialization`) parses one JSON
+object per job, which caps practical populations around the tens of
+thousands.  This module stores the same records as *columns*: a store
+is a directory of ``.npz`` shards (one NumPy array per feature column)
+plus a ``manifest.json`` carrying the schema version, per-shard row
+counts and per-shard SHA-256 content digests.  The two formats convert
+losslessly in both directions.
+
+Layout::
+
+    trace.columnar/
+        manifest.json        <- commit point, written last
+        shard-00000.npz
+        shard-00001.npz
+        ...
+
+Numeric columns load via ``np.memmap`` straight out of the shard files
+(``np.savez`` stores members uncompressed, so each ``.npy`` member sits
+at a fixed offset inside the zip); the OS pages data in on demand, so
+opening a million-job store costs milliseconds and reads only the
+columns an analysis touches.  When mapping is not possible (compressed
+members, object dtypes) the loader falls back to an eager read.
+
+Strings are dictionary-encoded: ``architecture`` and ``user_group``
+hold integer codes into label tables kept in the manifest, and ``name``
+is a fixed-width bytes column.  The integer architecture codes are what
+:meth:`repro.core.population.FeatureArrays.from_columnar` consumes to
+build the vectorized analysis population without materializing a single
+``JobRecord``.
+
+Durability mirrors the JSONL path: every shard is written to a ``.tmp``
+sibling, fsynced and renamed, and the manifest -- the only file that
+makes shards reachable -- is written the same way *last*, so a crash
+mid-conversion can never leave a store that opens but lies.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import struct
+import zipfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+from numpy.lib import format as npy_format
+
+from ..core.architectures import Architecture
+from ..core.features import WorkloadFeatures
+from ..core.population import FeatureArrays
+from ..obs import get_obs
+from .schema import JobRecord
+from .serialization import SCHEMA_VERSION, iter_trace, save_trace
+
+__all__ = [
+    "COLUMNAR_FORMAT",
+    "COLUMNAR_VERSION",
+    "DEFAULT_SHARD_ROWS",
+    "MANIFEST_NAME",
+    "INT_COLUMNS",
+    "FLOAT_COLUMNS",
+    "ColumnarTrace",
+    "ShardInfo",
+    "write_columnar",
+    "jsonl_to_columnar",
+    "columnar_to_jsonl",
+    "is_columnar_store",
+]
+
+#: Manifest ``format`` marker; also what :func:`is_columnar_store` sniffs.
+COLUMNAR_FORMAT = "pai-repro-columnar"
+
+#: Version of the columnar layout itself (manifest keys, encodings).
+COLUMNAR_VERSION = 1
+
+#: Rows per shard.  Large enough that a 1M-job store is a handful of
+#: files, small enough that converting bounds its buffering memory.
+DEFAULT_SHARD_ROWS = 262_144
+
+MANIFEST_NAME = "manifest.json"
+
+#: Integer feature columns, in manifest order.  ``user_group`` and
+#: ``architecture`` are dictionary codes into the manifest label tables.
+INT_COLUMNS: Tuple[str, ...] = (
+    "job_id",
+    "submit_day",
+    "user_group",
+    "architecture",
+    "num_cnodes",
+    "batch_size",
+)
+
+#: Float feature columns (all byte/FLOP volumes of the Fig. 4 schema).
+FLOAT_COLUMNS: Tuple[str, ...] = (
+    "flop_count",
+    "memory_access_bytes",
+    "input_bytes",
+    "weight_traffic_bytes",
+    "dense_weight_bytes",
+    "embedding_weight_bytes",
+    "embedding_traffic_bytes",
+)
+
+#: The fixed-width bytes column (UTF-8 job names).
+NAME_COLUMN = "name"
+
+_ALL_COLUMNS: Tuple[str, ...] = INT_COLUMNS + FLOAT_COLUMNS + (NAME_COLUMN,)
+
+#: Architecture labels in enum order; the store's code space.
+_ARCH_LABELS: Tuple[str, ...] = tuple(arch.value for arch in Architecture)
+
+# Zip local-file-header layout (PKZIP appnote 4.3.7): signature,
+# then the name/extra lengths at byte offsets 26 and 28.
+_ZIP_LOCAL_HEADER_SIGNATURE = 0x04034B50
+_ZIP_LOCAL_HEADER_SIZE = 30
+_ZIP_NAME_EXTRA_STRUCT = struct.Struct("<HH")
+
+
+def _sha256_file(path: Path) -> str:
+    digest = hashlib.sha256()
+    with path.open("rb") as handle:
+        for chunk in iter(lambda: handle.read(1 << 20), b""):
+            digest.update(chunk)
+    return digest.hexdigest()
+
+
+def _atomic_write_bytes(path: Path, payload: bytes) -> None:
+    """Write ``payload`` to ``path`` through a fsynced ``.tmp`` sibling."""
+    tmp = path.with_name(path.name + ".tmp")
+    try:
+        with tmp.open("wb") as handle:
+            handle.write(payload)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            tmp.unlink()
+        except OSError:
+            pass
+        raise
+
+
+class _MmapUnavailable(Exception):
+    """Shard member cannot be memory-mapped; fall back to eager load."""
+
+
+def _mapped_members(path: Path) -> Dict[str, np.ndarray]:
+    """Memory-map every ``.npy`` member of an uncompressed ``.npz``.
+
+    ``np.savez`` writes members with ``ZIP_STORED`` (no compression), so
+    each member's array data lives at a computable byte offset inside
+    the zip: local file header, then the npy header, then the raw
+    buffer.  ``np.load(mmap_mode=...)`` does not map into zips, so this
+    does the offset arithmetic itself and hands each member to
+    ``np.memmap``.
+    """
+    arrays: Dict[str, np.ndarray] = {}
+    with zipfile.ZipFile(path) as archive, path.open("rb") as raw:
+        for info in archive.infolist():
+            if info.compress_type != zipfile.ZIP_STORED:
+                raise _MmapUnavailable(f"{info.filename} is compressed")
+            raw.seek(info.header_offset)
+            header = raw.read(_ZIP_LOCAL_HEADER_SIZE)
+            if (
+                len(header) < _ZIP_LOCAL_HEADER_SIZE
+                or struct.unpack("<I", header[:4])[0]
+                != _ZIP_LOCAL_HEADER_SIGNATURE
+            ):
+                raise _MmapUnavailable(f"{info.filename}: bad local header")
+            name_len, extra_len = _ZIP_NAME_EXTRA_STRUCT.unpack(header[26:30])
+            member_start = (
+                info.header_offset
+                + _ZIP_LOCAL_HEADER_SIZE
+                + name_len
+                + extra_len
+            )
+            raw.seek(member_start)
+            version = npy_format.read_magic(raw)
+            if version == (1, 0):
+                shape, fortran, dtype = npy_format.read_array_header_1_0(raw)
+            elif version == (2, 0):
+                shape, fortran, dtype = npy_format.read_array_header_2_0(raw)
+            else:
+                raise _MmapUnavailable(
+                    f"{info.filename}: unsupported npy version {version}"
+                )
+            if dtype.hasobject:
+                raise _MmapUnavailable(f"{info.filename}: object dtype")
+            column = info.filename
+            if column.endswith(".npy"):
+                column = column[: -len(".npy")]
+            arrays[column] = np.memmap(
+                path,
+                dtype=dtype,
+                mode="r",
+                offset=raw.tell(),
+                shape=shape,
+                order="F" if fortran else "C",
+            )
+    return arrays
+
+
+def _eager_members(path: Path) -> Dict[str, np.ndarray]:
+    with np.load(path) as data:
+        return {name: data[name] for name in data.files}
+
+
+def _load_shard(path: Path, mmap: bool) -> Dict[str, np.ndarray]:
+    if mmap:
+        try:
+            return _mapped_members(path)
+        except _MmapUnavailable as reason:
+            get_obs().event(
+                "trace.columnar.mmap_fallback",
+                path=str(path),
+                reason=str(reason),
+            )
+    return _eager_members(path)
+
+
+@dataclass(frozen=True)
+class ShardInfo:
+    """One shard as recorded by the manifest."""
+
+    file: str
+    rows: int
+    sha256: str
+
+
+class _ShardWriter:
+    """Accumulates records column-wise and flushes fixed-size shards."""
+
+    def __init__(self, directory: Path, shard_rows: int) -> None:
+        if shard_rows < 1:
+            raise ValueError("shard_rows must be at least 1")
+        self._directory = directory
+        self._shard_rows = shard_rows
+        self._group_codes: Dict[str, int] = {}
+        self.user_groups: List[str] = []
+        self.shards: List[ShardInfo] = []
+        self._reset_buffers()
+
+    def _reset_buffers(self) -> None:
+        self._ints: Dict[str, List[int]] = {name: [] for name in INT_COLUMNS}
+        self._floats: Dict[str, List[float]] = {
+            name: [] for name in FLOAT_COLUMNS
+        }
+        self._names: List[bytes] = []
+
+    def _group_code(self, label: str) -> int:
+        code = self._group_codes.get(label)
+        if code is None:
+            code = len(self.user_groups)
+            self._group_codes[label] = code
+            self.user_groups.append(label)
+        return code
+
+    def add(self, job: JobRecord) -> None:
+        features = job.features
+        ints = self._ints
+        ints["job_id"].append(job.job_id)
+        ints["submit_day"].append(job.submit_day)
+        ints["user_group"].append(self._group_code(job.user_group))
+        ints["architecture"].append(
+            _ARCH_LABELS.index(features.architecture.value)
+        )
+        ints["num_cnodes"].append(features.num_cnodes)
+        ints["batch_size"].append(features.batch_size)
+        floats = self._floats
+        for column in FLOAT_COLUMNS:
+            floats[column].append(float(getattr(features, column)))
+        self._names.append(features.name.encode("utf-8"))
+        if len(self._names) >= self._shard_rows:
+            self.flush()
+
+    def flush(self) -> None:
+        rows = len(self._names)
+        if rows == 0:
+            return
+        columns: Dict[str, np.ndarray] = {}
+        for name, values in self._ints.items():
+            columns[name] = np.asarray(values, dtype=np.int64)
+        for name, values in self._floats.items():
+            columns[name] = np.asarray(values, dtype=np.float64)
+        width = max(max((len(n) for n in self._names), default=0), 1)
+        columns[NAME_COLUMN] = np.asarray(
+            self._names, dtype=np.dtype(f"S{width}")
+        )
+        filename = f"shard-{len(self.shards):05d}.npz"
+        path = self._directory / filename
+        tmp = path.with_name(path.name + ".tmp")
+        try:
+            with tmp.open("wb") as handle:
+                np.savez(handle, **columns)
+                handle.flush()
+                os.fsync(handle.fileno())
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                tmp.unlink()
+            except OSError:
+                pass
+            raise
+        self.shards.append(
+            ShardInfo(file=filename, rows=rows, sha256=_sha256_file(path))
+        )
+        self._reset_buffers()
+
+
+def write_columnar(
+    jobs: Iterable[JobRecord],
+    path: Union[str, Path],
+    shard_rows: int = DEFAULT_SHARD_ROWS,
+) -> int:
+    """Write a trace as a columnar store directory; returns the job count.
+
+    Streams ``jobs`` into ``shard_rows``-sized ``.npz`` shards, then
+    commits the store by writing ``manifest.json`` (schema version,
+    label tables, per-shard row counts and SHA-256 digests).  Shards
+    and manifest each go through a fsynced ``.tmp`` rename, and because
+    the manifest is written last, an interrupted write leaves either
+    the previous manifest or none -- never a store describing shards
+    that were not fully written.
+    """
+    directory = Path(path)
+    directory.mkdir(parents=True, exist_ok=True)
+    writer = _ShardWriter(directory, shard_rows)
+    count = 0
+    for job in jobs:
+        writer.add(job)
+        count += 1
+    writer.flush()
+    manifest = {
+        "format": COLUMNAR_FORMAT,
+        "columnar_version": COLUMNAR_VERSION,
+        "schema_version": SCHEMA_VERSION,
+        "jobs": count,
+        "columns": list(_ALL_COLUMNS),
+        "architectures": list(_ARCH_LABELS),
+        "user_groups": writer.user_groups,
+        "shards": [
+            {"file": s.file, "rows": s.rows, "sha256": s.sha256}
+            for s in writer.shards
+        ],
+    }
+    payload = json.dumps(manifest, indent=2, sort_keys=True) + "\n"
+    _atomic_write_bytes(directory / MANIFEST_NAME, payload.encode("utf-8"))
+    get_obs().event(
+        "trace.columnar.write",
+        path=str(directory),
+        jobs=count,
+        shards=len(writer.shards),
+    )
+    return count
+
+
+def is_columnar_store(path: Union[str, Path]) -> bool:
+    """Whether ``path`` is a committed columnar store directory."""
+    manifest = Path(path) / MANIFEST_NAME
+    if not manifest.is_file():
+        return False
+    try:
+        payload = json.loads(manifest.read_text(encoding="utf-8"))
+    except (OSError, ValueError):
+        return False
+    return isinstance(payload, dict) and payload.get("format") == COLUMNAR_FORMAT
+
+
+class ColumnarTrace:
+    """A committed columnar store, opened for reading.
+
+    Columns come back as NumPy arrays memory-mapped straight out of the
+    shard files (single-shard stores are zero-copy; multi-shard stores
+    concatenate per column on first touch).  :meth:`feature_arrays`
+    yields the vectorized analysis population without building a single
+    per-job object, and :meth:`iter_records` decodes back to
+    :class:`JobRecord` streams for lossless JSONL conversion.
+    """
+
+    def __init__(
+        self,
+        path: Path,
+        manifest: dict,
+        shards: Sequence[ShardInfo],
+        mmap: bool,
+    ) -> None:
+        self._path = path
+        self._manifest = manifest
+        self._shards = tuple(shards)
+        self._mmap = mmap
+        self._columns: Dict[str, np.ndarray] = {}
+        self.user_groups: Tuple[str, ...] = tuple(manifest["user_groups"])
+        self.architectures: Tuple[Architecture, ...] = tuple(
+            Architecture.from_label(label)
+            for label in manifest["architectures"]
+        )
+
+    @classmethod
+    def open(
+        cls,
+        path: Union[str, Path],
+        mmap: bool = True,
+        verify: bool = False,
+    ) -> "ColumnarTrace":
+        """Open a store directory; optionally re-hash shards first.
+
+        ``verify=True`` recomputes every shard's SHA-256 and raises
+        ``ValueError`` on any mismatch with the manifest, catching
+        silent corruption before it becomes wrong statistics.
+        """
+        directory = Path(path)
+        manifest_path = directory / MANIFEST_NAME
+        if not manifest_path.is_file():
+            raise FileNotFoundError(
+                f"not a columnar store (no {MANIFEST_NAME}): {directory}"
+            )
+        manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+        if manifest.get("format") != COLUMNAR_FORMAT:
+            raise ValueError(
+                f"{manifest_path}: unrecognized format marker "
+                f"{manifest.get('format')!r}"
+            )
+        if manifest.get("columnar_version") != COLUMNAR_VERSION:
+            raise ValueError(
+                f"{manifest_path}: unsupported columnar version "
+                f"{manifest.get('columnar_version')!r} "
+                f"(expected {COLUMNAR_VERSION})"
+            )
+        if manifest.get("schema_version") != SCHEMA_VERSION:
+            raise ValueError(
+                f"{manifest_path}: unsupported trace schema version "
+                f"{manifest.get('schema_version')!r} "
+                f"(expected {SCHEMA_VERSION})"
+            )
+        shards = tuple(
+            ShardInfo(
+                file=entry["file"],
+                rows=int(entry["rows"]),
+                sha256=entry["sha256"],
+            )
+            for entry in manifest["shards"]
+        )
+        store = cls(directory, manifest, shards, mmap)
+        if verify:
+            store.verify()
+        return store
+
+    # ---- identity ----------------------------------------------------
+
+    @property
+    def path(self) -> Path:
+        return self._path
+
+    @property
+    def num_jobs(self) -> int:
+        return int(self._manifest["jobs"])
+
+    def __len__(self) -> int:
+        return self.num_jobs
+
+    @property
+    def shards(self) -> Tuple[ShardInfo, ...]:
+        return self._shards
+
+    def digest(self) -> str:
+        """A single content digest of the whole store.
+
+        Hashes the manifest-recorded shard digests (plus schema and
+        label tables), so it identifies the trace *contents* regardless
+        of where the directory lives.  Result caches key on it.
+        """
+        digest = hashlib.sha256()
+        digest.update(
+            json.dumps(
+                {
+                    "schema_version": self._manifest["schema_version"],
+                    "architectures": list(self._manifest["architectures"]),
+                    "user_groups": list(self._manifest["user_groups"]),
+                    "shards": [s.sha256 for s in self._shards],
+                },
+                sort_keys=True,
+            ).encode("utf-8")
+        )
+        return digest.hexdigest()
+
+    def verify(self) -> None:
+        """Re-hash every shard against the manifest digests."""
+        for shard in self._shards:
+            actual = _sha256_file(self._path / shard.file)
+            if actual != shard.sha256:
+                raise ValueError(
+                    f"{self._path / shard.file}: content digest mismatch "
+                    f"(manifest {shard.sha256}, actual {actual})"
+                )
+
+    # ---- column access -------------------------------------------------
+
+    def column(self, name: str) -> np.ndarray:
+        """One column over the whole store (cached after first touch)."""
+        if name not in _ALL_COLUMNS:
+            raise KeyError(f"unknown column: {name!r}")
+        cached = self._columns.get(name)
+        if cached is not None:
+            return cached
+        parts = [
+            _load_shard(self._path / shard.file, self._mmap)[name]
+            for shard in self._shards
+        ]
+        for shard, part in zip(self._shards, parts):
+            if part.shape[0] != shard.rows:
+                raise ValueError(
+                    f"{self._path / shard.file}: column {name!r} has "
+                    f"{part.shape[0]} rows, manifest says {shard.rows}"
+                )
+        if not parts:
+            column = np.empty(0, dtype=np.int64)
+        elif len(parts) == 1:
+            column = parts[0]
+        else:
+            column = np.concatenate(parts)
+        self._columns[name] = column
+        return column
+
+    def columns(self, names: Optional[Sequence[str]] = None) -> Dict[str, np.ndarray]:
+        """Several columns at once, as a name -> array mapping."""
+        if names is None:
+            names = _ALL_COLUMNS
+        return {name: self.column(name) for name in names}
+
+    # ---- population / record views --------------------------------------
+
+    def feature_arrays(
+        self, architecture: Optional[Architecture] = None
+    ) -> FeatureArrays:
+        """The vectorized analysis population, straight from the columns.
+
+        No ``JobRecord`` or ``WorkloadFeatures`` objects are built; the
+        columns (optionally filtered to one architecture) feed
+        :meth:`FeatureArrays.from_columnar` directly.
+        """
+        needed = (
+            "architecture",
+            "num_cnodes",
+            "batch_size",
+        ) + FLOAT_COLUMNS
+        columns = self.columns(needed)
+        if architecture is not None:
+            store_code = self.architectures.index(architecture)
+            mask = columns["architecture"] == store_code
+            columns = {name: col[mask] for name, col in columns.items()}
+        return FeatureArrays.from_columnar(
+            columns, architectures=self.architectures
+        )
+
+    def iter_records(self) -> Iterator[JobRecord]:
+        """Decode the store back into validated job records, in order.
+
+        The lossless inverse of :func:`write_columnar`: every field --
+        including the dictionary-encoded architecture and user-group
+        labels -- round-trips exactly, shard by shard so memory use is
+        bounded by one shard.
+        """
+        for shard in self._shards:
+            columns = _load_shard(self._path / shard.file, self._mmap)
+            names = columns[NAME_COLUMN]
+            for i in range(shard.rows):
+                features = WorkloadFeatures(
+                    name=bytes(names[i]).decode("utf-8"),
+                    architecture=self.architectures[
+                        int(columns["architecture"][i])
+                    ],
+                    num_cnodes=int(columns["num_cnodes"][i]),
+                    batch_size=int(columns["batch_size"][i]),
+                    flop_count=float(columns["flop_count"][i]),
+                    memory_access_bytes=float(
+                        columns["memory_access_bytes"][i]
+                    ),
+                    input_bytes=float(columns["input_bytes"][i]),
+                    weight_traffic_bytes=float(
+                        columns["weight_traffic_bytes"][i]
+                    ),
+                    dense_weight_bytes=float(
+                        columns["dense_weight_bytes"][i]
+                    ),
+                    embedding_weight_bytes=float(
+                        columns["embedding_weight_bytes"][i]
+                    ),
+                    embedding_traffic_bytes=float(
+                        columns["embedding_traffic_bytes"][i]
+                    ),
+                )
+                yield JobRecord(
+                    job_id=int(columns["job_id"][i]),
+                    features=features,
+                    submit_day=int(columns["submit_day"][i]),
+                    user_group=self.user_groups[
+                        int(columns["user_group"][i])
+                    ],
+                )
+
+
+def jsonl_to_columnar(
+    jsonl_path: Union[str, Path],
+    store_path: Union[str, Path],
+    shard_rows: int = DEFAULT_SHARD_ROWS,
+    tolerate_torn_tail: bool = False,
+) -> int:
+    """Convert a JSONL trace into a columnar store; returns the count.
+
+    Streams through :func:`repro.trace.serialization.iter_trace`, so
+    memory stays bounded by one shard regardless of trace size.
+    """
+    return write_columnar(
+        iter_trace(jsonl_path, tolerate_torn_tail=tolerate_torn_tail),
+        store_path,
+        shard_rows=shard_rows,
+    )
+
+
+def columnar_to_jsonl(
+    store_path: Union[str, Path], jsonl_path: Union[str, Path]
+) -> int:
+    """Convert a columnar store back to a JSONL trace; returns the count.
+
+    The write inherits :func:`save_trace`'s atomicity (tmp + rename).
+    """
+    store = ColumnarTrace.open(store_path)
+    return save_trace(store.iter_records(), jsonl_path)

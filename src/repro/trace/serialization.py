@@ -11,16 +11,30 @@ yields validated records one line at a time without materializing the
 trace (the ``repro.serve`` replayer feeds from it), and
 :func:`append_trace` extends an existing file in place, so a trace can
 grow batch by batch the same way a live cluster log does.
+
+Durability: :func:`save_trace` writes through a temporary sibling and
+atomically renames it into place, so a crash mid-write can never leave
+a truncated file under the target name; :func:`append_trace` flushes
+and fsyncs before returning, so acknowledged batches survive a crash.
+The only window left is a crash *inside* an append, which can tear the
+final line -- :func:`iter_trace` can skip exactly that case with
+``tolerate_torn_tail=True``.
+
+For populations beyond a few hundred thousand jobs, prefer the
+columnar sibling format (:mod:`repro.trace.columnar`), which loads via
+memory mapping instead of line-at-a-time JSON parsing.
 """
 
 from __future__ import annotations
 
 import json
+import os
 from pathlib import Path
 from typing import Iterable, Iterator, List, Union
 
 from ..core.architectures import Architecture
 from ..core.features import WorkloadFeatures
+from ..obs import WARNING, get_obs
 from .schema import JobRecord
 
 __all__ = [
@@ -82,21 +96,34 @@ def job_from_dict(payload: dict) -> JobRecord:
     )
 
 
-def _write_jobs(
-    jobs: Iterable[JobRecord], path: Path, mode: str
-) -> int:
-    count = 0
-    with path.open(mode, encoding="utf-8") as handle:
-        for job in jobs:
-            handle.write(json.dumps(job_to_dict(job), sort_keys=True))
-            handle.write("\n")
-            count += 1
-    return count
-
-
 def save_trace(jobs: Iterable[JobRecord], path: Union[str, Path]) -> int:
-    """Write a trace as JSON lines; returns the job count."""
-    return _write_jobs(jobs, Path(path), "w")
+    """Write a trace as JSON lines; returns the job count.
+
+    The write is atomic with respect to the target name: records go to
+    a ``.tmp`` sibling which is fsynced and renamed over ``path`` only
+    once every record is on disk.  A crash (or an exception raised by
+    the ``jobs`` iterable) mid-write leaves any pre-existing trace at
+    ``path`` untouched instead of a truncated, half-valid file.
+    """
+    path = Path(path)
+    tmp = path.with_name(path.name + ".tmp")
+    count = 0
+    try:
+        with tmp.open("w", encoding="utf-8") as handle:
+            for job in jobs:
+                handle.write(json.dumps(job_to_dict(job), sort_keys=True))
+                handle.write("\n")
+                count += 1
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            tmp.unlink()
+        except OSError:
+            pass
+        raise
+    return count
 
 
 def append_trace(jobs: Iterable[JobRecord], path: Union[str, Path]) -> int:
@@ -105,39 +132,85 @@ def append_trace(jobs: Iterable[JobRecord], path: Union[str, Path]) -> int:
     Appending is how a streamed trace grows on disk: batches written by
     successive calls read back, via :func:`iter_trace` or
     :func:`load_trace`, exactly as if :func:`save_trace` had written
-    them all at once.
+    them all at once.  The handle is flushed and fsynced before the
+    count is returned, so an acknowledged batch survives a crash; a
+    crash *during* the append can tear at most the final line, which
+    :func:`iter_trace` recovers from with ``tolerate_torn_tail=True``.
     """
-    return _write_jobs(jobs, Path(path), "a")
+    count = 0
+    with Path(path).open("a", encoding="utf-8") as handle:
+        for job in jobs:
+            handle.write(json.dumps(job_to_dict(job), sort_keys=True))
+            handle.write("\n")
+            count += 1
+        handle.flush()
+        os.fsync(handle.fileno())
+    return count
 
 
-def iter_trace(path: Union[str, Path]) -> Iterator[JobRecord]:
+def iter_trace(
+    path: Union[str, Path], tolerate_torn_tail: bool = False
+) -> Iterator[JobRecord]:
     """Yield validated records from a JSONL trace, one line at a time.
 
     The streaming counterpart of :func:`load_trace`: memory use is one
     line regardless of trace size, so a replayer can feed a multi-GB
     trace without materializing it.  Malformed lines raise ``ValueError``
     tagged with the offending line number, exactly like the batch loader.
+
+    With ``tolerate_torn_tail=True`` a malformed *final* line -- the
+    signature of a writer killed mid-:func:`append_trace` (no trailing
+    newline, truncated JSON) -- is skipped with an ``obs`` warning
+    instead of poisoning the whole trace.  Corruption anywhere before
+    the final line still raises: a torn tail is an expected crash
+    artifact, a torn middle is not.
     """
     path = Path(path)
     with path.open("r", encoding="utf-8") as handle:
+        pending_error: Exception = None
+        pending_line: int = 0
         for line_number, line in enumerate(handle, start=1):
-            line = line.strip()
-            if not line:
+            if pending_error is not None:
+                # The malformed line was not the last one: real
+                # mid-file corruption, never a torn tail.
+                raise pending_error
+            stripped = line.strip()
+            if not stripped:
                 continue
             try:
-                payload = json.loads(line)
+                payload = json.loads(stripped)
             except json.JSONDecodeError as error:
-                raise ValueError(
+                decorated = ValueError(
                     f"{path}:{line_number}: invalid JSON: {error}"
-                ) from error
+                )
+                decorated.__cause__ = error
+                if tolerate_torn_tail:
+                    pending_error = decorated
+                    pending_line = line_number
+                    continue
+                raise decorated
             try:
-                yield job_from_dict(payload)
+                record = job_from_dict(payload)
             except (KeyError, TypeError, ValueError) as error:
+                # An undecodable *record* is valid JSON that fails the
+                # schema -- a writer bug, not a torn write; a torn tail
+                # can only produce truncated (invalid) JSON.
                 raise ValueError(
                     f"{path}:{line_number}: invalid job record: {error}"
                 ) from error
+            yield record
+        if pending_error is not None:
+            get_obs().event(
+                "trace.torn_tail",
+                level=WARNING,
+                path=str(path),
+                line=pending_line,
+                detail=str(pending_error),
+            )
 
 
-def load_trace(path: Union[str, Path]) -> List[JobRecord]:
+def load_trace(
+    path: Union[str, Path], tolerate_torn_tail: bool = False
+) -> List[JobRecord]:
     """Read a JSONL trace, validating every record."""
-    return list(iter_trace(path))
+    return list(iter_trace(path, tolerate_torn_tail=tolerate_torn_tail))

@@ -88,12 +88,30 @@ class EmpiricalCDF:
             return 0.0
         return self.cumulative[index - 1]
 
+    #: Absolute slack when matching a quantile rank against the
+    #: cumulative grid.  A merged CDF re-accumulates point masses that
+    #: were recovered by differencing (:meth:`point_masses`), so a grid
+    #: entry that is exactly 0.5 in the batch construction can land a
+    #: few ulps below it after a merge -- and ``quantile`` is a step
+    #: function, so one ulp would otherwise flip the answer by a whole
+    #: point mass.  The slack is far below any real rank resolution
+    #: (it would take >1e9 samples to place two points this close).
+    _RANK_SLACK = 1e-9
+
     def quantile(self, q: float) -> float:
-        """Smallest value with cumulative probability >= q."""
+        """Smallest value with cumulative probability >= q.
+
+        ``q`` is matched with a tiny absolute slack
+        (:data:`_RANK_SLACK`) so that CDFs rebuilt from recovered point
+        masses (:meth:`merge`) agree with batch construction instead of
+        flipping one point mass on floating-point rounding.
+        """
         if not 0 <= q <= 1:
             raise ValueError("q must be in [0, 1]")
         cumulative = np.asarray(self.cumulative)
-        index = int(np.searchsorted(cumulative, q, side="left"))
+        index = int(
+            np.searchsorted(cumulative, q - self._RANK_SLACK, side="left")
+        )
         index = min(index, len(self.values) - 1)
         return self.values[index]
 

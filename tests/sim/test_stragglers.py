@@ -8,6 +8,7 @@ from repro.core.timemodel import estimate_breakdown
 from repro.sim.stragglers import (
     JitterModel,
     _expected_max_lognormal,
+    _expected_max_lognormal_curve,
     expected_straggler_factor,
     straggled_step_time,
     synchronization_penalty_curve,
@@ -113,22 +114,22 @@ class TestMemoization:
     ``(sigma, samples, seed, n)``, not once per query."""
 
     def test_penalty_curve_hits_the_memo(self, hardware):
-        _expected_max_lognormal.cache_clear()
+        _expected_max_lognormal_curve.cache_clear()
         counts = [2, 4, 8, 16]
         rows = synchronization_penalty_curve(
             ps_job(), hardware, cnode_counts=counts
         )
-        info = _expected_max_lognormal.cache_info()
-        # One Monte Carlo per cNode count, despite the factor being
-        # used twice per row (the row column and the straggled time).
-        assert info.misses == len(counts)
-        # A second curve over the same counts is all memo hits.
+        info = _expected_max_lognormal_curve.cache_info()
+        # One batched Monte Carlo for the whole curve, not one draw
+        # per cNode count.
+        assert info.misses == 1
+        # A second curve over the same counts is a memo hit.
         rows_again = synchronization_penalty_curve(
             ps_job(), hardware, cnode_counts=counts
         )
-        info = _expected_max_lognormal.cache_info()
-        assert info.misses == len(counts)
-        assert info.hits >= len(counts)
+        info = _expected_max_lognormal_curve.cache_info()
+        assert info.misses == 1
+        assert info.hits >= 1
         assert rows_again == rows
 
     def test_memoized_factor_matches_direct_monte_carlo(self):
@@ -142,23 +143,40 @@ class TestMemoization:
         expected = float(draws.max(axis=1).mean())
         assert expected_straggler_factor(24, jitter) == expected
 
-    def test_curve_rows_match_public_functions_exactly(self, hardware):
-        # The dedup must not change any value: every row still equals
-        # straggled_step_time / estimate_breakdown computed directly.
+    def test_curve_rows_match_batched_monte_carlo_exactly(self, hardware):
+        # The curve factors come from ONE (samples, max_count) draw:
+        # E[max of the first n columns] for each n, via the running
+        # maximum.  Verify against a direct numpy recomputation.
+        import numpy as np
+
         features = ps_job()
         jitter = JitterModel()
+        counts = [1, 8, 32]
+        rng = np.random.default_rng(jitter.seed)
+        draws = rng.lognormal(
+            mean=0.0, sigma=jitter.sigma, size=(jitter.samples, max(counts))
+        )
+        curve = np.maximum.accumulate(draws, axis=1).mean(axis=0)
+        expected_factors = {
+            count: 1.0 if count == 1 else float(curve[count - 1])
+            for count in counts
+        }
         for row in synchronization_penalty_curve(
-            features, hardware, cnode_counts=[1, 8, 32]
+            features, hardware, cnode_counts=counts
         ):
+            count = row["num_cnodes"]
+            factor = expected_factors[count]
+            assert row["straggler_factor"] == factor
             deployed = features.with_architecture(
-                features.architecture, num_cnodes=row["num_cnodes"]
+                features.architecture, num_cnodes=count
             )
-            base = estimate_breakdown(deployed, hardware).total
-            straggled = straggled_step_time(deployed, hardware, jitter)
-            assert row["straggler_factor"] == expected_straggler_factor(
-                row["num_cnodes"], jitter
+            breakdown = estimate_breakdown(deployed, hardware)
+            straggled = (
+                breakdown.data_io
+                + breakdown.computation * factor
+                + breakdown.weight_total
             )
-            assert row["step_inflation"] == straggled / base
+            assert row["step_inflation"] == straggled / breakdown.total
 
     def test_single_replica_and_zero_jitter_bypass_the_memo(self):
         _expected_max_lognormal.cache_clear()

@@ -1,0 +1,224 @@
+"""The sharded columnar trace store and its JSONL interop."""
+
+import dataclasses
+import json
+
+import numpy as np
+import pytest
+
+from repro.core.architectures import Architecture
+from repro.core.population import FeatureArrays
+from repro.trace import generate_trace
+from repro.trace.columnar import (
+    COLUMNAR_FORMAT,
+    MANIFEST_NAME,
+    ColumnarTrace,
+    columnar_to_jsonl,
+    is_columnar_store,
+    jsonl_to_columnar,
+    write_columnar,
+)
+from repro.trace.serialization import save_trace
+
+
+@pytest.fixture(scope="module")
+def store(tmp_path_factory, small_trace):
+    path = tmp_path_factory.mktemp("columnar") / "trace.columnar"
+    write_columnar(small_trace, path, shard_rows=128)
+    return path
+
+
+class TestStoreLayout:
+    def test_is_columnar_store(self, store, tmp_path):
+        assert is_columnar_store(store)
+        assert not is_columnar_store(tmp_path)
+
+    def test_manifest_contents(self, store, small_trace):
+        manifest = json.loads(
+            (store / MANIFEST_NAME).read_text(encoding="utf-8")
+        )
+        assert manifest["format"] == COLUMNAR_FORMAT
+        assert manifest["jobs"] == len(small_trace)
+        assert sum(s["rows"] for s in manifest["shards"]) == len(small_trace)
+        assert len(manifest["shards"]) == -(-len(small_trace) // 128)
+        for shard in manifest["shards"]:
+            assert len(shard["sha256"]) == 64
+
+    def test_open_verifies_digests(self, store):
+        ColumnarTrace.open(store, verify=True)
+
+    def test_corruption_is_detected(self, store, tmp_path, small_trace):
+        import shutil
+
+        broken = tmp_path / "broken.columnar"
+        shutil.copytree(store, broken)
+        shard = sorted(broken.glob("shard-*.npz"))[0]
+        raw = shard.read_bytes()
+        shard.write_bytes(raw[:-1] + bytes([raw[-1] ^ 0xFF]))
+        with pytest.raises(ValueError, match="digest mismatch"):
+            ColumnarTrace.open(broken, verify=True)
+
+    def test_open_rejects_non_store(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            ColumnarTrace.open(tmp_path / "nope")
+
+    def test_digest_identifies_contents(self, store, tmp_path, small_trace):
+        other = tmp_path / "copy.columnar"
+        write_columnar(small_trace, other, shard_rows=128)
+        assert ColumnarTrace.open(store).digest() == (
+            ColumnarTrace.open(other).digest()
+        )
+        shuffled = tmp_path / "different.columnar"
+        write_columnar(list(small_trace)[::-1], shuffled, shard_rows=128)
+        assert ColumnarTrace.open(store).digest() != (
+            ColumnarTrace.open(shuffled).digest()
+        )
+
+
+class TestRoundTrip:
+    def test_records_round_trip_exactly(self, store, small_trace):
+        assert list(ColumnarTrace.open(store).iter_records()) == list(
+            small_trace
+        )
+
+    def test_jsonl_conversion_is_lossless(self, tmp_path, small_trace):
+        jsonl = tmp_path / "trace.jsonl"
+        save_trace(small_trace, jsonl)
+        columnar = tmp_path / "trace.columnar"
+        assert jsonl_to_columnar(jsonl, columnar, shard_rows=100) == len(
+            small_trace
+        )
+        back = tmp_path / "back.jsonl"
+        assert columnar_to_jsonl(columnar, back) == len(small_trace)
+        assert back.read_bytes() == jsonl.read_bytes()
+
+    def test_mmap_and_eager_loads_agree(self, store):
+        mapped = ColumnarTrace.open(store, mmap=True)
+        eager = ColumnarTrace.open(store, mmap=False)
+        for name in ("flop_count", "num_cnodes", "architecture"):
+            assert np.array_equal(mapped.column(name), eager.column(name))
+
+    def test_single_shard_column_is_memory_mapped(
+        self, tmp_path, small_trace
+    ):
+        path = tmp_path / "one.columnar"
+        write_columnar(small_trace, path)
+        column = ColumnarTrace.open(path).column("flop_count")
+        assert isinstance(column, np.memmap)
+
+
+class TestFeatureArrays:
+    def test_byte_identical_to_from_workloads(self, store, small_trace):
+        from_store = ColumnarTrace.open(store).feature_arrays()
+        from_objects = FeatureArrays.from_workloads(
+            job.features for job in small_trace
+        )
+        for field in dataclasses.fields(FeatureArrays):
+            ours = np.asarray(getattr(from_store, field.name))
+            theirs = np.asarray(getattr(from_objects, field.name))
+            assert ours.dtype == theirs.dtype, field.name
+            assert ours.tobytes() == theirs.tobytes(), field.name
+
+    def test_architecture_filter(self, store, small_trace):
+        arch = Architecture.PS_WORKER
+        filtered = ColumnarTrace.open(store).feature_arrays(arch)
+        expected = FeatureArrays.from_workloads(
+            job.features
+            for job in small_trace
+            if job.features.architecture is arch
+        )
+        assert np.array_equal(filtered.num_cnodes, expected.num_cnodes)
+        assert np.array_equal(filtered.flop_count, expected.flop_count)
+
+    def test_from_columnar_validates(self):
+        columns = {
+            "architecture": np.array([0]),
+            "num_cnodes": np.array([0]),  # invalid
+            "batch_size": np.array([1]),
+            "flop_count": np.array([1.0]),
+            "memory_access_bytes": np.array([1.0]),
+            "input_bytes": np.array([1.0]),
+            "weight_traffic_bytes": np.array([0.0]),
+            "embedding_traffic_bytes": np.array([0.0]),
+        }
+        with pytest.raises(ValueError, match="num_cnodes"):
+            FeatureArrays.from_columnar(columns)
+        columns["num_cnodes"] = np.array([2])  # 1w1g with 2 cNodes
+        with pytest.raises(ValueError, match="one cNode"):
+            FeatureArrays.from_columnar(columns)
+        with pytest.raises(KeyError, match="missing columns"):
+            FeatureArrays.from_columnar({"architecture": np.array([0])})
+
+    def test_empty_population_rejected(self, tmp_path):
+        path = tmp_path / "empty.columnar"
+        write_columnar([], path)
+        store = ColumnarTrace.open(path)
+        assert len(store) == 0
+        assert list(store.iter_records()) == []
+        with pytest.raises(ValueError, match="empty"):
+            store.feature_arrays()
+
+
+class TestExperimentRouting:
+    def test_figs_identical_across_trace_sources(self, tmp_path, monkeypatch):
+        """Figure experiments are byte-identical on columnar vs JSONL."""
+        import repro.analysis.context as ctx
+        from repro.analysis import (
+            fig07_breakdown,
+            fig08_cdf,
+            fig09_allreduce,
+            fig10_shift,
+            fig11_hardware,
+        )
+
+        jobs = generate_trace(num_jobs=1500, seed=3)
+        jsonl = tmp_path / "t.jsonl"
+        columnar = tmp_path / "t.columnar"
+        save_trace(jobs, jsonl)
+        write_columnar(jobs, columnar, shard_rows=512)
+        modules = (
+            fig07_breakdown,
+            fig08_cdf,
+            fig09_allreduce,
+            fig10_shift,
+            fig11_hardware,
+        )
+
+        def result_bytes(result):
+            return json.dumps(
+                dataclasses.asdict(result), sort_keys=True, default=repr
+            )
+
+        def run_all():
+            ctx.clear_caches()
+            return [result_bytes(module.run()) for module in modules]
+
+        try:
+            monkeypatch.setenv(ctx.TRACE_PATH_ENV_VAR, str(columnar))
+            via_columnar = run_all()
+            monkeypatch.setenv(ctx.TRACE_PATH_ENV_VAR, str(jsonl))
+            via_jsonl = run_all()
+            monkeypatch.delenv(ctx.TRACE_PATH_ENV_VAR)
+            explicit = [
+                result_bytes(module.run(jobs=tuple(jobs)))
+                for module in modules
+            ]
+        finally:
+            ctx.clear_caches()
+        assert via_columnar == via_jsonl == explicit
+
+    def test_fingerprint_covers_trace_source(self, tmp_path, monkeypatch):
+        import repro.analysis.context as ctx
+        from repro.runtime.fingerprint import experiment_fingerprint
+
+        jobs = generate_trace(num_jobs=50, seed=5)
+        columnar = tmp_path / "t.columnar"
+        write_columnar(jobs, columnar)
+        try:
+            baseline = experiment_fingerprint("fig7")
+            monkeypatch.setenv(ctx.TRACE_PATH_ENV_VAR, str(columnar))
+            ctx.clear_caches()
+            external = experiment_fingerprint("fig7")
+        finally:
+            ctx.clear_caches()
+        assert baseline != external
