@@ -15,7 +15,12 @@ variant as an artifact):
 * ``populations`` -- per-size rows (20k / 200k / 1M full, smaller for
   ``--quick``) timing scalar vs vectorized analysis and JSONL parsing
   vs columnar-mmap loading, with a byte-identity check on the Fig. 7
-  statistics both load paths produce.
+  statistics both load paths produce;
+* ``sched`` -- per-size rows replaying columnar traces through the
+  scheduling engine (FIFO, model-predicted durations): the day-batched
+  engine at every size up to one million jobs, against the per-event
+  reference (with a whole-outcome identity check) where the reference
+  is affordable.
 
 The payload is stamped with the package version (read from
 ``repro.__version__``, never hardcoded) and, when ``--output`` is
@@ -48,6 +53,20 @@ QUICK_TRACE_JOBS = 2000
 #: speedup ratios against the committed full-mode baseline.
 FULL_POPULATION_SIZES = (20_000, 200_000, 1_000_000)
 QUICK_POPULATION_SIZES = (QUICK_TRACE_JOBS, 20_000)
+
+#: Sched-engine rows: the trace's submission window stretches with job
+#: count so the arrival rate -- and hence the absorbing fleet -- stays
+#: constant and replay cost stays linear in trace size.
+SCHED_ARRIVALS_PER_DAY = 400
+#: The per-event reference engine replays alongside the day engine
+#: only up to this size.  Beyond it the reference costs minutes while
+#: saying nothing new about equivalence (the tier-1 20k tests pin
+#: byte-identity across every bundled policy).
+SCHED_EVENT_MAX_JOBS = 200_000
+#: Fleet sizing for the sched rows: headroom over the trace's own
+#: peak-day GPU demand, so each day's batch is absorbed and the rows
+#: measure engine throughput rather than queueing pathology.
+SCHED_FLEET_HEADROOM = 1.5
 
 
 def _time(fn):
@@ -264,6 +283,84 @@ def bench_populations(sizes) -> list:
     return rows
 
 
+def bench_sched(sizes) -> list:
+    """Per-size rows: day-batched vs per-event scheduling replays.
+
+    Each row generates a calibrated trace, writes it to a columnar
+    store, and replays the store's lazy job views through
+    ``sched.run_schedule`` under FIFO with model-predicted durations
+    (the Sec. II-B analytical model, resolved per admission day on the
+    vectorized path).  Durations are clamped to 24 hours so occupancy
+    carries over at most one day and the peak-day-sized fleet stays
+    absorbing.  Up to ``SCHED_EVENT_MAX_JOBS`` the per-event reference
+    engine replays the identical trace and the two
+    :class:`ScheduleOutcome` values are compared whole
+    (``outcomes_identical``).
+    """
+    import numpy as np
+
+    from repro.analysis.context import DEFAULT_TRACE_SEED
+    from repro.sched import Fleet, FifoPolicy, ModelRuntimePredictor
+    from repro.sched import run_schedule
+    from repro.trace.columnar import ColumnarTrace, write_columnar
+    from repro.trace.generator import TraceConfig, generate_trace
+
+    gpus_per_server = 8
+    rows = []
+    for size in sizes:
+        days = max(51, size // SCHED_ARRIVALS_PER_DAY)
+        jobs = generate_trace(
+            config=TraceConfig(
+                num_jobs=size, seed=DEFAULT_TRACE_SEED, trace_days=days
+            )
+        )
+        with tempfile.TemporaryDirectory() as tmp:
+            store_path = Path(tmp) / "trace.columnar"
+            write_columnar(jobs, store_path)
+            del jobs
+            store = ColumnarTrace.open(store_path)
+            demand = np.bincount(
+                store.column("submit_day"),
+                weights=store.column("num_cnodes"),
+            )
+            servers = max(
+                64,
+                int(SCHED_FLEET_HEADROOM * demand.max() / gpus_per_server),
+            )
+            trace = list(store.iter_views())
+
+            def replay(engine):
+                return run_schedule(
+                    trace,
+                    Fleet(servers, gpus_per_server=gpus_per_server),
+                    FifoPolicy(),
+                    predictor=ModelRuntimePredictor(max_hours=24.0),
+                    engine=engine,
+                    collect_telemetry=False,
+                )
+
+            day_s, day_outcome = _time(lambda: replay("day"))
+            row = {
+                "jobs": size,
+                "policy": "fifo",
+                "trace_days": days,
+                "servers": servers,
+                "completed": len(day_outcome.outcomes),
+                "rejected": len(day_outcome.rejected),
+                "day_s": round(day_s, 4),
+                "event_s": None,
+                "day_speedup": None,
+                "outcomes_identical": None,
+            }
+            if size <= SCHED_EVENT_MAX_JOBS:
+                event_s, event_outcome = _time(lambda: replay("event"))
+                row["event_s"] = round(event_s, 4)
+                row["day_speedup"] = round(event_s / day_s, 2)
+                row["outcomes_identical"] = event_outcome == day_outcome
+            rows.append(row)
+    return rows
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument(
@@ -300,6 +397,7 @@ def main(argv=None) -> int:
         "suite": bench_suite(args.parallel),
         "vectorization": bench_vectorization(),
         "populations": bench_populations(sizes),
+        "sched": bench_sched(sizes),
     }
     text = json.dumps(payload, indent=2) + "\n"
     print(text, end="")

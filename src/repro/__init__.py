@@ -74,7 +74,7 @@ from .core import (
     throughput_speedup,
 )
 
-__version__ = "1.6.0"
+__version__ = "1.7.0"
 
 __all__ = [
     "ALLREDUCE_LOCAL_MAX_CNODES",

@@ -390,7 +390,9 @@ def _command_serve(args: argparse.Namespace) -> int:
         from ..trace.columnar import ColumnarTrace, is_columnar_store
 
         if is_columnar_store(args.trace):
-            jobs = ColumnarTrace.open(args.trace).iter_records()
+            # Lazy rows: the service ingests straight off the mapped
+            # columns without materializing JobRecord objects.
+            jobs = ColumnarTrace.open(args.trace).iter_views()
         else:
             jobs = iter_trace(args.trace)
     elif args.num_jobs is not None:

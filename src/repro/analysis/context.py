@@ -18,13 +18,14 @@ import functools
 import hashlib
 import os
 from collections import OrderedDict
+from pathlib import Path
 from typing import List, Optional, Tuple
 
 from ..core.architectures import Architecture
 from ..core.features import WorkloadFeatures
 from ..core.hardware import HardwareConfig, pai_default_hardware, testbed_v100_hardware
 from ..core.population import FeatureArrays
-from ..trace.columnar import ColumnarTrace, is_columnar_store
+from ..trace.columnar import MANIFEST_NAME, ColumnarTrace, is_columnar_store
 from ..trace.generator import TraceConfig, generate_trace
 from ..trace.schema import features_of_type
 from ..trace.serialization import load_trace
@@ -73,13 +74,46 @@ def external_trace_path() -> Optional[str]:
     return os.environ.get(TRACE_PATH_ENV_VAR) or None
 
 
+def _manifest_digest(path: str) -> str:
+    """Content hash of a columnar store's manifest (its commit point).
+
+    The manifest carries every shard's SHA-256, so hashing its bytes
+    identifies the store *contents*; it is a few KB, so re-reading it
+    on every cache probe is what makes in-process rewrites visible.
+    """
+    payload = (Path(path) / MANIFEST_NAME).read_bytes()
+    return hashlib.sha256(payload).hexdigest()
+
+
+def _external_trace_token(path: str) -> tuple:
+    """Content-identity token of the trace at ``path``, probed fresh.
+
+    JSONL traces are identified by ``(size, mtime_ns)``; columnar
+    stores by their manifest digest (re-checked on every call).  The
+    caches below key on ``(path, token)``, so rewriting the file at
+    :data:`TRACE_PATH_ENV_VAR` mid-process invalidates them instead of
+    serving the old records under the new fingerprint.
+    """
+    if is_columnar_store(path):
+        return ("columnar", _manifest_digest(path))
+    stat = os.stat(path)
+    return ("jsonl", stat.st_size, stat.st_mtime_ns)
+
+
 @functools.lru_cache(maxsize=2)
-def _external_columnar_store(path: str) -> ColumnarTrace:
+def _columnar_store_for(path: str, manifest_digest: str) -> ColumnarTrace:
+    del manifest_digest  # cache key only: re-open when contents change
     return ColumnarTrace.open(path)
 
 
+def _external_columnar_store(path: str) -> ColumnarTrace:
+    """The columnar store at ``path``, re-opened when its content changes."""
+    return _columnar_store_for(path, _manifest_digest(path))
+
+
 @functools.lru_cache(maxsize=2)
-def _cached_external_trace(path: str) -> tuple:
+def _cached_external_trace(path: str, token: tuple) -> tuple:
+    del token  # cache key only: content identity of the trace
     if is_columnar_store(path):
         return tuple(_external_columnar_store(path).iter_records())
     return tuple(load_trace(path))
@@ -101,7 +135,9 @@ def trace_source_identity() -> Optional[dict]:
     :data:`TRACE_PATH_ENV_VAR` at a different trace (or rewriting the
     same path) can never serve a stale cached result.  Columnar stores
     identify by their manifest digest; JSONL traces hash their bytes
-    (re-hashed whenever size or mtime changes).
+    (re-hashed whenever size or mtime changes).  The record and column
+    caches key on the same identity, so a fingerprint can never pair a
+    fresh digest with stale cached data.
     """
     path = external_trace_path()
     if path is None:
@@ -153,7 +189,7 @@ def default_trace(
     if num_jobs is None and config is None:
         path = external_trace_path()
         if path is not None:
-            return _cached_external_trace(path)
+            return _cached_external_trace(path, _external_trace_token(path))
     if config is None:
         config = default_trace_config(num_jobs)
     elif num_jobs is not None and config.num_jobs != num_jobs:
@@ -177,8 +213,21 @@ def testbed_hardware() -> HardwareConfig:
 def trace_features(
     jobs: tuple = None, architecture: Architecture = None
 ) -> List[WorkloadFeatures]:
-    """Feature tuples from the default trace, optionally one type."""
+    """Feature tuples from the default trace, optionally one type.
+
+    Columns-first: when :data:`TRACE_PATH_ENV_VAR` points at a columnar
+    store (and no explicit ``jobs`` are passed), the result is a list
+    of lazy row views over the memory-mapped columns -- bit-identical
+    attribute access without materializing a single record.  Explicit
+    ``jobs`` iterables keep the per-record escape hatch.
+    """
     if jobs is None:
+        path = external_trace_path()
+        if path is not None and is_columnar_store(path):
+            arrays = trace_feature_arrays()
+            if architecture is not None:
+                arrays = arrays.of_architecture(architecture)
+            return list(arrays.iter_views())
         jobs = default_trace()
     if architecture is None:
         return [job.features for job in jobs]
@@ -245,6 +294,6 @@ def clear_caches() -> None:
     """Drop every cached trace and feature extraction (test hook)."""
     _cached_trace.cache_clear()
     _cached_external_trace.cache_clear()
-    _external_columnar_store.cache_clear()
+    _columnar_store_for.cache_clear()
     _jsonl_digest.cache_clear()
     _FEATURE_ARRAYS.clear()  # repro: ignore[fork-safety] test hook

@@ -40,6 +40,7 @@ from .hardware import (
 from .population import (
     AnalyzedJob,
     FeatureArrays,
+    FeatureView,
     PopulationBreakdown,
     ProjectionArrays,
     analyze_population,
@@ -91,6 +92,7 @@ __all__ = [
     "Architecture",
     "Bottleneck",
     "FeatureArrays",
+    "FeatureView",
     "PopulationBreakdown",
     "ProjectionArrays",
     "batch_breakdowns",

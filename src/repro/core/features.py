@@ -20,10 +20,30 @@ from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass
+from typing import Tuple
 
 from .architectures import Architecture
 
-__all__ = ["WorkloadFeatures"]
+__all__ = ["FEATURE_FIELDS", "WorkloadFeatures"]
+
+#: The schema's field names, in declaration order.  This is the shared
+#: contract between the eager record below and the lazy columnar row
+#: view (:class:`repro.core.population.FeatureView`): equality and
+#: hashing on both sides reduce to the tuple of these attributes, so a
+#: view can stand in for a record in dict keys and comparisons.
+FEATURE_FIELDS: Tuple[str, ...] = (
+    "name",
+    "architecture",
+    "num_cnodes",
+    "batch_size",
+    "flop_count",
+    "memory_access_bytes",
+    "input_bytes",
+    "weight_traffic_bytes",
+    "dense_weight_bytes",
+    "embedding_weight_bytes",
+    "embedding_traffic_bytes",
+)
 
 
 @dataclass(frozen=True)

@@ -30,13 +30,13 @@ Both paths implement the identical arithmetic (the property tests in
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Sequence, Tuple, Union
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from .architectures import MEDIA_GPU_FLOPS, MEDIA_GPU_MEMORY, Architecture
 from .efficiency import PAPER_DEFAULT_EFFICIENCY, EfficiencyModel
-from .features import WorkloadFeatures
+from .features import FEATURE_FIELDS, WorkloadFeatures
 from .hardware import HardwareConfig
 from .timemodel import (
     PAPER_MODEL_OPTIONS,
@@ -58,6 +58,7 @@ __all__ = [
     "hardware_share_samples",
     "weighted_fraction_exceeding",
     "FeatureArrays",
+    "FeatureView",
     "PopulationBreakdown",
     "batch_breakdowns",
     "batch_step_times",
@@ -118,9 +119,17 @@ def _weights(jobs: Sequence[AnalyzedJob], cnode_level: bool) -> List[float]:
 
 
 def average_fractions(
-    jobs: Sequence[AnalyzedJob], cnode_level: bool = False
+    jobs: Union[Sequence[AnalyzedJob], "PopulationBreakdown"],
+    cnode_level: bool = False,
 ) -> Dict[str, float]:
-    """Average component shares over a population (one Fig. 7 column)."""
+    """Average component shares over a population (one Fig. 7 column).
+
+    Columns-first: given a :class:`PopulationBreakdown` the aggregate
+    is one vector dot product.  The per-job :class:`AnalyzedJob` list
+    remains the escape hatch for inspecting individual jobs.
+    """
+    if isinstance(jobs, PopulationBreakdown):
+        return jobs.average_fractions(cnode_level)
     if not jobs:
         raise ValueError("population is empty")
     weights = _weights(jobs, cnode_level)
@@ -134,9 +143,12 @@ def average_fractions(
 
 
 def average_hardware_shares(
-    jobs: Sequence[AnalyzedJob], cnode_level: bool = False
+    jobs: Union[Sequence[AnalyzedJob], "PopulationBreakdown"],
+    cnode_level: bool = False,
 ) -> Dict[str, float]:
     """Average per-hardware-component shares (the Fig. 8(a) summary)."""
+    if isinstance(jobs, PopulationBreakdown):
+        return jobs.average_hardware_shares(cnode_level)
     if not jobs:
         raise ValueError("population is empty")
     weights = _weights(jobs, cnode_level)
@@ -150,18 +162,23 @@ def average_hardware_shares(
 
 
 def fraction_samples(
-    jobs: Sequence[AnalyzedJob], component: str
+    jobs: Union[Sequence[AnalyzedJob], "PopulationBreakdown"], component: str
 ) -> List[float]:
     """Per-job shares of one component, for CDF plots (Fig. 8(b-d))."""
+    if isinstance(jobs, PopulationBreakdown):
+        return jobs.fraction_samples(component).tolist()
     if component not in COMPONENT_KEYS:
         raise KeyError(f"unknown component: {component!r}")
     return [job.breakdown.fractions()[component] for job in jobs]
 
 
 def hardware_share_samples(
-    jobs: Sequence[AnalyzedJob], hardware_component: str
+    jobs: Union[Sequence[AnalyzedJob], "PopulationBreakdown"],
+    hardware_component: str,
 ) -> List[float]:
     """Per-job shares of one hardware component (Fig. 8(a) CDFs)."""
+    if isinstance(jobs, PopulationBreakdown):
+        return jobs.hardware_share_samples(hardware_component).tolist()
     if hardware_component not in HARDWARE_KEYS:
         raise KeyError(f"unknown hardware component: {hardware_component!r}")
     return [
@@ -170,7 +187,7 @@ def hardware_share_samples(
 
 
 def weighted_fraction_exceeding(
-    jobs: Sequence[AnalyzedJob],
+    jobs: Union[Sequence[AnalyzedJob], "PopulationBreakdown"],
     component: str,
     threshold: float,
     cnode_level: bool = False,
@@ -180,6 +197,10 @@ def weighted_fraction_exceeding(
     Backs observations such as "more than 40 % PS/Worker jobs spend more
     than 80 % time in communication" (Sec. III-B).
     """
+    if isinstance(jobs, PopulationBreakdown):
+        return jobs.weighted_fraction_exceeding(
+            component, threshold, cnode_level
+        )
     if not jobs:
         raise ValueError("population is empty")
     weights = _weights(jobs, cnode_level)
@@ -229,6 +250,13 @@ class FeatureArrays:
     every subsequent model evaluation (a hardware sweep candidate, a
     projection, an efficiency perturbation) is pure array math.  All
     arrays share the same length and order as the source population.
+
+    The three trailing columns (``names`` and the at-rest weight sizes)
+    are not consumed by the analytical model; they exist so a row can be
+    reconstructed losslessly as a :class:`FeatureView` (:meth:`view`,
+    :meth:`iter_views`).  Both constructors populate them; hand-built
+    instances may leave them ``None``, in which case :meth:`view`
+    refuses rather than inventing field values.
     """
 
     arch_codes: np.ndarray
@@ -242,16 +270,41 @@ class FeatureArrays:
     embedding_traffic_bytes: np.ndarray
     local_cnodes: np.ndarray
     contends_for_pcie: np.ndarray
+    names: Optional[np.ndarray] = field(default=None, repr=False)
+    dense_weight_bytes: Optional[np.ndarray] = field(default=None, repr=False)
+    embedding_weight_bytes: Optional[np.ndarray] = field(
+        default=None, repr=False
+    )
 
     @staticmethod
     def from_workloads(
         workloads: Iterable[WorkloadFeatures],
     ) -> "FeatureArrays":
-        """Extract columns from a sequence of feature records."""
+        """Extract columns from a sequence of feature records.
+
+        Accepts eager :class:`WorkloadFeatures` and lazy
+        :class:`FeatureView` rows interchangeably.  When every element
+        is a view over the *same* backing :class:`FeatureArrays`, the
+        extraction collapses to one fancy-indexing gather per column --
+        no per-row attribute access at all.
+        """
         population = list(workloads)
         if not population:
             raise ValueError("workload population is empty")
         count = len(population)
+        if isinstance(population[0], FeatureView):
+            backing = population[0]._arrays
+            if all(
+                isinstance(f, FeatureView) and f._arrays is backing
+                for f in population
+            ):
+                return backing.take(
+                    np.fromiter(
+                        (f._index for f in population),
+                        dtype=np.int64,
+                        count=count,
+                    )
+                )
         arch_codes = np.empty(count, dtype=np.int64)
         num_cnodes = np.empty(count, dtype=np.int64)
         batch_size = np.empty(count, dtype=np.int64)
@@ -262,6 +315,9 @@ class FeatureArrays:
         embedding_traffic = np.empty(count, dtype=float)
         local_cnodes = np.empty(count, dtype=np.int64)
         contends = np.empty(count, dtype=bool)
+        names = np.empty(count, dtype=object)
+        dense_weight = np.empty(count, dtype=float)
+        embedding_weight = np.empty(count, dtype=float)
         for i, features in enumerate(population):
             arch_codes[i] = _ARCH_CODE[features.architecture]
             num_cnodes[i] = features.num_cnodes
@@ -273,6 +329,14 @@ class FeatureArrays:
             embedding_traffic[i] = features.embedding_traffic_bytes
             local_cnodes[i] = features.local_cnodes_per_server
             contends[i] = features.architecture.input_contends_for_pcie
+            names[i] = features.name.encode("utf-8") + b"\x01"
+            dense_weight[i] = features.dense_weight_bytes
+            embedding_weight[i] = features.embedding_weight_bytes
+        # Fixed-width bytes with the columnar store's 0x01 terminator
+        # (NumPy S dtypes strip trailing NULs), so either source yields
+        # byte-identical name columns.
+        name_width = max(max((len(n) for n in names), default=0), 1)
+        names = names.astype(np.dtype(f"S{name_width}"))
         return FeatureArrays(
             arch_codes=arch_codes,
             num_cnodes=num_cnodes,
@@ -285,6 +349,9 @@ class FeatureArrays:
             embedding_traffic_bytes=embedding_traffic,
             local_cnodes=local_cnodes,
             contends_for_pcie=contends,
+            names=names,
+            dense_weight_bytes=dense_weight,
+            embedding_weight_bytes=embedding_weight,
         )
 
     @staticmethod
@@ -304,6 +371,11 @@ class FeatureArrays:
         ``local_cnodes``, ``contends_for_pcie``) are computed with the
         identical arithmetic as :meth:`from_workloads`, so both
         constructors produce byte-identical arrays for the same jobs.
+
+        The optional ``name``, ``dense_weight_bytes`` and
+        ``embedding_weight_bytes`` columns, when present, are carried
+        through so rows can be materialized as :class:`FeatureView`
+        objects without touching the store again.
 
         Columns may be memory-mapped; they are never written to.
         """
@@ -357,13 +429,33 @@ class FeatureArrays:
 
         _reject(num_cnodes < 1, "num_cnodes must be at least 1")
         _reject(batch_size < 1, "batch_size must be at least 1")
+        names = columns.get("name")
+        if names is not None:
+            names = np.asarray(names)
+            if names.dtype.kind != "S":
+                # Normalize plain-string columns to the store's
+                # sentinel-terminated bytes encoding (see the
+                # ``names`` field docs) so row views decode uniformly.
+                encoded = [str(n).encode("utf-8") + b"\x01" for n in names]
+                width = max(max((len(n) for n in encoded), default=0), 1)
+                names = np.asarray(encoded, dtype=np.dtype(f"S{width}"))
+        dense_weight = columns.get("dense_weight_bytes")
+        if dense_weight is not None:
+            dense_weight = np.asarray(dense_weight, dtype=float)
+        embedding_weight = columns.get("embedding_weight_bytes")
+        if embedding_weight is not None:
+            embedding_weight = np.asarray(embedding_weight, dtype=float)
         for name, column in (
             ("flop_count", flop_count),
             ("memory_access_bytes", memory_access),
             ("input_bytes", input_bytes),
             ("weight_traffic_bytes", weight_traffic),
             ("embedding_traffic_bytes", embedding_traffic),
+            ("dense_weight_bytes", dense_weight),
+            ("embedding_weight_bytes", embedding_weight),
         ):
+            if column is None:
+                continue
             _reject(column < 0, f"{name} must be non-negative")
         _reject(
             embedding_traffic > weight_traffic,
@@ -396,6 +488,9 @@ class FeatureArrays:
             embedding_traffic_bytes=embedding_traffic,
             local_cnodes=local_cnodes,
             contends_for_pcie=_ARCH_CONTENDS[arch_codes],
+            names=names,
+            dense_weight_bytes=dense_weight,
+            embedding_weight_bytes=embedding_weight,
         )
 
     @staticmethod
@@ -409,6 +504,65 @@ class FeatureArrays:
 
     def __len__(self) -> int:
         return int(self.arch_codes.shape[0])
+
+    def take(self, indices: np.ndarray) -> "FeatureArrays":
+        """A row subset (or reordering) as a new population.
+
+        ``indices`` is anything NumPy fancy indexing accepts (an index
+        array or a boolean mask).  Values are copied, never recomputed,
+        so the subset is byte-identical to extracting the same rows.
+        """
+        sel = np.asarray(indices)
+
+        def pick(column: Optional[np.ndarray]) -> Optional[np.ndarray]:
+            return None if column is None else column[sel]
+
+        return FeatureArrays(
+            arch_codes=self.arch_codes[sel],
+            num_cnodes=self.num_cnodes[sel],
+            batch_size=self.batch_size[sel],
+            flop_count=self.flop_count[sel],
+            memory_access_bytes=self.memory_access_bytes[sel],
+            input_bytes=self.input_bytes[sel],
+            weight_traffic_bytes=self.weight_traffic_bytes[sel],
+            dense_traffic_bytes=self.dense_traffic_bytes[sel],
+            embedding_traffic_bytes=self.embedding_traffic_bytes[sel],
+            local_cnodes=self.local_cnodes[sel],
+            contends_for_pcie=self.contends_for_pcie[sel],
+            names=pick(self.names),
+            dense_weight_bytes=pick(self.dense_weight_bytes),
+            embedding_weight_bytes=pick(self.embedding_weight_bytes),
+        )
+
+    def of_architecture(self, architecture: Architecture) -> "FeatureArrays":
+        """The rows of one workload type, possibly empty."""
+        return self.take(np.flatnonzero(self.mask_of(architecture)))
+
+    def view(self, index: int) -> "FeatureView":
+        """A lazy ``WorkloadFeatures``-compatible view of one row."""
+        count = len(self)
+        if not -count <= index < count:
+            raise IndexError(
+                f"row {index} out of range for {count}-job population"
+            )
+        if (
+            self.names is None
+            or self.dense_weight_bytes is None
+            or self.embedding_weight_bytes is None
+        ):
+            raise ValueError(
+                "this FeatureArrays carries no name/at-rest weight "
+                "columns; build it via from_workloads/from_columnar to "
+                "use row views"
+            )
+        return FeatureView(self, index if index >= 0 else index + count)
+
+    def iter_views(self) -> Iterator["FeatureView"]:
+        """Lazy row views over the whole population, in order."""
+        if len(self):
+            self.view(0)  # validate the row-view columns once
+        for index in range(len(self)):
+            yield FeatureView(self, index)
 
     def architectures_present(self) -> List[Architecture]:
         """Distinct architectures in the population, in enum order."""
@@ -453,6 +607,143 @@ class FeatureArrays:
             contends_for_pcie=np.full_like(
                 self.contends_for_pcie, target.input_contends_for_pcie
             ),
+            names=self.names,
+            dense_weight_bytes=self.dense_weight_bytes,
+            embedding_weight_bytes=self.embedding_weight_bytes,
+        )
+
+
+class FeatureView:
+    """One population row with ``WorkloadFeatures``-compatible access.
+
+    The lazy inverse of column extraction: nothing is computed until an
+    attribute is read, and every attribute decodes straight out of the
+    backing :class:`FeatureArrays` columns -- bit-identical to the
+    eagerly constructed record (the property tests in
+    ``tests/properties`` pin all eleven fields plus the derived
+    properties).  Views hash and compare like the frozen dataclass
+    (the tuple of :data:`~repro.core.features.FEATURE_FIELDS` values),
+    so they interoperate in dict keys and equality checks; per-record
+    ``__post_init__`` validation is skipped because the columnar
+    constructors already enforced the same invariants vectorized.
+    """
+
+    __slots__ = ("_arrays", "_index")
+
+    def __init__(self, arrays: FeatureArrays, index: int) -> None:
+        self._arrays = arrays
+        self._index = index
+
+    # ---- the eleven schema fields ----------------------------------
+
+    @property
+    def name(self) -> str:
+        raw = self._arrays.names[self._index]
+        if isinstance(raw, bytes):
+            # The name column is sentinel-terminated utf-8: a trailing
+            # 0x01 byte guards real trailing NULs from the S dtype's
+            # stripping.  Tolerate un-terminated bytes from hand-built
+            # columns.
+            if raw.endswith(b"\x01"):
+                raw = raw[:-1]
+            return raw.decode("utf-8")
+        return str(raw)
+
+    @property
+    def architecture(self) -> Architecture:
+        return _ARCHITECTURES[int(self._arrays.arch_codes[self._index])]
+
+    @property
+    def num_cnodes(self) -> int:
+        return int(self._arrays.num_cnodes[self._index])
+
+    @property
+    def batch_size(self) -> int:
+        return int(self._arrays.batch_size[self._index])
+
+    @property
+    def flop_count(self) -> float:
+        return float(self._arrays.flop_count[self._index])
+
+    @property
+    def memory_access_bytes(self) -> float:
+        return float(self._arrays.memory_access_bytes[self._index])
+
+    @property
+    def input_bytes(self) -> float:
+        return float(self._arrays.input_bytes[self._index])
+
+    @property
+    def weight_traffic_bytes(self) -> float:
+        return float(self._arrays.weight_traffic_bytes[self._index])
+
+    @property
+    def dense_weight_bytes(self) -> float:
+        return float(self._arrays.dense_weight_bytes[self._index])
+
+    @property
+    def embedding_weight_bytes(self) -> float:
+        return float(self._arrays.embedding_weight_bytes[self._index])
+
+    @property
+    def embedding_traffic_bytes(self) -> float:
+        return float(self._arrays.embedding_traffic_bytes[self._index])
+
+    # ---- derived properties (same arithmetic as the record) --------
+
+    @property
+    def weight_bytes(self) -> float:
+        """Total model size at rest (dense + embedding weights)."""
+        return self.dense_weight_bytes + self.embedding_weight_bytes
+
+    @property
+    def dense_traffic_bytes(self) -> float:
+        """The dense share of the per-step synchronization traffic."""
+        return float(self._arrays.dense_traffic_bytes[self._index])
+
+    @property
+    def local_cnodes_per_server(self) -> int:
+        """cNodes co-located on one server, for PCIe contention."""
+        return int(self._arrays.local_cnodes[self._index])
+
+    # ---- record interoperability -----------------------------------
+
+    def materialize(self) -> WorkloadFeatures:
+        """The eager (validated) record for this row."""
+        return WorkloadFeatures(
+            **{field_name: getattr(self, field_name) for field_name in FEATURE_FIELDS}
+        )
+
+    def with_architecture(
+        self, architecture: Architecture, num_cnodes: int = None
+    ) -> WorkloadFeatures:
+        """Re-deploy this row's job under a different architecture."""
+        return self.materialize().with_architecture(architecture, num_cnodes)
+
+    def _field_values(self) -> Tuple:
+        return tuple(getattr(self, field_name) for field_name in FEATURE_FIELDS)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, (FeatureView, WorkloadFeatures)):
+            return self._field_values() == tuple(
+                getattr(other, field_name) for field_name in FEATURE_FIELDS
+            )
+        return NotImplemented
+
+    def __ne__(self, other: object) -> bool:
+        result = self.__eq__(other)
+        if result is NotImplemented:
+            return result
+        return not result
+
+    def __hash__(self) -> int:
+        # Matches the frozen dataclass: hash of the field-value tuple.
+        return hash(self._field_values())
+
+    def __repr__(self) -> str:
+        return (
+            f"FeatureView(name={self.name!r}, "
+            f"architecture={self.architecture}, row={self._index})"
         )
 
 

@@ -20,10 +20,10 @@ from __future__ import annotations
 import threading
 import time
 from dataclasses import dataclass
-from typing import Callable, Iterable, Iterator, List, Optional, Sequence
+from typing import Callable, Iterable, Iterator, Optional, Sequence
 
 from ..obs import get_obs
-from ..trace.schema import JobRecord
+from ..trace.schema import JobRecord, iter_day_groups
 
 __all__ = ["ReplayBatch", "TraceReplayer"]
 
@@ -72,21 +72,21 @@ class TraceReplayer:
         return self._stop.is_set()
 
     def _batches(self) -> Iterator[ReplayBatch]:
-        """Day-grouped, size-bounded batches, in stream order."""
+        """Day-grouped, size-bounded batches, in stream order.
+
+        Day grouping is shared with the day-batched scheduling engine
+        (:func:`repro.trace.schema.iter_day_groups`); each day's run is
+        then chopped into ``batch_size`` chunks.
+        """
         sequence = 0
-        pending: List[JobRecord] = []
-        pending_day: Optional[int] = None
-        for job in self._jobs:
-            if pending_day is not None and (
-                job.submit_day != pending_day or len(pending) >= self.batch_size
-            ):
-                yield ReplayBatch(tuple(pending), pending_day, sequence)
+        for day, group in iter_day_groups(self._jobs):
+            for start in range(0, len(group), self.batch_size):
+                yield ReplayBatch(
+                    tuple(group[start : start + self.batch_size]),
+                    day,
+                    sequence,
+                )
                 sequence += 1
-                pending = []
-            pending.append(job)
-            pending_day = job.submit_day
-        if pending:
-            yield ReplayBatch(tuple(pending), pending_day, sequence)
 
     def replay(self, sink: Callable[[Sequence[JobRecord]], object]) -> int:
         """Deliver the stream into ``sink``; returns jobs delivered.

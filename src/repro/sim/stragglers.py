@@ -177,6 +177,7 @@ def synchronization_penalty_curve(
     cnode_counts: Optional[List[int]] = None,
     jitter: JitterModel = JitterModel(),
     efficiency: EfficiencyModel = PAPER_DEFAULT_EFFICIENCY,
+    options: ModelOptions = PAPER_MODEL_OPTIONS,
 ) -> List[dict]:
     """Relative step-time inflation vs replica count (a study table).
 
@@ -184,6 +185,10 @@ def synchronization_penalty_curve(
     count (:func:`_expected_max_lognormal_curve`): one ``(samples,
     max_count)`` matrix and a running maximum replace a separate
     4000-draw run per count.
+
+    ``options`` reaches every breakdown evaluation, so non-default
+    model options (overlap mode, protocol constants) shape the curve
+    exactly as they shape :func:`straggled_step_time`.
     """
     if cnode_counts is None:
         cnode_counts = [1, 2, 4, 8, 16, 32, 64, 128]
@@ -195,7 +200,7 @@ def synchronization_penalty_curve(
         deployed = features.with_architecture(
             features.architecture, num_cnodes=count
         )
-        breakdown = estimate_breakdown(deployed, hardware, efficiency)
+        breakdown = estimate_breakdown(deployed, hardware, efficiency, options)
         straggled = (
             breakdown.data_io
             + breakdown.computation * factor

@@ -19,7 +19,13 @@ from .filters import (
 )
 from .generator import ClusterTraceGenerator, TraceConfig, generate_trace
 from .groups import GroupProfile, group_profiles, resource_concentration
-from .schema import JobRecord, features_of_type, jobs_of_type
+from .schema import (
+    JobRecord,
+    JobView,
+    features_of_type,
+    iter_day_groups,
+    jobs_of_type,
+)
 from .serialization import (
     SCHEMA_VERSION,
     append_trace,
@@ -47,6 +53,7 @@ __all__ = [
     "columnar_to_jsonl",
     "GroupProfile",
     "JobRecord",
+    "JobView",
     "SCHEMA_VERSION",
     "StreamingCDF",
     "TraceConfig",
@@ -58,6 +65,7 @@ __all__ = [
     "by_weight_band",
     "evaluate_targets",
     "features_of_type",
+    "iter_day_groups",
     "filter_jobs",
     "fraction_above",
     "fraction_below",

@@ -5,17 +5,33 @@ trace: its workload-feature tuple plus scheduling metadata.  The real
 trace analyzed in Sec. III covers tens of thousands of jobs submitted
 between Dec 1 2018 and Jan 20 2019; the synthetic generator reproduces
 its reported marginal statistics (see :mod:`repro.trace.calibration`).
+
+:class:`JobView` is the columns-first counterpart: the same attribute
+surface, lazily backed by a columnar population
+(:class:`repro.core.population.FeatureArrays`), skipping the
+per-record validation the columnar constructors already performed
+vectorized.  :meth:`repro.trace.columnar.ColumnarTrace.iter_views`
+streams a million-job store as views in a few seconds, which is what
+lets the scheduling engine replay traces the eager decoder cannot.
 """
 
 from __future__ import annotations
 
+from typing import Iterable, Iterator, List, Tuple, Union
+
 from dataclasses import dataclass
-from typing import Iterable, List
 
 from ..core.architectures import Architecture
 from ..core.features import WorkloadFeatures
+from ..core.population import FeatureArrays, FeatureView
 
-__all__ = ["JobRecord", "jobs_of_type", "features_of_type"]
+__all__ = [
+    "JobRecord",
+    "JobView",
+    "jobs_of_type",
+    "features_of_type",
+    "iter_day_groups",
+]
 
 
 @dataclass(frozen=True)
@@ -52,6 +68,69 @@ class JobRecord:
         return self.features.num_cnodes
 
 
+class JobView:
+    """A ``JobRecord``-compatible row over a columnar trace.
+
+    Carries the scheduling metadata eagerly (three cheap scalars) and
+    the feature tuple as a lazy :class:`FeatureView`; no
+    ``__post_init__`` re-validation happens because the backing store
+    enforced the schema invariants vectorized when the columns were
+    extracted.  Equality and hashing mirror the frozen dataclass, so a
+    view interoperates with records in comparisons and dict keys.
+    """
+
+    __slots__ = ("job_id", "features", "submit_day", "user_group")
+
+    def __init__(
+        self,
+        job_id: int,
+        features: FeatureView,
+        submit_day: int,
+        user_group: str,
+    ) -> None:
+        self.job_id = job_id
+        self.features = features
+        self.submit_day = submit_day
+        self.user_group = user_group
+
+    @property
+    def workload_type(self) -> Architecture:
+        """The Table II workload type of this job."""
+        return self.features.architecture
+
+    @property
+    def num_cnodes(self) -> int:
+        return self.features.num_cnodes
+
+    def _field_values(self) -> Tuple:
+        return (self.job_id, self.features, self.submit_day, self.user_group)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, (JobView, JobRecord)):
+            return self._field_values() == (
+                other.job_id,
+                other.features,
+                other.submit_day,
+                other.user_group,
+            )
+        return NotImplemented
+
+    def __ne__(self, other: object) -> bool:
+        result = self.__eq__(other)
+        if result is NotImplemented:
+            return result
+        return not result
+
+    def __hash__(self) -> int:
+        return hash(self._field_values())
+
+    def __repr__(self) -> str:
+        return (
+            f"JobView(job_id={self.job_id}, submit_day={self.submit_day}, "
+            f"user_group={self.user_group!r})"
+        )
+
+
 def jobs_of_type(
     jobs: Iterable[JobRecord], architecture: Architecture
 ) -> List[JobRecord]:
@@ -60,7 +139,38 @@ def jobs_of_type(
 
 
 def features_of_type(
-    jobs: Iterable[JobRecord], architecture: Architecture
+    jobs: Union[FeatureArrays, Iterable[JobRecord]],
+    architecture: Architecture,
 ) -> List[WorkloadFeatures]:
-    """Feature tuples of one workload type."""
+    """Feature tuples of one workload type.
+
+    Columns-first: a :class:`FeatureArrays` population yields lazy
+    :class:`FeatureView` rows straight off the selected columns; an
+    iterable of records falls back to the per-job attribute walk.
+    """
+    if isinstance(jobs, FeatureArrays):
+        return list(jobs.of_architecture(architecture).iter_views())
     return [job.features for job in jobs if job.workload_type is architecture]
+
+
+def iter_day_groups(
+    jobs: Iterable[Union[JobRecord, JobView]],
+) -> Iterator[Tuple[int, List[Union[JobRecord, JobView]]]]:
+    """Group a job stream into contiguous ``(submit_day, jobs)`` runs.
+
+    Streams: each group materializes only one day's jobs, preserving
+    their order.  On a submit-day-sorted trace the runs are exactly the
+    submission days -- the batching unit of both the day-batched
+    scheduling engine (:mod:`repro.sched.engine`) and the serve
+    replayer (:mod:`repro.serve.replay`).
+    """
+    day = None
+    group: List[Union[JobRecord, JobView]] = []
+    for job in jobs:
+        if day is not None and job.submit_day != day:
+            yield day, group
+            group = []
+        group.append(job)
+        day = job.submit_day
+    if group:
+        yield day, group

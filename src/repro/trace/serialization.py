@@ -30,7 +30,7 @@ from __future__ import annotations
 import json
 import os
 from pathlib import Path
-from typing import Iterable, Iterator, List, Union
+from typing import Iterable, Iterator, List, Optional, Union
 
 from ..core.architectures import Architecture
 from ..core.features import WorkloadFeatures
@@ -167,7 +167,7 @@ def iter_trace(
     """
     path = Path(path)
     with path.open("r", encoding="utf-8") as handle:
-        pending_error: Exception = None
+        pending_error: Optional[Exception] = None
         pending_line: int = 0
         for line_number, line in enumerate(handle, start=1):
             if pending_error is not None:

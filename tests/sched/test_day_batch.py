@@ -1,0 +1,229 @@
+"""Day-batched engine: byte-identical to the per-event reference.
+
+The day engine reorders *work*, never *semantics*: batch admission,
+vectorized per-day durations and the queue feasibility screen are each
+an exact reduction of what the per-event engine does.  These tests pin
+that claim on the suite's 20k-job default trace across every bundled
+policy, with and without injected faults, by comparing whole
+:class:`~repro.sched.outcomes.ScheduleOutcome` values -- outcomes,
+segments, rejections and telemetry samples alike.
+"""
+
+import pytest
+
+from repro.analysis.context import default_trace
+from repro.sched.engine import run_schedule
+from repro.sched.faults import CrashSpec, SchedFaults, StormSpec
+from repro.sched.fleet import Fleet
+from repro.sched.policies import (
+    BackfillPolicy,
+    FifoPolicy,
+    PriorityPolicy,
+    SjfPolicy,
+)
+from repro.sched.predictor import ModelRuntimePredictor
+from repro.trace.generator import TraceConfig, generate_trace
+
+#: Fleet geometry for the 20k regression: loaded enough that queues
+#: form (so policies actually decide) while keeping each replay in
+#: seconds rather than minutes.
+_SERVERS = 160
+
+_POLICIES = {
+    "fifo": FifoPolicy,
+    "sjf": SjfPolicy,
+    "backfill": BackfillPolicy,
+    "priority": PriorityPolicy,
+}
+
+#: Crashes and a storm landing inside the default trace's submission
+#: window (days 23-43), so every fault actually fires mid-replay.
+_FAULTS = SchedFaults(
+    crashes=(
+        CrashSpec(hour=23 * 24.0 + 5.0),
+        CrashSpec(hour=30 * 24.0 + 1.0, job_id=7, backoff_hours=3.0),
+    ),
+    storms=(
+        StormSpec(
+            start_hour=26 * 24.0,
+            ticks=3,
+            interval_hours=4.0,
+            victims_per_tick=2,
+        ),
+    ),
+)
+
+
+def _outcomes_identical(a, b):
+    assert a.policy == b.policy
+    assert a.total_gpus == b.total_gpus
+    assert a.rejected == b.rejected
+    assert a.outcomes == b.outcomes
+    assert a.telemetry == b.telemetry
+    assert a == b
+
+
+@pytest.mark.slow
+@pytest.mark.parametrize("policy_name", sorted(_POLICIES))
+@pytest.mark.parametrize("faulty", [False, True], ids=["healthy", "faults"])
+def test_day_engine_matches_event_engine_on_default_trace(
+    policy_name, faulty
+):
+    trace = default_trace()
+    assert len(trace) == 20000
+    faults = _FAULTS if faulty else None
+    reference = run_schedule(
+        trace,
+        Fleet(_SERVERS),
+        _POLICIES[policy_name](),
+        engine="event",
+        faults=faults,
+    )
+    batched = run_schedule(
+        trace,
+        Fleet(_SERVERS),
+        _POLICIES[policy_name](),
+        engine="day",
+        faults=faults,
+    )
+    _outcomes_identical(reference, batched)
+
+
+class TestDayEngineSmall:
+    """Cheap equivalence checks exercising paths the big run may miss."""
+
+    @pytest.fixture(scope="class")
+    def trace(self):
+        return generate_trace(config=TraceConfig(num_jobs=600, seed=17))
+
+    def test_model_predicted_durations_resolve_per_day(self, trace):
+        """Day mode defers predictor durations to admission time; the
+        vectorized batch path must reproduce the event engine's floats
+        exactly."""
+        reference = run_schedule(
+            trace,
+            Fleet(8),
+            SjfPolicy(),
+            predictor=ModelRuntimePredictor(),
+            engine="event",
+        )
+        batched = run_schedule(
+            trace,
+            Fleet(8),
+            SjfPolicy(),
+            predictor=ModelRuntimePredictor(),
+            engine="day",
+        )
+        _outcomes_identical(reference, batched)
+
+    def test_explicit_duration_dict(self, trace):
+        durations = {job.job_id: 0.5 + (job.job_id % 7) for job in trace}
+        reference = run_schedule(
+            trace, Fleet(8), FifoPolicy(), durations=durations, engine="event"
+        )
+        batched = run_schedule(
+            trace, Fleet(8), FifoPolicy(), durations=durations, engine="day"
+        )
+        _outcomes_identical(reference, batched)
+
+    def test_non_preempting_priority_is_screened_identically(self, trace):
+        policy = PriorityPolicy(preempt=False)
+        assert policy.may_preempt is False
+        reference = run_schedule(trace, Fleet(6), policy, engine="event")
+        batched = run_schedule(trace, Fleet(6), policy, engine="day")
+        _outcomes_identical(reference, batched)
+
+    def test_faults_firing_before_first_arrival(self, trace):
+        late = [job for job in trace if job.submit_day >= 2]
+        faults = SchedFaults(
+            crashes=(CrashSpec(hour=1.0),),
+            storms=(StormSpec(start_hour=2.0),),
+        )
+        reference = run_schedule(
+            late, Fleet(6), FifoPolicy(), engine="event", faults=faults
+        )
+        batched = run_schedule(
+            late, Fleet(6), FifoPolicy(), engine="day", faults=faults
+        )
+        _outcomes_identical(reference, batched)
+
+    def test_rejections_preserve_trace_order(self, trace):
+        reference = run_schedule(trace, Fleet(2), FifoPolicy(), engine="event")
+        batched = run_schedule(trace, Fleet(2), FifoPolicy(), engine="day")
+        assert len(batched.rejected) > 0
+        _outcomes_identical(reference, batched)
+
+    def test_on_unplaceable_raise_parity(self, trace):
+        with pytest.raises(RuntimeError, match="cannot be placed"):
+            run_schedule(
+                trace,
+                Fleet(2),
+                FifoPolicy(),
+                engine="day",
+                on_unplaceable="raise",
+            )
+
+    def test_empty_trace(self):
+        for engine in ("day", "event"):
+            outcome = run_schedule([], Fleet(2), FifoPolicy(), engine=engine)
+            assert outcome.outcomes == []
+            assert outcome.rejected == []
+
+    def test_engine_name_is_validated(self):
+        with pytest.raises(ValueError, match="engine must be"):
+            run_schedule([], Fleet(2), FifoPolicy(), engine="hourly")
+
+
+class TestMayPreempt:
+    def test_bundled_policies_declare_preemption(self):
+        assert FifoPolicy().may_preempt is False
+        assert SjfPolicy().may_preempt is False
+        assert BackfillPolicy().may_preempt is False
+        assert PriorityPolicy().may_preempt is True
+        assert PriorityPolicy(preempt=False).may_preempt is False
+
+    def test_unknown_policies_are_treated_as_preempting(self):
+        class Opaque:
+            name = "opaque"
+
+            def select(self, context):  # pragma: no cover - never called
+                raise AssertionError
+
+        assert getattr(Opaque(), "may_preempt", True) is True
+
+
+class TestFeasibilityCaps:
+    """The caps must reduce ``fits`` exactly, shape by shape."""
+
+    def test_caps_match_fits_across_occupancies(self):
+        from repro.core.architectures import Architecture
+
+        fleet = Fleet(5, gpus_per_server=8)
+        fleet.try_place(Architecture.ALLREDUCE_LOCAL, 7)
+        fleet.try_place(Architecture.ALLREDUCE_LOCAL, 8)
+        fleet.try_place(Architecture.PS_WORKER, 3)
+        largest, with_free, total_free = fleet.feasibility_caps()
+        for architecture in Architecture:
+            for width in range(1, fleet.total_gpus + 2):
+                if architecture.is_local:
+                    expected = width <= largest
+                elif architecture is Architecture.PS_WORKER:
+                    expected = width <= with_free
+                else:
+                    expected = width <= total_free
+                assert fleet.fits(architecture, width) is expected, (
+                    architecture,
+                    width,
+                )
+
+
+class TestBatchDurations:
+    def test_batch_matches_scalar_exactly(self):
+        trace = generate_trace(config=TraceConfig(num_jobs=400, seed=23))
+        predictor = ModelRuntimePredictor()
+        batch = predictor.batch_duration_hours(trace)
+        for job in trace:
+            assert batch[job.job_id] == predictor.duration_hours(job)
+
+    def test_empty_batch(self):
+        assert ModelRuntimePredictor().batch_duration_hours([]) == {}

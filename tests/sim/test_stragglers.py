@@ -108,6 +108,37 @@ class TestPenaltyCurve:
         row = rows[0]
         assert 1.0 < row["step_inflation"] < row["straggler_factor"]
 
+    def test_options_reach_the_breakdown(self, hardware):
+        """Regression: the curve used to drop ``options`` on the floor,
+        silently evaluating non-default model options at the paper
+        defaults."""
+        from repro.core.timemodel import ModelOptions
+
+        job = WorkloadFeatures(
+            name="ring",
+            architecture=Architecture.ALLREDUCE_LOCAL,
+            num_cnodes=4,
+            batch_size=128,
+            flop_count=2e12,
+            memory_access_bytes=20e9,
+            input_bytes=10e6,
+            weight_traffic_bytes=500e6,
+            dense_weight_bytes=500e6,
+        )
+        options = ModelOptions(allreduce_ring_factor=True)
+        defaults = synchronization_penalty_curve(
+            job, hardware, cnode_counts=[4]
+        )
+        ringed = synchronization_penalty_curve(
+            job, hardware, cnode_counts=[4], options=options
+        )
+        assert defaults[0]["step_inflation"] != ringed[0]["step_inflation"]
+        # Same factor (jitter does not depend on the options), so the
+        # difference comes entirely from the breakdown evaluation.
+        assert defaults[0]["straggler_factor"] == (
+            ringed[0]["straggler_factor"]
+        )
+
 
 class TestMemoization:
     """The 4000-sample Monte Carlo must run once per distinct

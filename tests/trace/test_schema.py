@@ -4,7 +4,12 @@ import pytest
 
 from repro.core.architectures import Architecture
 from repro.core.features import WorkloadFeatures
-from repro.trace.schema import JobRecord, features_of_type, jobs_of_type
+from repro.trace.schema import (
+    JobRecord,
+    features_of_type,
+    iter_day_groups,
+    jobs_of_type,
+)
 
 
 def record(job_id=0, architecture=Architecture.SINGLE, num_cnodes=1):
@@ -55,3 +60,110 @@ class TestFilters:
 
     def test_empty_result(self):
         assert jobs_of_type([], Architecture.PS_WORKER) == []
+
+
+def record_on_day(job_id, day, architecture=Architecture.SINGLE):
+    base = record(job_id=job_id, architecture=architecture)
+    return JobRecord(
+        job_id=job_id, features=base.features, submit_day=day
+    )
+
+
+class TestIterDayGroups:
+    def test_contiguous_runs(self):
+        jobs = [
+            record_on_day(0, 0),
+            record_on_day(1, 0),
+            record_on_day(2, 3),
+            record_on_day(3, 5),
+            record_on_day(4, 5),
+        ]
+        groups = list(iter_day_groups(jobs))
+        assert [day for day, _ in groups] == [0, 3, 5]
+        assert [[j.job_id for j in g] for _, g in groups] == [
+            [0, 1],
+            [2],
+            [3, 4],
+        ]
+
+    def test_empty_stream(self):
+        assert list(iter_day_groups([])) == []
+
+    def test_unsorted_stream_yields_one_run_per_change(self):
+        # The grouping is over *contiguous* runs: an unsorted stream
+        # simply produces a group per day change, order preserved.
+        jobs = [record_on_day(0, 2), record_on_day(1, 0), record_on_day(2, 2)]
+        groups = list(iter_day_groups(jobs))
+        assert [day for day, _ in groups] == [2, 0, 2]
+
+    def test_streams_lazily(self):
+        def infinite():
+            day = 0
+            while True:
+                yield record_on_day(day, day)
+                day += 1
+
+        iterator = iter_day_groups(infinite())
+        day, group = next(iterator)
+        assert day == 0 and [j.job_id for j in group] == [0]
+
+
+class TestJobView:
+    @pytest.fixture()
+    def store(self, tmp_path):
+        from repro.trace.columnar import ColumnarTrace, write_columnar
+
+        jobs = [
+            record_on_day(0, 1),
+            record_on_day(1, 1, architecture=Architecture.PS_WORKER),
+            record_on_day(2, 4),
+        ]
+        path = tmp_path / "schema.columnar"
+        write_columnar(jobs, path, shard_rows=2)
+        return jobs, ColumnarTrace.open(path)
+
+    def test_views_equal_records_both_ways(self, store):
+        jobs, trace = store
+        views = list(trace.iter_views())
+        assert views == jobs
+        assert jobs == views
+        for view, job in zip(views, jobs):
+            assert hash(view) == hash(job)
+            assert view.workload_type is job.workload_type
+            assert view.num_cnodes == job.num_cnodes
+            assert view.user_group == job.user_group
+
+    def test_views_interchange_as_dict_keys(self, store):
+        jobs, trace = store
+        by_record = {job: job.job_id for job in jobs}
+        for view in trace.iter_views():
+            assert by_record[view] == view.job_id
+
+    def test_inequality_against_other_types(self, store):
+        jobs, trace = store
+        view = next(trace.iter_views())
+        assert view != object()
+        assert (view == object()) is False
+
+
+class TestFeaturesOfTypeDispatch:
+    def test_feature_arrays_input_yields_views(self):
+        from repro.core.population import FeatureArrays, FeatureView
+
+        jobs = [
+            record(0),
+            record(1, architecture=Architecture.PS_WORKER, num_cnodes=4),
+            record(2, architecture=Architecture.PS_WORKER, num_cnodes=2),
+        ]
+        arrays = FeatureArrays.from_workloads([j.features for j in jobs])
+        selected = features_of_type(arrays, Architecture.PS_WORKER)
+        assert all(isinstance(f, FeatureView) for f in selected)
+        assert selected == features_of_type(jobs, Architecture.PS_WORKER)
+
+    def test_empty_selection(self):
+        from repro.core.population import FeatureArrays
+
+        arrays = FeatureArrays.from_workloads(
+            [record(0).features, record(1).features]
+        )
+        assert features_of_type(arrays, Architecture.PEARL) == []
