@@ -166,6 +166,7 @@ def fraction_samples(
 ) -> List[float]:
     """Per-job shares of one component, for CDF plots (Fig. 8(b-d))."""
     if isinstance(jobs, PopulationBreakdown):
+        # repro: ignore[hot-path] figure API contract returns List[float]
         return jobs.fraction_samples(component).tolist()
     if component not in COMPONENT_KEYS:
         raise KeyError(f"unknown component: {component!r}")
@@ -178,6 +179,7 @@ def hardware_share_samples(
 ) -> List[float]:
     """Per-job shares of one hardware component (Fig. 8(a) CDFs)."""
     if isinstance(jobs, PopulationBreakdown):
+        # repro: ignore[hot-path] figure API contract returns List[float]
         return jobs.hardware_share_samples(hardware_component).tolist()
     if hardware_component not in HARDWARE_KEYS:
         raise KeyError(f"unknown hardware component: {hardware_component!r}")
@@ -315,6 +317,8 @@ class FeatureArrays:
         embedding_traffic = np.empty(count, dtype=float)
         local_cnodes = np.empty(count, dtype=np.int64)
         contends = np.empty(count, dtype=bool)
+        # repro: ignore[hot-path] job names are unbounded strings; a
+        # unicode dtype would truncate them
         names = np.empty(count, dtype=object)
         dense_weight = np.empty(count, dtype=float)
         embedding_weight = np.empty(count, dtype=float)
@@ -561,6 +565,7 @@ class FeatureArrays:
         """Lazy row views over the whole population, in order."""
         if len(self):
             self.view(0)  # validate the row-view columns once
+        # repro: ignore[hot-path] lazy per-row views are this API's point
         for index in range(len(self)):
             yield FeatureView(self, index)
 
@@ -568,7 +573,9 @@ class FeatureArrays:
         """Distinct architectures in the population, in enum order."""
         return [
             _ARCHITECTURES[code]
-            for code in np.unique(self.arch_codes).tolist()
+            for code in (
+                np.unique(self.arch_codes).tolist()  # repro: ignore[hot-path] tiny set (|architectures| <= 6)
+            )
         ]
 
     def mask_of(self, architecture: Architecture) -> np.ndarray:

@@ -58,7 +58,16 @@ class Baseline:
         self._matched: set = set()
 
     @classmethod
-    def load(cls, path: Union[str, Path]) -> "Baseline":
+    def load(cls, path: Union[str, Path], *, strict: bool = True) -> "Baseline":
+        """Parse a baseline file.
+
+        Strict loading (the default, what the CLI and the pytest bridge
+        use) refuses entries without a non-empty ``reason``: a baseline
+        entry is a reviewed exemption, and an exemption nobody can
+        justify is just a muted finding.  ``strict=False`` is for
+        ``--write-baseline`` itself, which must read a half-annotated
+        file to preserve the reasons that do exist.
+        """
         payload = json.loads(Path(path).read_text(encoding="utf-8"))
         version = payload.get("version")
         if version != 1:
@@ -68,11 +77,43 @@ class Baseline:
                 rule=entry["rule"],
                 path=entry["path"],
                 context=entry.get("context", ""),
-                reason=entry.get("reason", _PLACEHOLDER_REASON),
+                reason=entry.get("reason", ""),
             )
             for entry in payload.get("entries", [])
         ]
+        if strict:
+            unjustified = [e for e in entries if not e.reason.strip()]
+            if unjustified:
+                listed = ", ".join(
+                    f"{e.rule} @ {e.path}" for e in unjustified[:5]
+                )
+                raise ValueError(
+                    f"{len(unjustified)} baseline entr"
+                    f"{'y' if len(unjustified) == 1 else 'ies'} without a "
+                    f"reason ({listed}); every exemption needs its one-line "
+                    "justification"
+                )
         return cls(entries)
+
+    def write(self, path: Union[str, Path]) -> int:
+        """Serialize this baseline back to ``path`` (sorted, stable)."""
+        ordered = sorted(self.entries, key=lambda e: e.key())
+        payload = {
+            "version": 1,
+            "entries": [
+                {
+                    "rule": entry.rule,
+                    "path": entry.path,
+                    "context": entry.context,
+                    "reason": entry.reason,
+                }
+                for entry in ordered
+            ],
+        }
+        Path(path).write_text(
+            json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+        )
+        return len(ordered)
 
     def match(self, finding: Finding) -> bool:
         """Whether ``finding`` is grandfathered (marks the entry used)."""
@@ -99,7 +140,7 @@ def write_baseline(
     existing: Dict[Tuple[str, str, str], str] = {}
     if path.exists():
         try:
-            for entry in Baseline.load(path).entries:
+            for entry in Baseline.load(path, strict=False).entries:
                 existing[entry.key()] = entry.reason
         except (ValueError, KeyError, json.JSONDecodeError):
             pass
@@ -110,7 +151,7 @@ def write_baseline(
             rule=finding.rule,
             path=finding.pkg_path or finding.path,
             context=finding.context,
-            reason=existing.get(key, _PLACEHOLDER_REASON),
+            reason=existing.get(key) or _PLACEHOLDER_REASON,
         )
     ordered = sorted(entries.values(), key=lambda e: e.key())
     payload = {

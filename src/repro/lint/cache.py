@@ -1,0 +1,125 @@
+"""Content-addressed cache for the per-file analysis phase.
+
+A file's per-file outcome -- findings, suppression count, project-rule
+summaries -- is a pure function of three inputs: the file's bytes, the
+rule set that ran, and the analyzer's own code.  The cache keys on
+exactly that triple (all three folded into one SHA-256), so a warm run
+re-analyzes only files whose content changed since the last run, while
+any edit to the lint package itself (:func:`rules_signature`) or to the
+requested rule list invalidates everything at once -- there is no
+version counter to forget to bump.
+
+Entries are one JSON file per key under the cache directory, written
+with the repo's tmp + ``os.replace`` idiom, so concurrent lint runs
+sharing a cache directory race benignly: both compute the same bytes
+and the last rename wins.  Corrupt or unreadable entries behave as
+misses.  Project-phase findings are *not* cached -- they depend on
+every file's summary, and recomputing them from (mostly cached)
+summaries is cheap.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from dataclasses import asdict
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from .findings import Finding
+
+__all__ = ["AnalysisCache", "rules_signature"]
+
+#: Bumped only for semantic changes to the entry layout itself.
+_FORMAT = 1
+
+_signature_memo: Dict[str, str] = {}  # repro: ignore[fork-safety] per-process memo
+
+
+def rules_signature() -> str:
+    """SHA-256 over the lint package's own source files.
+
+    Any edit to the engine, a rule, the CFG builder... changes this
+    digest and therefore every cache key.  Hashing a few dozen small
+    files costs ~1ms and is memoized per process.
+    """
+    package_dir = str(Path(__file__).parent)
+    memoized = _signature_memo.get(package_dir)
+    if memoized is not None:
+        return memoized
+    digest = hashlib.sha256()
+    for source in sorted(Path(package_dir).rglob("*.py")):
+        digest.update(str(source.relative_to(package_dir)).encode())
+        digest.update(b"\0")
+        digest.update(source.read_bytes())
+        digest.update(b"\0")
+    signature = digest.hexdigest()
+    _signature_memo[package_dir] = signature  # repro: ignore[fork-safety] per-process memo
+    return signature
+
+
+#: The cached shape of one file's per-file phase.
+Outcome = Tuple[List[Finding], int, Dict[str, Any]]
+
+
+class AnalysisCache:
+    """One directory of content-addressed per-file outcomes."""
+
+    def __init__(self, directory: Path) -> None:
+        self.directory = Path(directory)
+        self.directory.mkdir(parents=True, exist_ok=True)
+
+    def key(self, source: bytes, rule_ids: Sequence[str]) -> str:
+        """The cache key for ``source`` analyzed under ``rule_ids``."""
+        digest = hashlib.sha256()
+        digest.update(f"format:{_FORMAT}\0".encode())
+        digest.update(rules_signature().encode())
+        digest.update(b"\0")
+        digest.update(",".join(sorted(rule_ids)).encode())
+        digest.update(b"\0")
+        digest.update(source)
+        return digest.hexdigest()
+
+    def _entry_path(self, key: str) -> Path:
+        return self.directory / f"{key}.json"
+
+    def get(self, key: str) -> Optional[Outcome]:
+        """The cached outcome, or None on miss/corruption."""
+        try:
+            payload = json.loads(
+                self._entry_path(key).read_text(encoding="utf-8")
+            )
+            findings = [Finding(**raw) for raw in payload["findings"]]
+            return (findings, payload["suppressed"], payload["summaries"])
+        except (OSError, ValueError, KeyError, TypeError):
+            return None
+
+    def put(self, key: str, outcome: Outcome) -> bool:
+        """Store one outcome; False when it cannot be serialized.
+
+        Summaries must survive a JSON round-trip (tuples come back as
+        lists -- consumers accept both); a rule whose summary does not
+        serialize keeps the file analyzable, just never cached.
+        """
+        findings, suppressed, summaries = outcome
+        try:
+            body = json.dumps(
+                {
+                    "findings": [asdict(finding) for finding in findings],
+                    "suppressed": suppressed,
+                    "summaries": summaries,
+                },
+                sort_keys=True,
+            )
+        except (TypeError, ValueError):
+            return False
+        target = self._entry_path(key)
+        tmp = target.with_name(target.name + ".tmp")
+        try:
+            tmp.write_text(body, encoding="utf-8")
+            os.replace(tmp, target)
+        except BaseException:
+            tmp.unlink(missing_ok=True)
+            raise
+        return True

@@ -4,13 +4,18 @@ Usage::
 
     repro-lint src/                       # all rules, human output
     repro-lint src/ --format json         # obs-schema JSON lines
+    repro-lint src/ --format sarif        # SARIF 2.1.0 to stdout
+    repro-lint src/ --sarif lint.sarif    # ... or to a file, alongside
     repro-lint src/ --rules no-print,determinism
     repro-lint src/ --jobs 8              # parallel per-file phase
+    repro-lint src/ --cache               # incremental (.lint-cache/)
     repro-lint src/ --write-baseline      # grandfather current findings
+    repro-lint src/ --prune-baseline      # drop stale baseline entries
     repro-lint --list-rules               # catalog with one-liners
 
-Exit codes: ``0`` clean (or fully baselined/suppressed), ``1`` findings,
-``2`` usage errors.
+Exit codes: ``0`` clean (or fully baselined/suppressed), ``1`` findings
+*or stale baseline entries* (a fixed finding must take its exemption
+with it), ``2`` usage errors.
 """
 
 from __future__ import annotations
@@ -21,9 +26,11 @@ from pathlib import Path
 from typing import List, Optional
 
 from .baseline import Baseline, write_baseline
+from .cache import AnalysisCache
 from .engine import lint_paths
 from .output import render_human, render_jsonl
 from .registry import all_rules
+from .sarif import render_sarif
 
 __all__ = ["main", "build_parser"]
 
@@ -47,9 +54,18 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--format",
-        choices=("human", "json"),
+        choices=("human", "json", "sarif"),
         default="human",
-        help="output format: human one-liners or obs-schema JSON lines",
+        help=(
+            "output format: human one-liners, obs-schema JSON lines, "
+            "or a SARIF 2.1.0 log"
+        ),
+    )
+    parser.add_argument(
+        "--sarif",
+        default=None,
+        metavar="PATH",
+        help="additionally write a SARIF 2.1.0 log to PATH",
     )
     parser.add_argument(
         "--rules",
@@ -74,9 +90,28 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--cache",
+        nargs="?",
+        const=".lint-cache",
+        default=None,
+        metavar="DIR",
+        help=(
+            "incremental mode: reuse per-file results for unchanged "
+            "files from DIR (default: .lint-cache)"
+        ),
+    )
+    parser.add_argument(
         "--write-baseline",
         action="store_true",
         help="write current findings to the baseline file and exit 0",
+    )
+    parser.add_argument(
+        "--prune-baseline",
+        action="store_true",
+        help=(
+            "rewrite the baseline file without entries that no longer "
+            "match any finding"
+        ),
     )
     parser.add_argument(
         "--list-rules",
@@ -109,9 +144,10 @@ def main(argv: Optional[List[str]] = None) -> int:
         parser.error("--jobs must be >= 1")
 
     baseline_path = _resolve_baseline(args.baseline)
+    cache = AnalysisCache(Path(args.cache)) if args.cache else None
     if args.write_baseline:
         target = baseline_path or Path(args.baseline or DEFAULT_BASELINE)
-        result = lint_paths(args.paths, rules=rules, jobs=args.jobs)
+        result = lint_paths(args.paths, rules=rules, jobs=args.jobs, cache=cache)
         count = write_baseline(result.findings, target)
         print(f"wrote {count} baseline entr{'y' if count == 1 else 'ies'} to {target}")
         return 0
@@ -122,18 +158,48 @@ def main(argv: Optional[List[str]] = None) -> int:
             baseline = Baseline.load(baseline_path)
         except (OSError, ValueError, KeyError) as exc:
             parser.error(f"cannot load baseline {baseline_path}: {exc}")
+    elif args.prune_baseline:
+        parser.error("--prune-baseline requires a baseline file")
 
     try:
         result = lint_paths(
-            args.paths, rules=rules, jobs=args.jobs, baseline=baseline
+            args.paths,
+            rules=rules,
+            jobs=args.jobs,
+            baseline=baseline,
+            cache=cache,
         )
     except KeyError as exc:
         parser.error(str(exc))
 
+    if args.prune_baseline and result.unused_baseline:
+        stale_keys = {entry.key() for entry in result.unused_baseline}
+        pruned = Baseline(
+            entry for entry in baseline.entries if entry.key() not in stale_keys
+        )
+        pruned.write(baseline_path)
+        print(
+            f"pruned {len(stale_keys)} stale entr"
+            f"{'y' if len(stale_keys) == 1 else 'ies'} from {baseline_path}"
+        )
+        result.unused_baseline = []
+
     rendered = (
         render_jsonl(result) if args.format == "json" else render_human(result)
     )
+    if args.format == "sarif":
+        rendered = render_sarif(result)
+    if args.sarif:
+        Path(args.sarif).write_text(render_sarif(result), encoding="utf-8")
     sys.stdout.write(rendered)
+    if result.ok and result.unused_baseline:
+        # A stale exemption is a failure: the finding it excused is
+        # gone, so the entry must go too (or be --prune-baseline'd).
+        sys.stderr.write(
+            "repro-lint: stale baseline entries (run --prune-baseline "
+            "or delete them)\n"
+        )
+        return 1
     return 0 if result.ok else 1
 
 

@@ -77,6 +77,7 @@ class FileContext:
         #: Per-rule scratch space for single-pass collectors.
         self.state: Dict[str, Any] = {}
         self._suppressions: Optional[Dict[int, FrozenSet[str]]] = None
+        self._line_aliases: Optional[Dict[int, List[int]]] = None
         self._imports: Optional[Dict[str, str]] = None
         self._module_defs: Optional[FrozenSet[str]] = None
         self._mutable_globals: Optional[Dict[str, int]] = None
@@ -107,8 +108,33 @@ class FileContext:
             self._suppressions = parse_suppressions(self.source)
         return self._suppressions
 
+    @property
+    def line_aliases(self) -> Dict[int, List[int]]:
+        """Finding line -> other lines whose markers also cover it.
+
+        A decorated ``def``/``class`` reports findings at the ``def``
+        line, but the statement *starts* at its first decorator -- an
+        ignore comment on any decorator line covers the definition.
+        """
+        if self._line_aliases is None:
+            aliases: Dict[int, List[int]] = {}
+            for node in ast.walk(self.tree):
+                if isinstance(
+                    node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef)
+                ) and node.decorator_list:
+                    aliases[node.lineno] = [
+                        decorator.lineno for decorator in node.decorator_list
+                    ]
+            self._line_aliases = aliases
+        return self._line_aliases
+
     def suppressed(self, rule_id: str, line: int) -> bool:
-        return is_suppressed(self.suppressions, rule_id, line)
+        if is_suppressed(self.suppressions, rule_id, line):
+            return True
+        return any(
+            is_suppressed(self.suppressions, rule_id, alias)
+            for alias in self.line_aliases.get(line, ())
+        )
 
     # ---- imports & bindings ---------------------------------------
 
@@ -228,6 +254,8 @@ class FileContext:
         """The offending source, unparsed and truncated."""
         try:
             text = ast.unparse(node)
+        # repro: ignore[exception-contract] cosmetic fallback: a snippet
+        # that fails to unparse must not fail the lint run itself
         except Exception:
             text = ""
         return text[:MAX_CONTEXT]

@@ -3,8 +3,12 @@
 from . import (  # noqa: F401
     api_hygiene,
     determinism,
+    exception_contract,
     fork_safety,
+    hot_path,
     layering,
+    lock_discipline,
     no_print,
+    resource_safety,
     units,
 )

@@ -6,8 +6,9 @@ hidden input -- module-state RNGs, wall-clock reads, environment
 variables -- silently poisons that fingerprint: two runs with the same
 key would disagree, and warm reports would stop being byte-identical.
 
-The rule builds a best-effort static call graph over the analyzed files
-and flags every non-deterministic *sin* (unseeded ``random`` /
+The rule collects call edges per file and walks the shared project
+call graph (:mod:`repro.lint.callgraph`), flagging every
+non-deterministic *sin* (unseeded ``random`` /
 ``np.random`` module state, ``time.time`` / ``datetime.now``,
 ``os.environ`` reads, ``uuid``/``secrets``) that is reachable from an
 experiment registered in a module-level ``EXPERIMENTS`` dict.  Sins at
@@ -23,9 +24,9 @@ one.
 from __future__ import annotations
 
 import ast
-from collections import deque
 from typing import Any, Dict, Iterable, List, Optional, Tuple
 
+from ..callgraph import CallGraph
 from ..context import FileContext
 from ..findings import Finding
 from ..registry import Rule, register
@@ -250,41 +251,24 @@ class DeterminismRule(Rule):
     def check_project(self, summaries: List[Any]) -> Iterable[Finding]:
         functions: Dict[str, Dict] = {}
         location: Dict[str, Tuple[str, str]] = {}
+        graph = CallGraph()
         roots: List[Tuple[str, str]] = []
         for summary in summaries:
             for qual, entry in summary["functions"].items():
                 functions[qual] = entry
                 location[qual] = (summary["path"], summary["pkg_path"])
-            roots.extend(summary["roots"])
+                graph.add_function(qual, entry["calls"])
+            for experiment_id, qual in summary["roots"]:
+                roots.append((experiment_id, qual))
 
-        # BFS from every registered experiment, tracking one witness
-        # call path per reached function.
-        parent: Dict[str, Optional[str]] = {}
-        origin: Dict[str, str] = {}
-        queue: deque = deque()
-        for experiment_id, qual in roots:
-            if qual in functions and qual not in parent:
-                parent[qual] = None
-                origin[qual] = experiment_id
-                queue.append(qual)
-        while queue:
-            qual = queue.popleft()
-            for callee, _line in functions[qual]["calls"]:
-                if callee in functions and callee not in parent:
-                    parent[callee] = qual
-                    origin[callee] = origin[qual]
-                    queue.append(callee)
+        # BFS from every registered experiment, one witness call path
+        # per reached function, on the shared project call graph.
+        reached = graph.reach(roots)
 
         findings: List[Finding] = []
-        for qual in parent:
+        for qual in reached:
             for sin, line, col, snippet in functions[qual]["sins"]:
                 path, pkg_path = location[qual]
-                chain: List[str] = []
-                cursor: Optional[str] = qual
-                while cursor is not None:
-                    chain.append(cursor)
-                    cursor = parent[cursor]
-                chain.reverse()
                 findings.append(
                     Finding(
                         rule=self.id,
@@ -293,7 +277,8 @@ class DeterminismRule(Rule):
                         col=col,
                         message=(
                             f"{sin}; reachable from registered experiment "
-                            f"{origin[qual]!r} via {' -> '.join(chain)}"
+                            f"{reached.origin[qual]!r} via "
+                            f"{' -> '.join(reached.chain(qual))}"
                         ),
                         context=snippet,
                         pkg_path=pkg_path,

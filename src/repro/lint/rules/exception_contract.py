@@ -1,0 +1,141 @@
+"""``exception-contract``: broad handlers must re-raise or report.
+
+Retry loops (:mod:`repro.serve.client`) and worker fences
+(:mod:`repro.runtime.executor`) legitimately catch ``Exception`` -- but
+the repo's contract is that a broad catch either *re-raises* (possibly
+after cleanup) or *records* what it swallowed through the obs layer, so
+a failure is never reduced to silence.  A broad handler that does
+neither turns real defects into mysterious absences: the retry that
+never logs why it retried, the executor that eats a worker crash.
+
+The rule flags ``except Exception`` / ``except BaseException`` handlers
+(bare ``except:`` already belongs to ``api-hygiene``) whose body --
+nested ``def``/``class`` bodies excluded, since they run later if at
+all -- shows no evidence of handling:
+
+* a ``raise`` (re-raise or translate);
+* any use of the bound exception name (``except Exception as error:``
+  followed by ``error`` anywhere counts -- formatting it into a message
+  or result is reporting);
+* a reporting call: ``obs.event``/``error``/``warn``/``warning``/
+  ``exception``/``log``/``critical``, ``traceback.*`` or
+  ``sys.exc_info`` (the executor's fence serializes the traceback into
+  the result tuple -- that is the report).
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator, List
+
+from ..context import FileContext
+from ..findings import Finding
+from ..registry import Rule, register
+
+__all__ = ["ExceptionContractRule"]
+
+#: Exception types broad enough to demand evidence of handling.
+_BROAD = frozenset({"Exception", "BaseException"})
+
+#: Call attribute/function names that count as reporting the failure.
+_REPORTERS = frozenset(
+    {
+        "event",
+        "error",
+        "warn",
+        "warning",
+        "exception",
+        "log",
+        "critical",
+        "counter",
+        "exc_info",
+        "format_exc",
+        "print_exc",
+        "format_exception",
+    }
+)
+
+
+def _broad_types(annotation: ast.expr) -> List[str]:
+    """Names in the ``except <type>`` clause that are in ``_BROAD``."""
+    candidates = (
+        annotation.elts if isinstance(annotation, ast.Tuple) else [annotation]
+    )
+    names: List[str] = []
+    for candidate in candidates:
+        if isinstance(candidate, ast.Name) and candidate.id in _BROAD:
+            names.append(candidate.id)
+    return names
+
+
+def _body_nodes(handler: ast.ExceptHandler) -> Iterator[ast.AST]:
+    """Walk the handler body, opaque to nested function/class bodies."""
+    stack: List[ast.AST] = list(handler.body)
+    while stack:
+        node = stack.pop()
+        yield node
+        if isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.ClassDef, ast.Lambda)
+        ):
+            continue
+        stack.extend(ast.iter_child_nodes(node))
+
+
+@register
+class ExceptionContractRule(Rule):
+    id = "exception-contract"
+    title = "broad except that swallows without re-raise or report"
+    rationale = (
+        "a broad `except Exception` that neither re-raises nor records "
+        "the failure erases the only evidence a defect ever produced; "
+        "retries loop silently on permanent errors and worker crashes "
+        "read as missing results instead of failures."
+    )
+    suggestion = (
+        "re-raise (or translate and raise), or report through the obs "
+        "layer / the bound exception name before continuing.  A "
+        "deliberate last-resort swallow (a dying telemetry sink must "
+        "not mask the run) gets # repro: ignore[exception-contract] "
+        "with that justification."
+    )
+
+    def visit_ExceptHandler(
+        self, ctx: FileContext, node: ast.ExceptHandler
+    ) -> Iterable[Finding]:
+        if node.type is None:
+            return ()  # bare except: api-hygiene's finding, not ours
+        broad = _broad_types(node.type)
+        if not broad:
+            return ()
+        if self._handles(node):
+            return ()
+        caught = " | ".join(broad)
+        return (
+            self.finding(
+                ctx,
+                node,
+                f"`except {caught}` swallows the failure: the body "
+                "neither re-raises, nor uses the bound exception, nor "
+                "reports through obs/traceback",
+            ),
+        )
+
+    @staticmethod
+    def _handles(handler: ast.ExceptHandler) -> bool:
+        bound = handler.name
+        for node in _body_nodes(handler):
+            if isinstance(node, ast.Raise):
+                return True
+            if (
+                bound is not None
+                and isinstance(node, ast.Name)
+                and node.id == bound
+            ):
+                return True
+            if isinstance(node, ast.Call):
+                func = node.func
+                if isinstance(func, ast.Attribute) and func.attr in _REPORTERS:
+                    return True
+                if isinstance(func, ast.Name) and func.id in _REPORTERS:
+                    return True
+        return False

@@ -1,7 +1,6 @@
 """``no-print``: stdout discipline.
 
-Migrated from ``tools/check_no_print.py`` (which is now a shim over
-this rule).  Everything except the CLIs and the report renderer must go
+Migrated from the retired ``tools/check_no_print.py``.  Everything except the CLIs and the report renderer must go
 through :mod:`repro.obs` sinks, so ``-q`` silences it, ``-v`` reveals
 it, and ``--log-json`` captures it -- and so the report on stdout stays
 byte-identical between warm and cold cache runs.

@@ -1,0 +1,99 @@
+"""SARIF 2.1.0 output: lint findings as CI-native code annotations.
+
+One run object, one ``tool.driver`` describing every rule that ran
+(title/rationale/suggestion map onto SARIF's short/full description and
+help), one result per finding.  GitHub's code-scanning upload consumes
+this directly, turning findings into inline PR annotations; any other
+SARIF viewer works the same way.
+
+Baselined findings are emitted with ``"baselineState": "unchanged"`` so
+viewers can show the grandfathered debt without failing the run; fresh
+findings carry ``"baselineState": "new"``.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict, List
+
+from .findings import Finding
+from .registry import all_rules
+
+__all__ = ["to_sarif", "render_sarif"]
+
+_SCHEMA = (
+    "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/master/"
+    "Schemata/sarif-schema-2.1.0.json"
+)
+
+
+def _rule_descriptor(rule_id: str) -> Dict[str, Any]:
+    rule = all_rules().get(rule_id)
+    if rule is None:  # e.g. the synthetic parse-error pseudo-rule
+        return {"id": rule_id}
+    return {
+        "id": rule_id,
+        "shortDescription": {"text": rule.title},
+        "fullDescription": {"text": rule.rationale},
+        "help": {"text": rule.suggestion},
+        "defaultConfiguration": {"level": "warning"},
+    }
+
+
+def _result(finding: Finding, baseline_state: str) -> Dict[str, Any]:
+    region: Dict[str, Any] = {"startLine": max(1, finding.line)}
+    if finding.col:
+        region["startColumn"] = finding.col + 1  # SARIF columns are 1-based
+    if finding.context:
+        region["snippet"] = {"text": finding.context}
+    return {
+        "ruleId": finding.rule,
+        "level": "warning",
+        "message": {"text": finding.message},
+        "baselineState": baseline_state,
+        "locations": [
+            {
+                "physicalLocation": {
+                    "artifactLocation": {
+                        # The invocation-relative path: CI runs from the
+                        # repo root, which is what annotation needs.
+                        "uri": finding.path.replace("\\", "/"),
+                        "uriBaseId": "ROOT",
+                    },
+                    "region": region,
+                }
+            }
+        ],
+    }
+
+
+def to_sarif(result: Any) -> Dict[str, Any]:
+    """A :class:`~repro.lint.engine.LintResult` as a SARIF log dict."""
+    rule_ids: List[str] = sorted(
+        set(result.rule_ids)
+        | {finding.rule for finding in result.findings}
+        | {finding.rule for finding in result.baselined}
+    )
+    results = [_result(finding, "new") for finding in result.findings]
+    results += [_result(finding, "unchanged") for finding in result.baselined]
+    return {
+        "$schema": _SCHEMA,
+        "version": "2.1.0",
+        "runs": [
+            {
+                "tool": {
+                    "driver": {
+                        "name": "repro-lint",
+                        "informationUri": "https://example.invalid/repro-lint",
+                        "rules": [_rule_descriptor(r) for r in rule_ids],
+                    }
+                },
+                "originalUriBaseIds": {"ROOT": {"uri": "file:///"}},
+                "results": results,
+            }
+        ],
+    }
+
+
+def render_sarif(result: Any) -> str:
+    return json.dumps(to_sarif(result), indent=2, sort_keys=True) + "\n"

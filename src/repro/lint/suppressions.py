@@ -1,15 +1,34 @@
 """Inline suppressions: ``# repro: ignore[rule-id]`` comments.
 
-A finding is suppressed when the physical line it is reported on carries
-an ignore comment naming its rule (or a bare ``# repro: ignore``, which
-suppresses every rule on that line).  Multiple ids are comma-separated::
+A finding is suppressed when its reported line carries an ignore comment
+naming its rule (or a bare ``# repro: ignore``, which suppresses every
+rule on that line).  Multiple ids are comma-separated::
 
     CACHE.clear()  # repro: ignore[fork-safety] per-process memo by design
     x = foo()      # repro: ignore[determinism, api-hygiene]
     y = bar()      # repro: ignore
 
+Rules report findings at a statement's *first* physical line, so the
+marker does not have to sit on the exact token that fired:
+
+* a trailing comment anywhere inside a multi-line statement registers
+  at the statement's first line as well as its own::
+
+      value = compute(
+          argument,
+      )  # repro: ignore[units-hygiene] suppresses the line-1 finding
+
+* a comment on its own line attaches to the next statement -- the
+  idiom for justifications too long for a trailing comment::
+
+      # repro: ignore[hot-path] figure API contract returns List[float]
+      return samples.tolist()
+
 Comments are extracted with :mod:`tokenize`, so the marker inside a
-string literal or docstring never suppresses anything.
+string literal or docstring never suppresses anything.  (Suppressing a
+finding on a ``def``/``class`` line from one of its decorator lines is
+the file context's job -- it has the AST; see
+:meth:`repro.lint.context.FileContext.suppressed`.)
 """
 
 from __future__ import annotations
@@ -17,7 +36,7 @@ from __future__ import annotations
 import io
 import re
 import tokenize
-from typing import Dict, FrozenSet, Optional
+from typing import Dict, FrozenSet, List, Optional, Tuple
 
 __all__ = ["SUPPRESS_ALL", "parse_suppressions", "is_suppressed"]
 
@@ -28,6 +47,29 @@ _MARKER = re.compile(
     r"#\s*repro:\s*ignore(?:\[(?P<rules>[^\]]*)\])?", re.IGNORECASE
 )
 
+#: Tokens that neither start nor belong to a logical line.
+_INERT = frozenset(
+    {
+        tokenize.COMMENT,
+        tokenize.NL,
+        tokenize.NEWLINE,
+        tokenize.INDENT,
+        tokenize.DEDENT,
+        tokenize.ENDMARKER,
+    }
+)
+
+
+def _parse_ids(comment: str) -> Optional[FrozenSet[str]]:
+    match = _MARKER.search(comment)
+    if match is None:
+        return None
+    spec = match.group("rules")
+    if spec is None:
+        return SUPPRESS_ALL
+    ids = frozenset(part.strip() for part in spec.split(",") if part.strip())
+    return ids or SUPPRESS_ALL
+
 
 def parse_suppressions(source: str) -> Dict[int, FrozenSet[str]]:
     """Map line number -> frozenset of suppressed rule ids.
@@ -37,27 +79,39 @@ def parse_suppressions(source: str) -> Dict[int, FrozenSet[str]]:
     separately).
     """
     suppressions: Dict[int, FrozenSet[str]] = {}
+
+    def add(line: int, ids: FrozenSet[str]) -> None:
+        suppressions[line] = suppressions.get(line, frozenset()) | ids
+
     try:
         tokens = list(tokenize.generate_tokens(io.StringIO(source).readline))
     except (tokenize.TokenError, SyntaxError, IndentationError):
         return suppressions
+
+    #: First line of the logical statement currently being tokenized.
+    logical_start: Optional[int] = None
+    #: Markers from standalone comment lines awaiting their statement.
+    pending: List[Tuple[int, FrozenSet[str]]] = []
     for token in tokens:
-        if token.type != tokenize.COMMENT:
-            continue
-        match = _MARKER.search(token.string)
-        if match is None:
-            continue
-        spec = match.group("rules")
-        if spec is None:
-            ids = SUPPRESS_ALL
-        else:
-            ids = frozenset(
-                part.strip() for part in spec.split(",") if part.strip()
-            )
-            if not ids:
-                ids = SUPPRESS_ALL
-        line = token.start[0]
-        suppressions[line] = suppressions.get(line, frozenset()) | ids
+        if token.type == tokenize.COMMENT:
+            ids = _parse_ids(token.string)
+            if ids is None:
+                continue
+            add(token.start[0], ids)
+            if logical_start is not None:
+                # Trailing comment: also cover the statement's first
+                # line, where multi-line statements report findings.
+                add(logical_start, ids)
+            else:
+                pending.append((token.start[0], ids))
+        elif token.type == tokenize.NEWLINE:
+            logical_start = None
+        elif token.type not in _INERT:
+            if logical_start is None:
+                logical_start = token.start[0]
+                for _comment_line, ids in pending:
+                    add(logical_start, ids)
+                pending.clear()
     return suppressions
 
 

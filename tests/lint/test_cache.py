@@ -1,0 +1,125 @@
+"""The incremental analysis cache: hits, invalidation, corruption."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.lint.cache import AnalysisCache, rules_signature
+from repro.lint.engine import lint_paths
+from repro.lint.findings import Finding
+
+
+@pytest.fixture()
+def project(tmp_path):
+    src = tmp_path / "proj"
+    src.mkdir()
+    (src / "clean.py").write_text(
+        '"""A module with nothing to report."""\n\n\ndef add(a, b):\n'
+        '    """Sum."""\n    return a + b\n',
+        encoding="utf-8",
+    )
+    (src / "noisy.py").write_text(
+        '"""A module that prints."""\n\n\ndef shout(msg):\n'
+        '    """Print it."""\n    print(msg)\n',
+        encoding="utf-8",
+    )
+    return src
+
+
+def run(project, tmp_path):
+    cache = AnalysisCache(tmp_path / "cache")
+    return lint_paths([project], rules=["no-print"], cache=cache)
+
+
+def test_cold_run_analyzes_everything(project, tmp_path):
+    result = run(project, tmp_path)
+    assert len(result.analyzed_files) == 2
+    assert result.cached_files == []
+    assert [f.rule for f in result.findings] == ["no-print"]
+
+
+def test_warm_run_serves_everything_from_cache(project, tmp_path):
+    first = run(project, tmp_path)
+    second = run(project, tmp_path)
+    assert second.analyzed_files == []
+    assert len(second.cached_files) == 2
+    # Findings are identical whether computed or replayed.
+    assert [
+        (f.rule, f.path, f.line) for f in second.findings
+    ] == [(f.rule, f.path, f.line) for f in first.findings]
+
+
+def test_touching_one_file_reanalyzes_only_it(project, tmp_path):
+    run(project, tmp_path)
+    noisy = project / "noisy.py"
+    noisy.write_text(
+        noisy.read_text(encoding="utf-8") + "\n\nEXTRA = 1\n",
+        encoding="utf-8",
+    )
+    result = run(project, tmp_path)
+    assert [p.endswith("noisy.py") for p in result.analyzed_files] == [True]
+    assert len(result.cached_files) == 1
+    assert [f.rule for f in result.findings] == ["no-print"]
+
+
+def test_key_depends_on_rule_set_and_content(tmp_path):
+    cache = AnalysisCache(tmp_path / "cache")
+    assert cache.key(b"x = 1\n", ["no-print"]) != cache.key(
+        b"x = 2\n", ["no-print"]
+    )
+    assert cache.key(b"x = 1\n", ["no-print"]) != cache.key(
+        b"x = 1\n", ["no-print", "hot-path"]
+    )
+    # Order of rule ids does not matter.
+    assert cache.key(b"x = 1\n", ["b", "a"]) == cache.key(b"x = 1\n", ["a", "b"])
+
+
+def test_rules_signature_is_stable_within_a_process():
+    assert rules_signature() == rules_signature()
+    assert len(rules_signature()) == 64
+
+
+def test_corrupt_entry_is_a_miss(tmp_path):
+    cache = AnalysisCache(tmp_path / "cache")
+    key = cache.key(b"x = 1\n", ["no-print"])
+    assert cache.get(key) is None  # empty cache
+    (cache.directory / f"{key}.json").write_text("{not json", encoding="utf-8")
+    assert cache.get(key) is None  # corruption is a miss, not an error
+
+
+def test_round_trip_preserves_findings(tmp_path):
+    cache = AnalysisCache(tmp_path / "cache")
+    finding = Finding(
+        rule="no-print",
+        path="proj/noisy.py",
+        line=6,
+        col=4,
+        message="print() call",
+        context="print(msg)",
+    )
+    key = cache.key(b"whatever", ["no-print"])
+    assert cache.put(key, ([finding], 2, {"calls": [["a", 1]]}))
+    cached = cache.get(key)
+    assert cached is not None
+    findings, suppressed, summaries = cached
+    assert findings == [finding]
+    assert suppressed == 2
+    assert summaries == {"calls": [["a", 1]]}
+
+
+def test_unserializable_summary_declines_to_cache(tmp_path):
+    cache = AnalysisCache(tmp_path / "cache")
+    key = cache.key(b"whatever", ["no-print"])
+    assert not cache.put(key, ([], 0, {"bad": object()}))
+    assert cache.get(key) is None
+
+
+def test_entries_are_valid_json_files(project, tmp_path):
+    run(project, tmp_path)
+    entries = list((tmp_path / "cache").glob("*.json"))
+    assert len(entries) == 2
+    for entry in entries:
+        payload = json.loads(entry.read_text(encoding="utf-8"))
+        assert set(payload) == {"findings", "suppressed", "summaries"}

@@ -76,3 +76,63 @@ def test_jobs_must_be_positive(dirty_tree):
     with pytest.raises(SystemExit) as excinfo:
         main([str(dirty_tree), "--jobs", "0"])
     assert excinfo.value.code == 2
+
+
+def test_stale_baseline_entries_fail_the_run(dirty_tree, capsys):
+    assert main([str(dirty_tree), "--write-baseline"]) == 0
+    # Fix the finding; its baseline entry is now stale, which must fail
+    # the run even though there are zero findings.
+    (dirty_tree / "mod.py").write_text("VALUE = 1\n")
+    assert main([str(dirty_tree)]) == 1
+    captured = capsys.readouterr()
+    assert "stale baseline" in captured.err
+
+
+def test_prune_baseline_drops_stale_entries(dirty_tree, capsys):
+    assert main([str(dirty_tree), "--write-baseline"]) == 0
+    (dirty_tree / "mod.py").write_text("VALUE = 1\n")
+    assert main([str(dirty_tree), "--prune-baseline"]) == 0
+    payload = json.loads((dirty_tree / "lint-baseline.json").read_text())
+    assert payload["entries"] == []
+    # After the prune, a plain run is clean again.
+    assert main([str(dirty_tree)]) == 0
+    capsys.readouterr()
+
+
+def test_prune_baseline_requires_a_baseline_file(dirty_tree):
+    with pytest.raises(SystemExit) as excinfo:
+        main([str(dirty_tree), "--prune-baseline"])
+    assert excinfo.value.code == 2
+
+
+def test_baseline_entries_without_reasons_are_rejected(dirty_tree, capsys):
+    assert main([str(dirty_tree), "--write-baseline"]) == 0
+    path = dirty_tree / "lint-baseline.json"
+    payload = json.loads(path.read_text())
+    for entry in payload["entries"]:
+        entry["reason"] = ""
+    path.write_text(json.dumps(payload))
+    with pytest.raises(SystemExit) as excinfo:
+        main([str(dirty_tree)])
+    assert excinfo.value.code == 2
+
+
+def test_cache_flag_serves_warm_runs_incrementally(dirty_tree, capsys):
+    assert main([str(dirty_tree), "--cache"]) == 1
+    assert (dirty_tree / ".lint-cache").is_dir()
+    assert main([str(dirty_tree), "--cache"]) == 1
+    out = capsys.readouterr().out
+    assert "0 analyzed, 1 served from cache" in out
+
+
+def test_sarif_file_is_written_even_when_findings_fail_the_run(dirty_tree):
+    assert main([str(dirty_tree), "--sarif", "out.sarif"]) == 1
+    doc = json.loads((dirty_tree / "out.sarif").read_text())
+    assert doc["version"] == "2.1.0"
+    assert doc["runs"][0]["results"][0]["ruleId"] == "no-print"
+
+
+def test_sarif_format_prints_to_stdout(dirty_tree, capsys):
+    assert main([str(dirty_tree), "--format", "sarif"]) == 1
+    doc = json.loads(capsys.readouterr().out)
+    assert doc["runs"][0]["tool"]["driver"]["name"] == "repro-lint"

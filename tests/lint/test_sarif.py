@@ -1,0 +1,81 @@
+"""SARIF rendering: structure, rule descriptors, baseline state."""
+
+from __future__ import annotations
+
+import json
+
+from repro.lint.engine import LintResult
+from repro.lint.findings import Finding
+from repro.lint.sarif import render_sarif, to_sarif
+
+
+def result_with_findings() -> LintResult:
+    new = Finding(
+        rule="no-print",
+        path="src/repro/x.py",
+        line=12,
+        col=4,
+        message="print() call in library code",
+        context="print(x)",
+    )
+    old = Finding(
+        rule="hot-path",
+        path="src\\repro\\y.py",  # windows-style separators must normalize
+        line=3,
+        col=0,
+        message="per-row loop",
+        context="for i in range(len(rows)):",
+    )
+    return LintResult(
+        findings=[new],
+        baselined=[old],
+        files=2,
+        rule_ids=["no-print", "hot-path"],
+    )
+
+
+def test_sarif_envelope_shape():
+    doc = to_sarif(result_with_findings())
+    assert doc["version"] == "2.1.0"
+    assert "sarif-schema-2.1.0" in doc["$schema"]
+    (run,) = doc["runs"]
+    assert run["tool"]["driver"]["name"] == "repro-lint"
+
+
+def test_rule_descriptors_cover_the_run_rules():
+    doc = to_sarif(result_with_findings())
+    rules = doc["runs"][0]["tool"]["driver"]["rules"]
+    ids = {rule["id"] for rule in rules}
+    assert {"no-print", "hot-path"} <= ids
+
+
+def test_results_carry_baseline_state():
+    doc = to_sarif(result_with_findings())
+    results = doc["runs"][0]["results"]
+    states = {
+        result["ruleId"]: result["baselineState"] for result in results
+    }
+    assert states == {"no-print": "new", "hot-path": "unchanged"}
+
+
+def test_locations_are_one_based_and_uri_normalized():
+    doc = to_sarif(result_with_findings())
+    by_rule = {r["ruleId"]: r for r in doc["runs"][0]["results"]}
+    region = by_rule["no-print"]["locations"][0]["physicalLocation"]["region"]
+    assert region["startLine"] == 12
+    assert region["startColumn"] == 5  # col 4 is 0-based in findings
+    uri = by_rule["hot-path"]["locations"][0]["physicalLocation"][
+        "artifactLocation"
+    ]["uri"]
+    assert "\\" not in uri
+
+
+def test_render_sarif_is_valid_json():
+    text = render_sarif(result_with_findings())
+    doc = json.loads(text)
+    assert doc["runs"][0]["results"]
+
+
+def test_empty_result_renders_empty_results_array():
+    doc = to_sarif(LintResult(files=0, rule_ids=["no-print"]))
+    assert doc["runs"][0]["results"] == []

@@ -1,0 +1,150 @@
+"""Suppression placement: trailing, multi-line, standalone, decorator.
+
+The regression of record: a ``# repro: ignore[rule]`` marker written on
+a decorator line or on a continuation line of a multi-line statement
+must suppress the finding reported at the *statement's* first line --
+findings are always reported there, not where the comment happens to
+sit.
+"""
+
+from __future__ import annotations
+
+import ast
+from pathlib import Path
+
+from repro.lint.context import FileContext
+from repro.lint.engine import lint_source
+from repro.lint.suppressions import parse_suppressions
+
+
+def context_of(source: str) -> FileContext:
+    return FileContext(Path("x.py"), source, ast.parse(source))
+
+
+# ---- parse_suppressions mapping -------------------------------------
+
+
+def test_trailing_comment_registers_on_its_own_line():
+    marks = parse_suppressions("x = 1  # repro: ignore[no-print] scratch\n")
+    assert "no-print" in marks.get(1, ())
+
+
+def test_multiline_statement_marker_maps_to_first_line():
+    source = (
+        "value = compute(\n"
+        "    a,\n"
+        "    b,  # repro: ignore[hot-path] bounded by config\n"
+        ")\n"
+    )
+    marks = parse_suppressions(source)
+    assert "hot-path" in marks.get(1, ()), marks
+    assert "hot-path" in marks.get(3, ())
+
+
+def test_standalone_comment_attaches_to_next_statement():
+    source = (
+        "# repro: ignore[exception-contract] last-resort by design\n"
+        "try:\n"
+        "    risky()\n"
+        "except Exception:\n"
+        "    pass\n"
+    )
+    marks = parse_suppressions(source)
+    assert "exception-contract" in marks.get(2, ())
+
+
+def test_standalone_comment_skips_blank_lines_and_comments():
+    source = (
+        "# repro: ignore[units] legacy field\n"
+        "# (measured in seconds since the 2019 trace)\n"
+        "\n"
+        "WINDOW = 86400\n"
+    )
+    marks = parse_suppressions(source)
+    assert "units" in marks.get(4, ())
+
+
+def test_marker_inside_string_literal_is_inert():
+    source = 'doc = "use # repro: ignore[no-print] to suppress"\nx = 1\n'
+    marks = parse_suppressions(source)
+    assert not any("no-print" in ids for ids in marks.values())
+
+
+def test_multiple_ids_in_one_marker():
+    marks = parse_suppressions(
+        "x = 1  # repro: ignore[no-print, hot-path] scratch\n"
+    )
+    assert {"no-print", "hot-path"} <= set(marks.get(1, ()))
+
+
+# ---- FileContext.suppressed (decorator aliasing) --------------------
+
+
+def test_decorator_line_marker_suppresses_the_def_finding():
+    source = (
+        "@retry(  # repro: ignore[api-hygiene] wrapper keeps the docstring\n"
+        "    times=3,\n"
+        ")\n"
+        "def fetch():\n"
+        "    return 1\n"
+    )
+    ctx = context_of(source)
+    # Findings against a decorated def are reported at the ``def`` line.
+    assert ctx.suppressed("api-hygiene", 4)
+
+
+def test_undecorated_def_does_not_inherit_earlier_markers():
+    source = (
+        "x = 1  # repro: ignore[api-hygiene] unrelated\n"
+        "def fetch():\n"
+        "    return 1\n"
+    )
+    ctx = context_of(source)
+    assert not ctx.suppressed("api-hygiene", 2)
+
+
+def test_wrong_rule_id_does_not_suppress():
+    source = "x = 1  # repro: ignore[no-print] scratch\n"
+    ctx = context_of(source)
+    assert not ctx.suppressed("hot-path", 1)
+
+
+# ---- end to end through the engine ----------------------------------
+
+
+def test_decorator_suppression_end_to_end():
+    plain = (
+        "\"\"\"Mod.\"\"\"\n"
+        "\n"
+        "import functools\n"
+        "\n"
+        "\n"
+        "@functools.lru_cache(maxsize=None)\n"
+        "def lookup(key):\n"
+        "    \"\"\"Find.\"\"\"\n"
+        "    print(key)\n"
+        "    return key\n"
+    )
+    findings = lint_source(plain, rules=["no-print"])
+    assert [f.rule for f in findings] == ["no-print"]
+
+    suppressed = plain.replace(
+        "print(key)",
+        "print(key)  # repro: ignore[no-print] debug hook",
+    )
+    assert lint_source(suppressed, rules=["no-print"]) == []
+
+
+def test_multiline_call_suppression_end_to_end():
+    source = (
+        "\"\"\"Mod.\"\"\"\n"
+        "\n"
+        "\n"
+        "def report(a, b):\n"
+        "    \"\"\"Emit.\"\"\"\n"
+        "    print(\n"
+        "        a,\n"
+        "        b,  # repro: ignore[no-print] operator console output\n"
+        "    )\n"
+    )
+    assert lint_source(source, rules=["no-print"]) == []

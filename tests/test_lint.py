@@ -1,7 +1,14 @@
-"""Repository hygiene: output discipline for the obs subsystem."""
+"""Repository hygiene: output discipline for the obs subsystem.
 
-import sys
+Tier-1 guard that ``src/`` stays free of bare ``print()`` calls -- the
+check ran through ``tools/check_no_print.py`` historically and now goes
+straight through the :mod:`repro.lint` engine (the CLI equivalent is
+``python -m repro.lint src --rules no-print``).
+"""
+
 from pathlib import Path
+
+from repro.lint import lint_paths
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 
@@ -9,24 +16,18 @@ REPO_ROOT = Path(__file__).resolve().parent.parent
 def test_no_bare_print_outside_cli_and_report():
     """Everything except the CLI and report renderer goes through
     :mod:`repro.obs` sinks (so ``-q``/``-v``/``--log-json`` govern it)."""
-    sys.path.insert(0, str(REPO_ROOT / "tools"))
-    try:
-        import check_no_print
-    finally:
-        sys.path.pop(0)
-    assert check_no_print.main([str(REPO_ROOT / "src")]) == 0
+    result = lint_paths([REPO_ROOT / "src"], rules=["no-print"])
+    assert result.findings == [], "\n".join(
+        finding.render() for finding in result.findings
+    )
 
 
 def test_lint_catches_a_bare_print(tmp_path):
-    sys.path.insert(0, str(REPO_ROOT / "tools"))
-    try:
-        import check_no_print
-    finally:
-        sys.path.pop(0)
     offender = tmp_path / "repro" / "bad.py"
     offender.parent.mkdir(parents=True)
     offender.write_text('print("leaky")\n')
-    assert check_no_print.main([str(tmp_path)]) == 1
+    result = lint_paths([tmp_path], rules=["no-print"])
+    assert [finding.rule for finding in result.findings] == ["no-print"]
     # Docstrings and strings mentioning print() are fine (AST-based).
     offender.write_text('"""usage: print(x)"""\nVALUE = "print(x)"\n')
-    assert check_no_print.main([str(tmp_path)]) == 0
+    assert lint_paths([tmp_path], rules=["no-print"]).findings == []
